@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every ``test_bench_fig*`` benchmark regenerates one figure of the paper's
+evaluation and prints the rows/series it plots.  By default the drivers
+run in *fast* mode (shortened periods / fewer rates) so the whole suite
+completes in a few minutes; set ``REPRO_BENCH_FULL=1`` to run the paper's
+full-scale configuration (6 h periods, 10 h for the cost figures,
+2–50 msg/s sweeps).
+
+Rendered tables are also written to ``benchmarks/results/`` so the
+EXPERIMENTS.md paper-vs-measured record can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Whether to run the paper's full configuration."""
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Persist a rendered figure table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, rendered: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+
+    return _record

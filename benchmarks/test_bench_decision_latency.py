@@ -1,0 +1,76 @@
+"""Microbenchmark: decision latency of heuristics vs brute force.
+
+The paper argues that "fast heuristics are better suited than slow
+optimal solutions that may in any case become stale" for continuous
+adaptation.  This benchmark measures wall-clock planning latency of the
+local/global deployment heuristics against the brute-force search at the
+same rate, and the runtime adaptation step.  Expected: heuristics plan in
+milliseconds; brute force is orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cloud import aws_2013_catalog
+from repro.core import (
+    BruteForceConfig,
+    BruteForceDeployment,
+    DeploymentConfig,
+    InitialDeployment,
+)
+from repro.experiments import fig1_dataflow
+
+RATE = 5.0
+
+
+def test_bench_local_deployment_latency(benchmark):
+    df = fig1_dataflow()
+    dep = InitialDeployment(
+        df, aws_2013_catalog(), DeploymentConfig(strategy="local")
+    )
+    plan = benchmark(lambda: dep.plan({"E1": RATE}))
+    assert plan.cluster.vms
+
+
+def test_bench_global_deployment_latency(benchmark):
+    df = fig1_dataflow()
+    dep = InitialDeployment(
+        df, aws_2013_catalog(), DeploymentConfig(strategy="global")
+    )
+    plan = benchmark(lambda: dep.plan({"E1": RATE}))
+    assert plan.cluster.vms
+
+
+def test_bench_bruteforce_latency(benchmark):
+    df = fig1_dataflow()
+    dep = BruteForceDeployment(
+        df, aws_2013_catalog(), BruteForceConfig(omega_min=0.7)
+    )
+    plan = benchmark.pedantic(
+        lambda: dep.plan({"E1": RATE}), rounds=3, iterations=1
+    )
+    assert plan.cluster.vms
+
+
+def test_heuristics_orders_of_magnitude_faster():
+    """Direct latency-ratio check backing the paper's §7 argument."""
+    df = fig1_dataflow()
+    catalog = aws_2013_catalog()
+
+    t0 = time.perf_counter()
+    InitialDeployment(df, catalog, DeploymentConfig(strategy="global")).plan(
+        {"E1": RATE}
+    )
+    heuristic = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    BruteForceDeployment(df, catalog, BruteForceConfig(omega_min=0.7)).plan(
+        {"E1": RATE}
+    )
+    brute = time.perf_counter() - t0
+
+    assert brute > 5 * heuristic, (
+        f"brute force ({brute * 1e3:.1f} ms) should dwarf the heuristic "
+        f"({heuristic * 1e3:.1f} ms)"
+    )

@@ -1,0 +1,94 @@
+"""Microbenchmarks: simulation substrate throughput.
+
+Measures the raw speed of the building blocks the reproduction rests on:
+the DES kernel's event throughput and the fluid executor's tick rate at
+two fleet sizes.  These guard against performance regressions that would
+make the full-scale figure sweeps impractical.
+"""
+
+from __future__ import annotations
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import FluidExecutor
+from repro.experiments import fig1_dataflow
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Schedule-and-fire cycles of bare timeout events."""
+
+    def run_10k_events():
+        env = Environment()
+
+        def chain():
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(chain())
+        env.run()
+        return env.now
+
+    result = benchmark(run_10k_events)
+    assert result == 10_000.0
+
+
+def test_bench_kernel_process_switching(benchmark):
+    """Round-robin switching between many concurrent processes."""
+
+    def run():
+        env = Environment()
+
+        def worker():
+            for _ in range(100):
+                yield env.timeout(1.0)
+
+        for _ in range(100):
+            env.process(worker())
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 100.0
+
+
+def _fluid_rig(rate: float, n_vms: int):
+    env = Environment()
+    provider = CloudProvider(
+        aws_2013_catalog(), performance=ConstantPerformance()
+    )
+    df = fig1_dataflow()
+    pes = list(df.pe_names)
+    for i in range(n_vms):
+        vm = provider.provision("m1.xlarge", now=0.0)
+        vm.allocate(pes[i % len(pes)], 4)
+    ex = FluidExecutor(
+        env, df, provider, {"E1": ConstantRate(rate)},
+        selection=df.default_selection(),
+    )
+    ex.sync()
+    ex.start()
+    return env, ex
+
+
+def test_bench_fluid_ticks_small_fleet(benchmark):
+    """One simulated hour (3600 ticks) on a 4-VM fleet."""
+    env, ex = _fluid_rig(rate=5.0, n_vms=4)
+
+    def hour():
+        env.run(until=env.now + 3600.0)
+        return ex.roll_interval()
+
+    stats = benchmark.pedantic(hour, rounds=3, iterations=1)
+    assert stats.external_in["E1"] > 0
+
+
+def test_bench_fluid_ticks_large_fleet(benchmark):
+    """One simulated hour on an 80-VM fleet (50 msg/s scale)."""
+    env, ex = _fluid_rig(rate=50.0, n_vms=80)
+
+    def hour():
+        env.run(until=env.now + 3600.0)
+        return ex.roll_interval()
+
+    stats = benchmark.pedantic(hour, rounds=3, iterations=1)
+    assert stats.external_in["E1"] > 0

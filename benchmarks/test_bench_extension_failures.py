@@ -1,0 +1,65 @@
+"""Extension bench (paper §9 future work): fault tolerance under VM crashes.
+
+Injects memoryless VM failures (MTBF sweep) and compares the adaptive
+local/global heuristics against a static deployment.  Expected: the
+adaptive heuristics re-provision around crashes and keep Ω̄ near the
+constraint (paying for replacement VMs); the static deployment loses
+capacity permanently and collapses.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Scenario, run_policy
+from repro.util import format_table
+
+MTBFS = (None, 1.0, 0.25)  # no failures, hourly, every 15 minutes
+
+
+def _sweep():
+    rows = []
+    for mtbf in MTBFS:
+        for policy in ("static-local", "local", "global"):
+            result = run_policy(
+                Scenario(
+                    rate=10.0,
+                    variability="none",
+                    period=3600.0,
+                    seed=3,
+                    mtbf_hours=mtbf,
+                ),
+                policy,
+            )
+            o = result.outcome
+            rows.append(
+                [
+                    "∞" if mtbf is None else f"{mtbf:g}h",
+                    policy,
+                    len(result.crashes),
+                    o.mean_throughput,
+                    o.total_cost,
+                    o.constraint_met,
+                ]
+            )
+    return rows
+
+
+def test_bench_extension_failures(benchmark, record_figure):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rendered = format_table(
+        ["MTBF", "policy", "crashes", "Ω̄", "cost $", "Ω̄≥Ω̂-ε"],
+        rows,
+        title="Extension: fault tolerance under VM crashes (10 msg/s, 1 h)",
+    )
+    print("\n" + rendered)
+    record_figure("extension_failures", rendered)
+
+    by = {(row[0], row[1]): row for row in rows}
+    # Without failures everyone is fine.
+    assert all(by[("∞", p)][5] for p in ("static-local", "local", "global"))
+    # Under aggressive failures the adaptive policies keep the constraint…
+    assert by[("0.25h", "local")][5]
+    assert by[("0.25h", "global")][5]
+    # …while the static deployment does not.
+    assert not by[("0.25h", "static-local")][5]
+    # Resilience costs money: adaptive spend rises with failure rate.
+    assert by[("0.25h", "local")][4] > by[("∞", "local")][4]

@@ -1,0 +1,98 @@
+"""Extension bench (paper §9 future work): dynamic path selection.
+
+Evaluates deployment-time selection over whole-graph variants: a full
+enrichment path (value 1.0, expensive) versus a shortcut path (value
+0.8, skips the enrichment stage).  Expected shape: the full path wins Θ
+at low rates where its extra cost is small in absolute dollars; as the
+rate grows the enrichment stage's cost scales linearly and the selector
+crosses over to the shortcut.
+"""
+
+from __future__ import annotations
+
+from repro.cloud import aws_2013_catalog
+from repro.core import ObjectiveSpec
+from repro.core.paths import DynamicPathSet, PathSelector, PathVariant
+from repro.dataflow import Alternate, DynamicDataflow, ProcessingElement
+from repro.util import format_table
+
+RATES = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
+
+
+def _paths() -> DynamicPathSet:
+    def classify():
+        return ProcessingElement(
+            "classify",
+            [
+                Alternate("deep", value=1.0, cost=2.0),
+                Alternate("fast", value=0.8, cost=1.0),
+            ],
+        )
+
+    full = DynamicDataflow(
+        [
+            ProcessingElement("ingest", [Alternate("i", value=1.0, cost=0.5)]),
+            ProcessingElement("enrich", [Alternate("e", value=1.0, cost=3.0)]),
+            classify(),
+            ProcessingElement("sink", [Alternate("s", value=1.0, cost=0.3)]),
+        ],
+        [("ingest", "enrich"), ("enrich", "classify"), ("classify", "sink")],
+    )
+    shortcut = DynamicDataflow(
+        [
+            ProcessingElement("ingest", [Alternate("i", value=1.0, cost=0.5)]),
+            classify(),
+            ProcessingElement("sink", [Alternate("s", value=1.0, cost=0.3)]),
+        ],
+        [("ingest", "classify"), ("classify", "sink")],
+    )
+    return DynamicPathSet(
+        [
+            PathVariant("full", full, value=1.0),
+            PathVariant("shortcut", shortcut, value=0.8),
+        ]
+    )
+
+
+def _sweep():
+    paths = _paths()
+    catalog = aws_2013_catalog()
+    rows = []
+    for rate in RATES:
+        spec = ObjectiveSpec(omega_min=0.7, sigma=0.02, period=6 * 3600.0)
+        selector = PathSelector(paths, catalog, spec)
+        ranked = selector.rank({"ingest": rate})
+        best = ranked[0]
+        rows.append(
+            [
+                rate,
+                best.variant.name,
+                best.predicted_value,
+                best.predicted_cost,
+                best.predicted_theta,
+                ranked[1].predicted_theta,
+            ]
+        )
+    return rows
+
+
+def test_bench_extension_paths(benchmark, record_figure):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rendered = format_table(
+        ["rate", "chosen path", "γ·Γ", "cost $", "Θ best", "Θ runner-up"],
+        rows,
+        title="Extension: dynamic path selection vs input rate",
+    )
+    print("\n" + rendered)
+    record_figure("extension_paths", rendered)
+
+    chosen = [row[1] for row in rows]
+    assert chosen[0] == "full", "value should win at the lowest rate"
+    assert chosen[-1] == "shortcut", "cost should win at the highest rate"
+    # Single crossover: once the shortcut wins, it keeps winning.
+    flipped = False
+    for name in chosen:
+        if name == "shortcut":
+            flipped = True
+        elif flipped:
+            raise AssertionError(f"non-monotone path choice: {chosen}")

@@ -1,0 +1,25 @@
+"""E2 / Figure 3: network latency/bandwidth variability characterization.
+
+Regenerates the VM-pair latency and bandwidth series of the paper's
+Fig. 3.  Expected shape: latency spikes far above the base value;
+bandwidth drifting and dipping below the rated 100 Mbps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure3
+
+
+def test_bench_fig3_network_traces(benchmark, full_scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: figure3(fast=not full_scale), rounds=1, iterations=1
+    )
+    rendered = result.render()
+    print("\n" + rendered)
+    record_figure("fig3_network_traces", rendered)
+
+    for row in result.rows:
+        _pair, lat_mean, lat_max, lat_cv, bw_mean, bw_min, _bw_cv = row
+        assert lat_max > 3 * lat_mean, "latency must spike"
+        assert lat_cv > 0.2, "latency must be heavy-tailed"
+        assert bw_min < bw_mean <= 115.0, "bandwidth must dip below rated"

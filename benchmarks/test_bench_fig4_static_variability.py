@@ -1,0 +1,57 @@
+"""E3 / Figure 4: static deployments under data/infrastructure variability.
+
+Runs the three static strategies (brute-force optimal, local, global) at
+5 msg/s under the four variability modes.  Expected shape: everything
+satisfies Ω̂ with no variability (brute force has the best Θ); once data
+and/or infrastructure variability is enabled, static relative throughput
+degrades — while the static fleets' cost (and hence Θ) stays flat —
+motivating continuous re-deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure4
+
+
+def test_bench_fig4_static_variability(benchmark, full_scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: figure4(fast=not full_scale), rounds=1, iterations=1
+    )
+    rendered = result.render()
+    print("\n" + rendered)
+    record_figure("fig4_static_variability", rendered)
+
+    by = {(r.variability, r.policy): r for r in result.sweep_rows}
+    policies = sorted({r.policy for r in result.sweep_rows})
+
+    # No variability: every static policy meets the constraint.
+    for policy in policies:
+        assert by[("none", policy)].constraint_met
+
+    # Brute force has the best Θ among constraint-satisfying policies.
+    assert by[("none", "static-bruteforce")].theta >= max(
+        by[("none", p)].theta for p in policies
+    ) - 1e-9
+
+    # Variability degrades Ω̄ for the heuristic static deployments.  (The
+    # brute force is sized *exactly* at Ω̂, so under data-only variability
+    # the per-interval cap at Ω = 1 in rate troughs can slightly raise its
+    # mean — a Jensen effect documented in EXPERIMENTS.md; infrastructure
+    # variability still degrades it.)
+    for policy in ("static-local", "static-global"):
+        assert by[("both", policy)].omega < by[("none", policy)].omega
+        assert by[("data", policy)].omega < by[("none", policy)].omega
+        assert by[("infra", policy)].omega < by[("none", policy)].omega
+    if "static-bruteforce" in policies:
+        assert (
+            by[("infra", "static-bruteforce")].omega
+            < by[("none", "static-bruteforce")].omega
+        )
+
+    # Θ is cost-flat for the heuristic static fleets (never re-deployed).
+    for policy in ("static-local", "static-global"):
+        assert by[("both", policy)].cost == pytest.approx(
+            by[("none", policy)].cost, rel=0.01
+        )

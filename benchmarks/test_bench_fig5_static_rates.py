@@ -1,0 +1,31 @@
+"""E4 / Figure 5: static deployments vs data rate (no variability).
+
+Sweeps the static local/global deployments over increasing constant
+rates.  Expected shape: relative throughput declines as the rate grows
+(the integer-core headroom that protects low-rate deployments shrinks),
+reinforcing the need for runtime adaptation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+
+
+def test_bench_fig5_static_rates(benchmark, full_scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: figure5(fast=not full_scale), rounds=1, iterations=1
+    )
+    rendered = result.render()
+    print("\n" + rendered)
+    record_figure("fig5_static_rates", rendered)
+
+    rates = sorted({r.rate for r in result.sweep_rows})
+    by = {(r.rate, r.policy): r.omega for r in result.sweep_rows}
+    for policy in ("static-local", "static-global"):
+        lowest, highest = by[(rates[0], policy)], by[(rates[-1], policy)]
+        assert highest <= lowest + 0.02, (
+            f"{policy}: Ω̄ should not improve with rate "
+            f"({lowest:.3f} @ {rates[0]} → {highest:.3f} @ {rates[-1]})"
+        )
+        # Everything still ≥ the floor the deployment was sized for.
+        assert highest >= 0.6

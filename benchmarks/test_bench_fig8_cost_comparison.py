@@ -1,0 +1,37 @@
+"""E7 / Figure 8: dollar cost over the period, by policy and rate.
+
+Runs the four adaptive policies (global, global-nodyn, local,
+local-nodyn) under combined data + infrastructure variability and
+reports the dollar spend.  Expected shape: enabling application dynamism
+never costs more; the no-dynamism twins pay more at every rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8
+
+
+@pytest.fixture(scope="module")
+def fig8_result(full_scale):
+    return figure8(fast=not full_scale)
+
+
+def test_bench_fig8_cost_comparison(benchmark, fig8_result, record_figure):
+    result = benchmark.pedantic(lambda: fig8_result, rounds=1, iterations=1)
+    rendered = result.render()
+    print("\n" + rendered)
+    record_figure("fig8_cost_comparison", rendered)
+
+    by = {(r.rate, r.policy): r for r in result.sweep_rows}
+    rates = sorted({r.rate for r in result.sweep_rows})
+    for rate in rates:
+        assert by[(rate, "global")].cost <= by[(rate, "global-nodyn")].cost + 1e-9
+        assert by[(rate, "local")].cost <= by[(rate, "local-nodyn")].cost + 1e-9
+    # Everyone still meets the throughput constraint while saving.
+    assert all(r.constraint_met for r in result.sweep_rows)
+    # Cost grows with rate for every policy.
+    for policy in ("global", "local"):
+        costs = [by[(r, policy)].cost for r in rates]
+        assert costs[-1] > costs[0]

@@ -1,0 +1,43 @@
+"""E8 / Figure 9: cost benefit of application dynamism.
+
+Derives the relative savings from the Fig. 8 sweep.  Expected shape
+(the paper's headline): the global heuristic with dynamism spends on
+average ~15% less than global without dynamism, and substantially less
+(up to ~70% at the paper's scale) than the local heuristic without
+dynamism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8, figure9
+
+
+@pytest.fixture(scope="module")
+def fig8_result(full_scale):
+    return figure8(fast=not full_scale)
+
+
+def test_bench_fig9_dynamism_benefit(benchmark, fig8_result, record_figure):
+    result = benchmark.pedantic(
+        lambda: figure9(fig8=fig8_result), rounds=1, iterations=1
+    )
+    rendered = result.render()
+    print("\n" + rendered)
+    record_figure("fig9_dynamism_benefit", rendered)
+
+    mean_row = result.rows[-1]
+    assert mean_row[0] == "mean"
+    global_vs_nodyn, local_vs_nodyn, global_vs_local_nodyn = (
+        mean_row[1],
+        mean_row[2],
+        mean_row[3],
+    )
+    # Dynamism saves money on average for both strategies.
+    assert global_vs_nodyn > 0.0
+    assert local_vs_nodyn >= 0.0
+    # Paper's headline: global's dynamism saving is in the ~15% regime.
+    assert 5.0 <= global_vs_nodyn <= 40.0
+    # And global-with-dynamism beats local-without-dynamism.
+    assert global_vs_local_nodyn > 0.0

@@ -1,0 +1,85 @@
+"""Behavioural bench: end-to-end latency vs load factor.
+
+The paper's introduction motivates adaptation with "the penalty of high
+processing latencies during the high data rate period".  This bench
+sweeps the offered load against a fixed deployment with the exact
+per-message engine and reports latency percentiles.  Expected: the
+classic queueing hockey stick — flat latency below saturation, explosive
+growth past it.
+"""
+
+from __future__ import annotations
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import LatencyTracker, PerMessageExecutor
+from repro.experiments import fig1_dataflow
+from repro.sim import Environment
+from repro.util import format_table
+from repro.workloads import ConstantRate
+
+#: Load factors relative to the deployment's saturation rate.
+LOADS = (0.3, 0.6, 0.9, 1.2)
+#: Deployment sized to sustain exactly this rate on the cheap alternates.
+SATURATION_RATE = 4.0
+HORIZON = 600.0
+
+
+def _run_once(load: float):
+    df = fig1_dataflow()
+    env = Environment()
+    provider = CloudProvider(
+        aws_2013_catalog(), performance=ConstantPerformance()
+    )
+    # Fixed fleet sized for SATURATION_RATE on the cheap alternates:
+    # E1 .5c → 1 core, E2 1.6c → 4 cores, E3 2.4c → 5, E4 (rate 1.5×) .8c → 3.
+    allocations = [
+        {"E1": 1, "E2": 3},
+        {"E2": 1, "E3": 3},
+        {"E3": 2, "E4": 2},
+        {"E4": 1},
+    ]
+    for alloc in allocations:
+        vm = provider.provision("m1.xlarge", now=0.0)
+        for pe, cores in alloc.items():
+            vm.allocate(pe, cores)
+    tracker = LatencyTracker()
+    executor = PerMessageExecutor(
+        env,
+        df,
+        provider,
+        {"E1": ConstantRate(load * SATURATION_RATE)},
+        selection=df.cheapest_selection(),
+        latency_tracker=tracker,
+    )
+    executor.start()
+    env.run(until=HORIZON)
+    stats = executor.roll_interval()
+    summary = tracker.summary()
+    return [
+        load,
+        stats.omega(df.outputs),
+        summary.p50,
+        summary.p95,
+        summary.max,
+    ]
+
+
+def _sweep():
+    return [_run_once(load) for load in LOADS]
+
+
+def test_bench_latency_profile(benchmark, record_figure):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rendered = format_table(
+        ["load", "Ω", "p50 s", "p95 s", "max s"],
+        rows,
+        title="End-to-end latency vs load factor (per-message engine)",
+    )
+    print("\n" + rendered)
+    record_figure("latency_profile", rendered)
+
+    p50s = {row[0]: row[2] for row in rows}
+    # Below saturation latency stays flat (within 3× of the lightest load).
+    assert p50s[0.6] < 3 * p50s[0.3]
+    # Past saturation it explodes.
+    assert p50s[1.2] > 10 * p50s[0.3]

@@ -1,0 +1,90 @@
+"""E9 / §8.1 scalability claim: "10's of alternates and 100's of VMs".
+
+The paper scales its small abstract dataflow "to 10's of alternates and
+100's of VMs ... that demonstrates scalability of the proposed
+heuristics".  This bench grows the diamond-chain dataflow (stages ×
+alternates) and the input rate, and reports the planning latency of the
+global deployment heuristic, the fleet size, and a managed-run wall
+time.  Expected: planning latency stays in the tens-of-milliseconds
+regime even at hundreds of cores — fast enough for 60 s decision
+intervals.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cloud import aws_2013_catalog
+from repro.core import DeploymentConfig, InitialDeployment
+from repro.experiments import Scenario, run_policy, scaled_dataflow
+from repro.util import format_table
+
+#: (stages, alternates per PE, input rate).
+GRID = (
+    (1, 2, 5.0),
+    (2, 3, 10.0),
+    (4, 3, 20.0),
+    (4, 5, 50.0),
+)
+
+
+def _plan_row(stages: int, alternates: int, rate: float):
+    df = scaled_dataflow(stages=stages, alternates=alternates)
+    dep = InitialDeployment(
+        df, aws_2013_catalog(), DeploymentConfig(strategy="global")
+    )
+    t0 = time.perf_counter()
+    plan = dep.plan({"in": rate})
+    latency_ms = (time.perf_counter() - t0) * 1e3
+    total_alts = sum(len(p) for p in df.pes)
+    cores = sum(vm.used_cores for vm in plan.cluster.vms)
+    return [
+        f"{stages}×{alternates}",
+        len(df),
+        total_alts,
+        rate,
+        len(plan.cluster.vms),
+        cores,
+        latency_ms,
+    ]
+
+
+def _sweep():
+    return [_plan_row(*cfg) for cfg in GRID]
+
+
+def test_bench_scalability_planning(benchmark, record_figure):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rendered = format_table(
+        ["graph", "PEs", "alternates", "rate", "VMs", "cores", "plan ms"],
+        rows,
+        title="Scalability: global deployment planning vs problem size",
+    )
+    print("\n" + rendered)
+    record_figure("scalability_planning", rendered)
+
+    biggest = rows[-1]
+    assert biggest[2] >= 40, "largest case must reach 10's of alternates"
+    assert biggest[5] >= 100, "largest case must reach 100's of cores"
+    # Decisions stay far under the 60 s interval (the paper's argument
+    # for heuristics over optimal solvers).
+    assert all(row[6] < 5_000 for row in rows)
+
+
+def test_bench_scalability_managed_run(benchmark):
+    """A full managed run on the big graph still executes quickly."""
+
+    def run():
+        return run_policy(
+            Scenario(
+                rate=20.0,
+                variability="both",
+                seed=5,
+                period=1800.0,
+                dataflow=scaled_dataflow(stages=3, alternates=3),
+            ),
+            "global",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.outcome.constraint_met

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Future-work demo: surviving VM crashes with runtime adaptation.
+
+The paper's conclusion proposes using dynamic tasks "to support enhanced
+fault tolerance and recovery mechanisms".  This example injects
+memoryless VM crashes (mean time between failures: 20 minutes) into a
+one-hour run and contrasts three policies:
+
+* ``static-local`` — never looks back: every crash permanently removes
+  capacity, and throughput collapses;
+* ``local`` / ``global`` — the monitor sees the missing capacity at the
+  next interval and the heuristics re-provision, at the price of the
+  replacement VMs' billed hours.
+
+Run:
+    python examples/failure_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro import Scenario, run_policy
+
+
+def main() -> None:
+    def scenario() -> Scenario:
+        return Scenario(
+            rate=10.0,
+            variability="none",   # isolate the failure effect
+            period=3600.0,
+            seed=3,
+            mtbf_hours=1.0 / 3.0,  # a crash every ~20 minutes per VM
+        )
+
+    print("injecting VM crashes (per-VM MTBF ≈ 20 min) into a 1 h run\n")
+    results = {}
+    for policy in ("static-local", "local", "global"):
+        results[policy] = run_policy(scenario(), policy)
+
+    print(f"{'policy':>14}  {'Ω̄':>6}  {'ok':>3}  {'cost $':>7}  "
+          f"{'crashes':>7}  {'msgs lost':>9}")
+    for policy, result in results.items():
+        o = result.outcome
+        lost = sum(n for _, _, n in result.crashes)
+        print(
+            f"{policy:>14}  {o.mean_throughput:6.3f}  "
+            f"{'✓' if o.constraint_met else '✗':>3}  {o.total_cost:7.2f}  "
+            f"{len(result.crashes):7d}  {lost:9.0f}"
+        )
+
+    print()
+    adaptive = results["global"]
+    if adaptive.crashes:
+        t, vm, lost = adaptive.crashes[0]
+        print(
+            f"first crash under 'global': {vm} at t={t / 60:.1f} min "
+            f"({lost:.0f} queued messages destroyed) — the next interval's "
+            f"snapshot showed the missing capacity and the heuristic "
+            f"re-provisioned."
+        )
+    static = results["static-local"].outcome
+    print(
+        f"the static deployment ends the hour at Ω̄={static.mean_throughput:.2f} "
+        f"with no way back; recovery is exactly what the runtime loop buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Domain example: smart-grid demand forecasting over smart-meter streams.
+
+The authors' group built continuous dataflows for the USC campus
+micro-grid: smart meters emit readings whose rate drifts with building
+occupancy (a random walk), the pipeline cleans and aggregates them, and
+a forecasting stage exists in two fidelities (a full regression-tree
+ensemble vs. an exponential-smoothing fallback).
+
+This example demonstrates interval-level introspection: it prints a
+timeline of Ω(t), the active forecaster, and the fleet burn rate, showing
+how the local heuristic rides the load walk.
+
+Run:
+    python examples/smartgrid_forecasting.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Alternate,
+    DynamicDataflow,
+    ProcessingElement,
+    Scenario,
+    run_policy,
+)
+
+
+def build_pipeline() -> DynamicDataflow:
+    ingest = ProcessingElement(
+        "ingest", [Alternate("ingest", value=1.0, cost=0.3)]
+    )
+    clean = ProcessingElement(
+        "clean", [Alternate("clean", value=1.0, cost=0.6)]
+    )
+    aggregate = ProcessingElement(
+        # 15-minute building-level roll-ups: 100 readings → 1 aggregate.
+        "aggregate", [Alternate("aggregate", value=1.0, cost=0.5, selectivity=0.2)]
+    )
+    forecast = ProcessingElement(
+        "forecast",
+        [
+            Alternate("ensemble", value=1.0, cost=4.0),
+            Alternate("smoothing", value=0.8, cost=1.5),
+        ],
+    )
+    alert = ProcessingElement(
+        "alert", [Alternate("alert", value=1.0, cost=0.2)]
+    )
+    return DynamicDataflow(
+        [ingest, clean, aggregate, forecast, alert],
+        [
+            ("ingest", "clean"),
+            ("clean", "aggregate"),
+            ("aggregate", "forecast"),
+            ("forecast", "alert"),
+        ],
+    )
+
+
+def main() -> None:
+    scenario = Scenario(
+        rate=20.0,           # mean smart-meter readings per second
+        rate_kind="walk",    # occupancy-driven random walk
+        variability="infra",
+        seed=7,
+        period=3600.0,
+        interval=120.0,      # decide every 2 simulated minutes
+        dataflow=build_pipeline(),
+    )
+
+    result = run_policy(scenario, "local")
+
+    print("interval timeline (local heuristic, 20 msg/s random walk):")
+    print(f"{'t (min)':>8}  {'Ω(t)':>6}  {'Γ(t)':>6}  {'μ[t] $':>7}")
+    for m in result.timeline:
+        print(
+            f"{m.t / 60:8.0f}  {m.throughput:6.3f}  {m.value:6.3f}  "
+            f"{m.cumulative_cost:7.2f}"
+        )
+
+    o = result.outcome
+    print()
+    print(f"summary: {result.summary()}")
+    print(f"final forecaster: {result.final_selection['forecast']}")
+    print(f"VMs provisioned over the hour: {result.vms_provisioned} "
+          f"(peak {result.vms_peak})")
+    assert o.constraint_met, "the local heuristic should hold Ω̂ here"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""repro — dynamic dataflows on elastic clouds.
+
+A from-scratch reproduction of *"Exploiting Application Dynamism and
+Cloud Elasticity for Continuous Dataflows"* (Kumbhare, Simmhan, Prasanna;
+SC 2013): continuous dataflow graphs whose tasks carry alternate
+implementations, deployed on a simulated IaaS cloud with performance
+variability, and optimized online by the paper's local and global
+deployment/adaptation heuristics.
+
+Quickstart
+----------
+>>> from repro import Scenario, run_policy
+>>> result = run_policy(Scenario(rate=5.0, variability="both",
+...                              period=1800.0), "global")
+>>> result.outcome.constraint_met
+True
+
+Package layout (see DESIGN.md):
+
+``repro.sim``
+    Discrete-event simulation kernel (SimPy-style, dependency-free).
+``repro.dataflow``
+    PEs, alternates, the dataflow DAG, QoS metrics Γ and Ω.
+``repro.cloud``
+    VM classes/instances, hour billing, variability traces, provider.
+``repro.workloads``
+    Data-rate profiles and message sources.
+``repro.engine``
+    Fluid-flow execution engine, monitor, reconciler, run manager.
+``repro.core``
+    The paper's contribution: objective Θ, bin packing, Alg. 1/Alg. 2
+    heuristics, brute-force baseline, policy registry.
+``repro.experiments``
+    Scenario catalog and per-figure reproduction drivers.
+"""
+
+from .cloud import (
+    CloudProvider,
+    FailureModel,
+    TraceLibrary,
+    TraceReplayPerformance,
+    VMClass,
+    VMInstance,
+    aws_2013_catalog,
+)
+from .core import (
+    POLICY_NAMES,
+    DynamicPathSet,
+    PathSelector,
+    PathVariant,
+    AdaptationConfig,
+    BruteForceDeployment,
+    DeploymentConfig,
+    DeploymentPlan,
+    EvaluationOutcome,
+    InitialDeployment,
+    ObjectiveSpec,
+    Policy,
+    RuntimeAdaptation,
+    make_policy,
+    sigma_from_expectations,
+)
+from .dataflow import (
+    Alternate,
+    DynamicDataflow,
+    Edge,
+    MetricsTimeline,
+    ProcessingElement,
+    pe,
+)
+from .engine import RunManager, RunResult
+from .experiments import (
+    Scenario,
+    fig1_dataflow,
+    run_policy,
+    scaled_dataflow,
+    standard_spec,
+)
+from .workloads import BurstRate, ConstantRate, PeriodicWave, RandomWalkRate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "POLICY_NAMES",
+    "AdaptationConfig",
+    "Alternate",
+    "BruteForceDeployment",
+    "BurstRate",
+    "CloudProvider",
+    "DynamicPathSet",
+    "FailureModel",
+    "ConstantRate",
+    "DeploymentConfig",
+    "DeploymentPlan",
+    "DynamicDataflow",
+    "Edge",
+    "EvaluationOutcome",
+    "InitialDeployment",
+    "MetricsTimeline",
+    "ObjectiveSpec",
+    "PathSelector",
+    "PathVariant",
+    "PeriodicWave",
+    "Policy",
+    "ProcessingElement",
+    "RandomWalkRate",
+    "RunManager",
+    "RunResult",
+    "RuntimeAdaptation",
+    "Scenario",
+    "TraceLibrary",
+    "TraceReplayPerformance",
+    "VMClass",
+    "VMInstance",
+    "aws_2013_catalog",
+    "fig1_dataflow",
+    "make_policy",
+    "pe",
+    "run_policy",
+    "scaled_dataflow",
+    "sigma_from_expectations",
+    "standard_spec",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute one policy on one scenario and print the outcome.
+``compare``
+    Race several policies on the same scenario.
+``figures``
+    Regenerate the paper's evaluation figures (Figs. 2–9).
+``policies``
+    List the available scheduling policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.policies import POLICY_NAMES
+from .experiments.figures import ALL_FIGURES
+from .experiments.scenarios import Scenario, run_policy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dynamic dataflows on elastic clouds — reproduction of "
+            "Kumbhare et al., SC'13"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--rate", type=float, default=5.0,
+                       help="mean input rate in msg/s (default 5)")
+        p.add_argument("--rate-kind", choices=("constant", "wave", "walk"),
+                       default="constant", help="rate profile shape")
+        p.add_argument("--variability",
+                       choices=("none", "data", "infra", "both"),
+                       default="none", help="variability mode")
+        p.add_argument("--period", type=float, default=3600.0,
+                       help="optimization period in seconds (default 3600)")
+        p.add_argument("--interval", type=float, default=60.0,
+                       help="decision interval in seconds (default 60)")
+        p.add_argument("--seed", type=int, default=0, help="experiment seed")
+
+    run_p = sub.add_parser("run", help="run one policy on one scenario")
+    run_p.add_argument("policy", choices=POLICY_NAMES)
+    add_scenario_args(run_p)
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the per-interval metrics")
+
+    cmp_p = sub.add_parser("compare", help="race several policies")
+    cmp_p.add_argument("policies", nargs="+", choices=POLICY_NAMES)
+    add_scenario_args(cmp_p)
+
+    fig_p = sub.add_parser("figures", help="regenerate evaluation figures")
+    fig_p.add_argument(
+        "which", nargs="*", default=[],
+        help=f"figure ids, e.g. fig4 fig8 (default all: {sorted(ALL_FIGURES)})",
+    )
+    fig_p.add_argument("--full", action="store_true",
+                       help="paper-scale configuration (slow)")
+
+    sub.add_parser("policies", help="list available policies")
+    return parser
+
+
+def _scenario_from(args: argparse.Namespace) -> Scenario:
+    return Scenario(
+        rate=args.rate,
+        rate_kind=args.rate_kind,
+        variability=args.variability,
+        seed=args.seed,
+        period=args.period,
+        interval=args.interval,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_policy(_scenario_from(args), args.policy)
+    print(result.summary())
+    print(
+        f"VMs provisioned={result.vms_provisioned} peak={result.vms_peak} "
+        f"adaptations={result.adaptations}"
+    )
+    print(f"final selection: {result.final_selection}")
+    if args.timeline:
+        print(f"\n{'t (min)':>8}  {'Ω(t)':>6}  {'Γ(t)':>6}  {'μ[t] $':>8}")
+        for m in result.timeline:
+            print(
+                f"{m.t / 60:8.1f}  {m.throughput:6.3f}  {m.value:6.3f}  "
+                f"{m.cumulative_cost:8.2f}"
+            )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    print(
+        f"{'policy':>18}  {'Θ':>8}  {'Γ̄':>6}  {'Ω̄':>6}  {'ok':>3}  "
+        f"{'cost $':>8}  {'peak VMs':>8}"
+    )
+    for name in args.policies:
+        result = run_policy(scenario, name)
+        o = result.outcome
+        print(
+            f"{name:>18}  {o.theta:+8.4f}  {o.mean_value:6.3f}  "
+            f"{o.mean_throughput:6.3f}  {'✓' if o.constraint_met else '✗':>3}  "
+            f"{o.total_cost:8.2f}  {result.vms_peak:8d}"
+        )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    which = args.which or sorted(ALL_FIGURES)
+    unknown = [w for w in which if w not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; known: {sorted(ALL_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    for name in which:
+        result = ALL_FIGURES[name](fast=not args.full)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for name in POLICY_NAMES:
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figures": _cmd_figures,
+        "policies": _cmd_policies,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""IaaS cloud infrastructure model (S3 + S4).
+
+VM classes and instances, hour-boundary billing, the elastic provider
+façade, and the performance-variability trace substrate (synthetic
+FutureGrid-like generation plus replay).
+"""
+
+from .failures import FailureModel
+from .billing import HOUR, BillingMeter, instance_cost, total_cost
+from .network import LinkQuality, NetworkModel, migration_time
+from .provider import CloudProvider, ProvisioningError
+from .resources import STANDARD_CORE_SPEED, VMClass, VMInstance, aws_2013_catalog
+from .traces import (
+    CPUTraceConfig,
+    NetworkTraceConfig,
+    TraceLibrary,
+    TraceReplayPerformance,
+    load_trace_library,
+    trace_statistics,
+)
+from .variability import ConstantPerformance, PerformanceModel
+
+__all__ = [
+    "HOUR",
+    "FailureModel",
+    "STANDARD_CORE_SPEED",
+    "BillingMeter",
+    "CPUTraceConfig",
+    "CloudProvider",
+    "ConstantPerformance",
+    "LinkQuality",
+    "NetworkModel",
+    "NetworkTraceConfig",
+    "PerformanceModel",
+    "ProvisioningError",
+    "TraceLibrary",
+    "TraceReplayPerformance",
+    "VMClass",
+    "VMInstance",
+    "aws_2013_catalog",
+    "instance_cost",
+    "load_trace_library",
+    "migration_time",
+    "total_cost",
+    "trace_statistics",
+]

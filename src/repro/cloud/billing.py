@@ -1,0 +1,94 @@
+"""Hour-boundary billing (paper §4).
+
+The paper follows the classic IaaS costing model: "usage of a VM instance
+is rounded up to the nearest hourly boundary and the user is charged for
+the entire hour even if it is shut down before the hour ends."  The
+accumulated cost of instance ``r_i`` at time ``t`` is
+
+``μ_i[t] = ⌈(min(t_off, t) − t_start) / 3600⌉ · ξ_i``
+
+with the convention that an instance that has just started (zero elapsed
+time) is already liable for its first hour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .resources import VMInstance
+
+__all__ = ["HOUR", "instance_cost", "total_cost", "BillingMeter"]
+
+#: Seconds per billing hour.
+HOUR = 3600.0
+
+
+def billed_hours(elapsed: float) -> int:
+    """Hours billed for ``elapsed`` seconds of usage (rounded up, min 1)."""
+    if elapsed < 0:
+        raise ValueError(f"negative elapsed time {elapsed}")
+    return max(1, math.ceil(elapsed / HOUR - 1e-9))
+
+
+def instance_cost(instance: VMInstance, at: float) -> float:
+    """Accumulated dollar cost of one instance at time ``at``.
+
+    Instances not yet started cost nothing; running or stopped instances
+    pay for every started hour of their activity window.
+    """
+    if at < instance.started_at:
+        return 0.0
+    elapsed = min(instance.stopped_at, at) - instance.started_at
+    return billed_hours(elapsed) * instance.vm_class.hourly_price
+
+
+def total_cost(instances: Iterable[VMInstance], at: float) -> float:
+    """μ[t]: accumulated cost of every instance ever started."""
+    return sum(instance_cost(r, at) for r in instances)
+
+
+def remaining_paid_seconds(instance: VMInstance, at: float) -> float:
+    """Seconds of already-paid-for time left in the current billing hour.
+
+    Runtime heuristics use this to prefer *keeping* an under-utilized VM
+    until its paid hour runs out rather than stopping it early (stopping
+    saves nothing within a paid hour).
+    """
+    if not instance.active or at < instance.started_at:
+        return 0.0
+    elapsed = at - instance.started_at
+    hours = billed_hours(elapsed) if elapsed > 0 else 1
+    return hours * HOUR - elapsed
+
+
+class BillingMeter:
+    """Tracks the fleet-wide cost over time.
+
+    A thin aggregation layer so the engine and the experiment reporting
+    share one source of truth for μ(t).
+    """
+
+    def __init__(self) -> None:
+        self._instances: list[VMInstance] = []
+
+    def register(self, instance: VMInstance) -> None:
+        """Start metering a newly provisioned instance."""
+        self._instances.append(instance)
+
+    @property
+    def instances(self) -> tuple[VMInstance, ...]:
+        """Every instance ever registered (active and stopped)."""
+        return tuple(self._instances)
+
+    def cost_at(self, at: float) -> float:
+        """Cumulative dollar cost μ[t]."""
+        return total_cost(self._instances, at)
+
+    def active_hourly_rate(self, at: float) -> float:
+        """Sum of hourly prices of instances active at ``at`` (burn rate)."""
+        return sum(
+            r.vm_class.hourly_price
+            for r in self._instances
+            if r.started_at <= at < r.stopped_at
+        )

@@ -1,0 +1,100 @@
+"""VM failure model (paper §9 future work: fault tolerance).
+
+The paper's conclusion proposes investigating "the application of
+dynamic tasks to support enhanced fault tolerance and recovery
+mechanisms in continuous dataflow".  This module provides the substrate:
+a deterministic per-VM failure process with exponential inter-arrival
+times (memoryless crashes, the standard cloud assumption).
+
+Failure times are derived from the VM's trace key and a seed, so a given
+instance fails at the same simulated times in every run regardless of
+what else happens — keeping failure experiments bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.rng import RandomStreams
+from .resources import VMInstance
+
+__all__ = ["FailureModel"]
+
+
+class FailureModel:
+    """Memoryless per-VM crash process.
+
+    Parameters
+    ----------
+    mtbf_hours:
+        Mean time between failures per VM, in hours.  ``None`` disables
+        failures entirely.
+    seed:
+        Determinism root.
+    max_failures_per_vm:
+        Safety cap on precomputed failure times per instance.
+    """
+
+    def __init__(
+        self,
+        mtbf_hours: Optional[float],
+        seed: int = 0,
+        max_failures_per_vm: int = 64,
+    ) -> None:
+        if mtbf_hours is not None and mtbf_hours <= 0:
+            raise ValueError("mtbf_hours must be positive (or None)")
+        if max_failures_per_vm < 1:
+            raise ValueError("max_failures_per_vm must be ≥ 1")
+        self.mtbf_hours = mtbf_hours
+        self._streams = RandomStreams(seed)
+        self._max = max_failures_per_vm
+        self._schedules: dict[str, tuple[float, ...]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.mtbf_hours is not None
+
+    def _schedule_for(self, trace_key: str) -> tuple[float, ...]:
+        """Failure *ages* (seconds since boot) for one VM, ascending."""
+        sched = self._schedules.get(trace_key)
+        if sched is None:
+            if not self.enabled:
+                sched = ()
+            else:
+                rng = self._streams.get("failures", trace_key)
+                gaps = rng.exponential(
+                    self.mtbf_hours * 3600.0, size=self._max
+                )
+                ages = []
+                acc = 0.0
+                for g in gaps:
+                    acc += float(g)
+                    ages.append(acc)
+                sched = tuple(ages)
+            self._schedules[trace_key] = sched
+        return sched
+
+    def next_failure(self, instance: VMInstance, now: float) -> Optional[float]:
+        """Absolute time of the instance's next crash after ``now``.
+
+        Returns ``None`` when failures are disabled or the cap on
+        precomputed failures is exhausted.
+        """
+        if not self.enabled:
+            return None
+        age_now = max(0.0, now - instance.started_at)
+        for age in self._schedule_for(instance.trace_key):
+            if age > age_now:
+                return instance.started_at + age
+        return None
+
+    def fails_within(
+        self, instance: VMInstance, t0: float, t1: float
+    ) -> Optional[float]:
+        """First crash time in ``(t0, t1]``, or ``None``."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        nxt = self.next_failure(instance, t0)
+        if nxt is not None and nxt <= t1:
+            return nxt
+        return None

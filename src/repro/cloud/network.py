@@ -1,0 +1,81 @@
+"""Network transfer model between VM instances (paper §4–5).
+
+Message flows between PEs placed on different VMs pay network costs:
+latency per message and a bandwidth ceiling on the sustained rate.
+Colocated PEs communicate in memory (λ → 0, β → ∞).  Releasing a VM
+migrates its buffered messages to the remaining VMs hosting the PE "with
+network cost paid for the transfer" — :func:`migration_time` prices that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import VMInstance
+from .variability import PerformanceModel
+
+__all__ = ["NetworkModel", "LinkQuality", "migration_time"]
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Snapshot of one VM-pair link at a point in time."""
+
+    latency_s: float
+    bandwidth_mbps: float
+
+    @property
+    def colocated(self) -> bool:
+        return self.bandwidth_mbps == float("inf")
+
+    def message_rate_limit(self, message_size_mb: float) -> float:
+        """Max messages/second the link sustains for a given message size."""
+        if message_size_mb <= 0:
+            raise ValueError("message size must be positive")
+        if self.colocated:
+            return float("inf")
+        return self.bandwidth_mbps / (message_size_mb * 8.0)
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` megabytes across the link."""
+        if size_mb < 0:
+            raise ValueError("size must be non-negative")
+        if self.colocated or size_mb == 0:
+            return 0.0
+        return self.latency_s + (size_mb * 8.0) / self.bandwidth_mbps
+
+
+class NetworkModel:
+    """Pairwise link qualities for the active VM fleet.
+
+    Wraps a :class:`~repro.cloud.variability.PerformanceModel`, applying
+    the per-class rated bandwidth as a ceiling: a link can never be faster
+    than the slower endpoint's rated NIC.
+    """
+
+    def __init__(self, performance: PerformanceModel) -> None:
+        self.performance = performance
+
+    def link(self, a: VMInstance, b: VMInstance, t: float) -> LinkQuality:
+        """Current quality of the link between instances ``a`` and ``b``."""
+        if a.instance_id == b.instance_id:
+            return LinkQuality(latency_s=0.0, bandwidth_mbps=float("inf"))
+        latency = self.performance.latency_s(a.trace_key, b.trace_key, t)
+        measured = self.performance.bandwidth_mbps(a.trace_key, b.trace_key, t)
+        rated = min(a.vm_class.bandwidth_mbps, b.vm_class.bandwidth_mbps)
+        return LinkQuality(latency_s=latency, bandwidth_mbps=min(measured, rated))
+
+
+def migration_time(
+    link: LinkQuality, n_messages: int, message_size_mb: float
+) -> float:
+    """Seconds to migrate ``n_messages`` buffered messages over ``link``.
+
+    Used when a VM hosting part of a PE is released and its pending input
+    buffer moves to the remaining VMs of that PE.
+    """
+    if n_messages < 0:
+        raise ValueError("message count must be non-negative")
+    if n_messages == 0:
+        return 0.0
+    return link.transfer_time(n_messages * message_size_mb)

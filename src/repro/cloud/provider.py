@@ -1,0 +1,213 @@
+"""Elastic IaaS provider façade (paper §4–5).
+
+The :class:`CloudProvider` is the single point through which schedulers
+acquire and release VM instances.  It owns the fleet, the billing meter,
+the performance model, and the network model, and exposes the monitored
+quantities the heuristics are allowed to see (current CPU coefficients and
+link qualities — never the underlying trace arrays).
+
+Provisioning supports an optional startup delay, modelling the VM boot
+latency clouds exhibit; during startup a VM is visible but not yet usable
+(``ready_at > now``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Sequence
+
+from .billing import BillingMeter, remaining_paid_seconds
+from .network import LinkQuality, NetworkModel
+from .resources import VMClass, VMInstance
+from .variability import ConstantPerformance, PerformanceModel
+
+__all__ = ["CloudProvider", "ProvisioningError"]
+
+
+class ProvisioningError(RuntimeError):
+    """Raised when a provisioning request cannot be satisfied."""
+
+
+class CloudProvider:
+    """Owns the elastic VM fleet of one simulated cloud deployment.
+
+    Parameters
+    ----------
+    catalog:
+        Available VM resource classes.
+    performance:
+        The performance-variability model (default: constant/ideal).
+    startup_delay:
+        Either a constant number of seconds or a callable ``f(vm_class) →
+        seconds`` giving the boot latency of new instances (default 0).
+    max_instances:
+        Safety cap on concurrently active VMs (default 1024) so runaway
+        schedulers fail loudly instead of consuming unbounded memory.
+    """
+
+    def __init__(
+        self,
+        catalog: Sequence[VMClass],
+        performance: Optional[PerformanceModel] = None,
+        startup_delay: float | Callable[[VMClass], float] = 0.0,
+        max_instances: int = 1024,
+    ) -> None:
+        if not catalog:
+            raise ValueError("catalog must not be empty")
+        names = [c.name for c in catalog]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate VM class names: {names}")
+        self._catalog = tuple(sorted(catalog))
+        self._by_name = {c.name: c for c in self._catalog}
+        self.performance: PerformanceModel = performance or ConstantPerformance()
+        self.network = NetworkModel(self.performance)
+        self.billing = BillingMeter()
+        self._startup_delay = startup_delay
+        self._max_instances = max_instances
+        self._fleet: dict[str, VMInstance] = {}
+        self._ready_at: dict[str, float] = {}
+        self._failed_ids: set[str] = set()
+        self._counter = itertools.count()
+
+    # -- catalog -----------------------------------------------------------------
+
+    @property
+    def catalog(self) -> tuple[VMClass, ...]:
+        """Classes sorted ascending by total rated capacity."""
+        return self._catalog
+
+    @property
+    def largest_class(self) -> VMClass:
+        return self._catalog[-1]
+
+    @property
+    def smallest_class(self) -> VMClass:
+        return self._catalog[0]
+
+    def vm_class(self, name: str) -> VMClass:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown VM class {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
+    def classes_at_least(self, capacity: float) -> list[VMClass]:
+        """Classes whose rated total capacity is ≥ ``capacity``, ascending —
+        the candidates for a best-fit repack."""
+        return [c for c in self._catalog if c.total_capacity >= capacity - 1e-12]
+
+    # -- fleet lifecycle -----------------------------------------------------------
+
+    def provision(self, vm_class: VMClass | str, now: float) -> VMInstance:
+        """Acquire a new instance of ``vm_class`` at time ``now``.
+
+        Billing starts immediately (clouds charge from launch); the
+        instance becomes usable at :meth:`ready_at`.
+        """
+        if isinstance(vm_class, str):
+            vm_class = self.vm_class(vm_class)
+        elif vm_class.name not in self._by_name:
+            raise ProvisioningError(f"class {vm_class.name!r} not in catalog")
+        if len(self.active_instances()) >= self._max_instances:
+            raise ProvisioningError(
+                f"active-instance cap ({self._max_instances}) reached"
+            )
+        instance = VMInstance(
+            vm_class,
+            started_at=now,
+            instance_id=f"{vm_class.name}-{next(self._counter)}",
+        )
+        delay = (
+            self._startup_delay(vm_class)
+            if callable(self._startup_delay)
+            else float(self._startup_delay)
+        )
+        if delay < 0:
+            raise ProvisioningError(f"negative startup delay {delay}")
+        self._fleet[instance.instance_id] = instance
+        self._ready_at[instance.instance_id] = now + delay
+        self.billing.register(instance)
+        return instance
+
+    def terminate(self, instance: VMInstance, now: float) -> None:
+        """Stop an instance.  Its cores must have been released first."""
+        if instance.instance_id not in self._fleet:
+            raise ProvisioningError(f"unknown instance {instance.instance_id!r}")
+        if instance.used_cores:
+            raise ProvisioningError(
+                f"{instance.instance_id} still hosts PEs "
+                f"{sorted(instance.allocations)}; release cores before terminate"
+            )
+        instance.stop(now)
+
+    def fail(self, instance: VMInstance, now: float) -> dict[str, int]:
+        """Crash an instance: allocations are forcibly released.
+
+        Unlike :meth:`terminate`, a crash may happen while PEs are hosted;
+        the cores simply vanish.  Billing still rounds up to the started
+        hour (clouds charge for crashed instances' elapsed time).  Returns
+        the allocations that were lost.
+        """
+        if instance.instance_id not in self._fleet:
+            raise ProvisioningError(f"unknown instance {instance.instance_id!r}")
+        lost = instance.release_all()
+        instance.stop(now)
+        self._failed_ids.add(instance.instance_id)
+        return lost
+
+    def failed_instances(self) -> list[VMInstance]:
+        """Instances that ended by crashing (subset of stopped)."""
+        return [
+            self._fleet[i] for i in sorted(self._failed_ids) if i in self._fleet
+        ]
+
+    def instance(self, instance_id: str) -> VMInstance:
+        try:
+            return self._fleet[instance_id]
+        except KeyError:
+            raise KeyError(f"unknown instance {instance_id!r}") from None
+
+    def all_instances(self) -> list[VMInstance]:
+        """Every instance ever provisioned, including stopped ones."""
+        return list(self._fleet.values())
+
+    def active_instances(self) -> list[VMInstance]:
+        """Instances currently running (may still be booting)."""
+        return [r for r in self._fleet.values() if r.active]
+
+    def ready_instances(self, now: float) -> list[VMInstance]:
+        """Active instances whose startup delay has elapsed."""
+        return [
+            r
+            for r in self._fleet.values()
+            if r.active and self._ready_at[r.instance_id] <= now
+        ]
+
+    def ready_at(self, instance: VMInstance) -> float:
+        """Time at which the instance is/was usable."""
+        return self._ready_at[instance.instance_id]
+
+    # -- monitored quantities ----------------------------------------------------------
+
+    def cpu_coefficient(self, instance: VMInstance, now: float) -> float:
+        """Monitored normalized-performance multiplier of one VM."""
+        return self.performance.cpu_coefficient(instance.trace_key, now)
+
+    def effective_core_speed(self, instance: VMInstance, now: float) -> float:
+        """Current per-core speed: rated π × monitored coefficient."""
+        return instance.vm_class.core_speed * self.cpu_coefficient(instance, now)
+
+    def link(self, a: VMInstance, b: VMInstance, now: float) -> LinkQuality:
+        """Monitored link quality between two instances."""
+        return self.network.link(a, b, now)
+
+    # -- cost ---------------------------------------------------------------------------
+
+    def cost_at(self, now: float) -> float:
+        """Cumulative dollar cost μ[t] of the whole fleet."""
+        return self.billing.cost_at(now)
+
+    def paid_seconds_remaining(self, instance: VMInstance, now: float) -> float:
+        """Seconds left in the instance's already-billed hour."""
+        return remaining_paid_seconds(instance, now)

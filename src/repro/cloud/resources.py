@@ -1,0 +1,241 @@
+"""Virtual machine resource classes and instances (paper §4).
+
+The cloud offers a set of VM resource classes ``C = {C_1, …, C_n}``
+differing in core count ``N``, rated normalized core speed ``π`` (relative
+to a *standard* core), rated network bandwidth ``β``, and hourly price
+``ξ``.  A :class:`VMInstance` is a concrete, billable machine of one class
+whose CPU cores are allocated to PE instances one core at a time.
+
+An embedded catalog mirrors the 2013 Amazon EC2 first-generation on-demand
+types the paper says it uses ("the same virtual machine instance types as
+provided by the AWS cloud provider with similar performance ratings and
+on-demand pricing per hour").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["VMClass", "VMInstance", "aws_2013_catalog", "STANDARD_CORE_SPEED"]
+
+#: Normalized processing power of the "standard" reference core (π = 1).
+STANDARD_CORE_SPEED = 1.0
+
+
+@dataclass(frozen=True, order=True)
+class VMClass:
+    """An IaaS resource class (immutable).
+
+    Ordering sorts by total rated capacity (``cores × core_speed``) so the
+    "largest resource class" in the bin-packing heuristics is simply
+    ``max(catalog)``.
+
+    Parameters
+    ----------
+    name:
+        Provider identifier, e.g. ``"m1.large"``.
+    cores:
+        Number of dedicated CPU cores.
+    core_speed:
+        Rated normalized processing power π per core (ECU-per-core / ECU of
+        the standard core).
+    bandwidth_mbps:
+        Rated network bandwidth in megabits/second.
+    hourly_price:
+        On-demand dollar price ξ per (started) hour.
+    """
+
+    # order key first: total capacity, then name to break ties.
+    sort_key: float = field(init=False, repr=False, compare=True)
+    name: str = field(compare=False, default="")
+    cores: int = field(compare=False, default=1)
+    core_speed: float = field(compare=False, default=1.0)
+    bandwidth_mbps: float = field(compare=False, default=100.0)
+    hourly_price: float = field(compare=False, default=0.1)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("VM class name must be non-empty")
+        if self.cores < 1:
+            raise ValueError(f"{self.name}: cores must be ≥ 1")
+        if self.core_speed <= 0:
+            raise ValueError(f"{self.name}: core_speed must be > 0")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be > 0")
+        if self.hourly_price < 0:
+            raise ValueError(f"{self.name}: price must be ≥ 0")
+        object.__setattr__(self, "sort_key", self.total_capacity)
+
+    @property
+    def total_capacity(self) -> float:
+        """Rated core-seconds of standard work per second (cores × π)."""
+        return self.cores * self.core_speed
+
+    @property
+    def price_per_capacity(self) -> float:
+        """Dollar per hour per unit of rated capacity (cost efficiency)."""
+        return self.hourly_price / self.total_capacity
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}({self.cores}×{self.core_speed:.2f}π, "
+            f"${self.hourly_price}/h)"
+        )
+
+
+def aws_2013_catalog() -> list[VMClass]:
+    """The first-generation EC2 on-demand catalog used in the paper's era.
+
+    Core speeds are ECU-per-core normalized so one m1.small core (1 ECU) is
+    the *standard* core; prices are the 2013 us-east-1 Linux on-demand
+    rates.  Returned sorted ascending by total capacity.
+    """
+    return sorted(
+        [
+            VMClass(
+                name="m1.small",
+                cores=1,
+                core_speed=1.0,
+                bandwidth_mbps=100.0,
+                hourly_price=0.06,
+            ),
+            VMClass(
+                name="m1.medium",
+                cores=1,
+                core_speed=2.0,
+                bandwidth_mbps=100.0,
+                hourly_price=0.12,
+            ),
+            VMClass(
+                name="m1.large",
+                cores=2,
+                core_speed=2.0,
+                bandwidth_mbps=100.0,
+                hourly_price=0.24,
+            ),
+            VMClass(
+                name="m1.xlarge",
+                cores=4,
+                core_speed=2.0,
+                bandwidth_mbps=100.0,
+                hourly_price=0.48,
+            ),
+        ]
+    )
+
+
+class VMInstance:
+    """A concrete VM: the tuple ``r = (C, t_start, t_off)`` plus core state.
+
+    Cores are allocated to PEs by name; a core is either free or dedicated
+    to exactly one PE instance (the paper isolates PE instances on separate
+    cores).  Instances are created by the
+    :class:`~repro.cloud.provider.CloudProvider`, not directly.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        vm_class: VMClass,
+        started_at: float,
+        instance_id: Optional[str] = None,
+        trace_key: Optional[str] = None,
+    ) -> None:
+        self.vm_class = vm_class
+        self.started_at = float(started_at)
+        self.stopped_at: float = float("inf")
+        self.instance_id = instance_id or f"vm-{next(self._ids)}"
+        #: Key selecting which variability trace stream this VM replays.
+        self.trace_key = trace_key or self.instance_id
+        #: Core allocations: PE name → number of cores held on this VM.
+        self._allocations: dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True until the instance is turned off."""
+        return self.stopped_at == float("inf")
+
+    def stop(self, at: float) -> None:
+        """Mark the instance as turned off at time ``at``."""
+        if not self.active:
+            raise ValueError(f"{self.instance_id} already stopped")
+        if at < self.started_at:
+            raise ValueError("cannot stop before start")
+        self.stopped_at = float(at)
+
+    # -- core management ---------------------------------------------------------
+
+    @property
+    def cores(self) -> int:
+        return self.vm_class.cores
+
+    @property
+    def used_cores(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.used_cores
+
+    @property
+    def allocations(self) -> dict[str, int]:
+        """Copy of the PE → cores mapping."""
+        return dict(self._allocations)
+
+    @property
+    def hosted_pes(self) -> tuple[str, ...]:
+        return tuple(self._allocations)
+
+    def cores_for(self, pe_name: str) -> int:
+        return self._allocations.get(pe_name, 0)
+
+    def allocate(self, pe_name: str, cores: int = 1) -> None:
+        """Give ``cores`` additional cores to ``pe_name``.
+
+        Raises
+        ------
+        ValueError
+            If insufficient free cores remain or the VM is stopped.
+        """
+        if cores < 1:
+            raise ValueError("must allocate at least one core")
+        if not self.active:
+            raise ValueError(f"{self.instance_id} is stopped")
+        if cores > self.free_cores:
+            raise ValueError(
+                f"{self.instance_id}: requested {cores} cores but only "
+                f"{self.free_cores} free"
+            )
+        self._allocations[pe_name] = self._allocations.get(pe_name, 0) + cores
+
+    def release(self, pe_name: str, cores: Optional[int] = None) -> int:
+        """Release ``cores`` (default: all) held by ``pe_name``.
+
+        Returns the number of cores actually released.
+        """
+        held = self._allocations.get(pe_name, 0)
+        if held == 0:
+            return 0
+        n = held if cores is None else min(cores, held)
+        if n < held:
+            self._allocations[pe_name] = held - n
+        else:
+            del self._allocations[pe_name]
+        return n
+
+    def release_all(self) -> dict[str, int]:
+        """Release every allocation; returns what was held."""
+        held, self._allocations = self._allocations, {}
+        return held
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else f"stopped@{self.stopped_at:g}"
+        return (
+            f"<VMInstance {self.instance_id} {self.vm_class.name} "
+            f"{self.used_cores}/{self.cores} cores {state}>"
+        )

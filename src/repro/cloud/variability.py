@@ -1,0 +1,86 @@
+"""Infrastructure performance-variability abstraction (paper §4).
+
+Virtualized clouds exhibit performance variability over *time* (the same
+VM fluctuates due to multi-tenancy) and *space* (two instances of the same
+class differ due to placement and hardware diversity).  The execution
+engine and the monitoring framework consume that behaviour exclusively
+through the :class:`PerformanceModel` interface:
+
+* ``cpu_coefficient(trace_key, t)`` — multiplicative factor applied to a
+  VM's *rated* core speed at time ``t`` (1.0 = exactly as rated),
+* ``latency_s(a, b, t)`` — one-way network latency between two VMs,
+* ``bandwidth_mbps(a, b, t)`` — available bandwidth between two VMs.
+
+Implementations: :class:`ConstantPerformance` (the idealized cloud every
+static scheduler assumes) and
+:class:`~repro.cloud.traces.TraceReplayPerformance` (replays measured or
+synthetic trace series).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["PerformanceModel", "ConstantPerformance"]
+
+
+@runtime_checkable
+class PerformanceModel(Protocol):
+    """Time-varying performance of VMs and their interconnect."""
+
+    def cpu_coefficient(self, trace_key: str, t: float) -> float:
+        """Multiplier on the rated core speed of VM ``trace_key`` at ``t``."""
+        ...
+
+    def latency_s(self, key_a: str, key_b: str, t: float) -> float:
+        """One-way latency in seconds between two VMs at time ``t``."""
+        ...
+
+    def bandwidth_mbps(self, key_a: str, key_b: str, t: float) -> float:
+        """Available bandwidth in Mbit/s between two VMs at time ``t``."""
+        ...
+
+
+class ConstantPerformance:
+    """The idealized, variability-free cloud.
+
+    Every VM performs exactly as rated forever; the network between any
+    two distinct VMs has a fixed latency and bandwidth.  This is the model
+    the paper's *static* strategies implicitly assume, and the deployment
+    default ("during the deployment stage, we assume that the network
+    bandwidth between two VMs is equal to the rated values").
+
+    Parameters
+    ----------
+    cpu:
+        CPU coefficient returned for every VM (default exactly rated).
+    latency_s:
+        Pairwise latency in seconds (default 0.5 ms).
+    bandwidth_mbps:
+        Pairwise bandwidth (default the paper's assumed 100 Mbps average).
+    """
+
+    def __init__(
+        self,
+        cpu: float = 1.0,
+        latency_s: float = 0.0005,
+        bandwidth_mbps: float = 100.0,
+    ) -> None:
+        if cpu <= 0:
+            raise ValueError("cpu coefficient must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._cpu = float(cpu)
+        self._latency = float(latency_s)
+        self._bandwidth = float(bandwidth_mbps)
+
+    def cpu_coefficient(self, trace_key: str, t: float) -> float:
+        return self._cpu
+
+    def latency_s(self, key_a: str, key_b: str, t: float) -> float:
+        return 0.0 if key_a == key_b else self._latency
+
+    def bandwidth_mbps(self, key_a: str, key_b: str, t: float) -> float:
+        return float("inf") if key_a == key_b else self._bandwidth

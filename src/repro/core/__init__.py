@@ -1,0 +1,63 @@
+"""The paper's core contribution (S8–S13).
+
+Objective (§6), variable-sized bin packing, initial deployment (Alg. 1),
+runtime adaptation (Alg. 2), the brute-force static baseline, and the
+named policy registry used by the evaluation.
+"""
+
+from .adaptation import AdaptationConfig, RuntimeAdaptation
+from .binpack import (
+    Bin,
+    BinClass,
+    cheapest_class_for,
+    first_fit_decreasing,
+    greedy_cover,
+    iterative_repack,
+    packing_cost,
+)
+from .bruteforce import BruteForceConfig, BruteForceDeployment, SearchBudgetExceeded
+from .deployment import (
+    DeploymentConfig,
+    InitialDeployment,
+    Strategy,
+    repack_cluster,
+    select_alternates,
+)
+from .paths import DynamicPathSet, PathChoice, PathSelector, PathVariant
+from .objective import EvaluationOutcome, ObjectiveSpec, sigma_from_expectations
+from .policies import POLICY_NAMES, Policy, make_policy
+from .state import ClusterView, DeploymentPlan, Snapshot, VMView
+
+__all__ = [
+    "POLICY_NAMES",
+    "AdaptationConfig",
+    "Bin",
+    "BinClass",
+    "BruteForceConfig",
+    "BruteForceDeployment",
+    "ClusterView",
+    "DeploymentConfig",
+    "DeploymentPlan",
+    "EvaluationOutcome",
+    "InitialDeployment",
+    "DynamicPathSet",
+    "ObjectiveSpec",
+    "PathChoice",
+    "PathSelector",
+    "PathVariant",
+    "Policy",
+    "RuntimeAdaptation",
+    "SearchBudgetExceeded",
+    "Snapshot",
+    "Strategy",
+    "VMView",
+    "cheapest_class_for",
+    "first_fit_decreasing",
+    "greedy_cover",
+    "iterative_repack",
+    "make_policy",
+    "packing_cost",
+    "repack_cluster",
+    "select_alternates",
+    "sigma_from_expectations",
+]

@@ -1,0 +1,480 @@
+"""Runtime adaptation heuristics (paper §7.2, Algorithm 2).
+
+Runs at interval boundaries on the monitored :class:`~repro.core.state.Snapshot`
+and produces a new :class:`~repro.core.state.DeploymentPlan`.  Two stages,
+deliberately run at different cadences to balance application value against
+resource cost:
+
+* **Alternate selection** (every ``alternate_period`` intervals): for every
+  PE, compute the resources each alternate would need at the observed data
+  rate *and the monitored VM performance*.  If the application is
+  under-provisioned (Ω below Ω̂ − ε) the feasible set contains alternates
+  needing *no more* resources than the active one (trading value for
+  throughput); if over-provisioned (Ω above Ω̂ + ε) it contains alternates
+  needing *at least* as much (buying value with the slack).  The feasible
+  set is ranked by value/cost — cost per the local/global strategy — and
+  the first alternate that fits the available resources wins.
+
+* **Resource re-deployment** (every ``resource_period`` intervals): if the
+  average relative throughput trails Ω̂, incrementally allocate cores to
+  the current bottleneck exactly like the initial deployment, but sized
+  with *monitored* CPU coefficients and observed rates, preferring free
+  (already-paid) cores before provisioning.  The local strategy always
+  provisions the largest VM class and terminates idle VMs immediately; the
+  global strategy provisions the best-fit class for the remaining deficit
+  and keeps idle VMs parked while their already-billed hour lasts, which
+  avoids the pay-again penalty when a scale-in is quickly reversed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..cloud.resources import VMClass
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.metrics import constrained_rates, relative_application_throughput
+from ..dataflow.patterns import SplitPattern
+from ..dataflow.pe import Alternate
+from .deployment import Strategy
+from .state import ClusterView, DeploymentPlan, Snapshot
+
+__all__ = ["AdaptationConfig", "RuntimeAdaptation"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Tunables of the runtime adaptation heuristic.
+
+    Parameters
+    ----------
+    strategy:
+        ``"local"`` or ``"global"``.
+    omega_min / epsilon:
+        Throughput constraint Ω̂ and tolerance ε.
+    dynamism:
+        ``False`` disables the alternate-selection stage (baselines).
+    alternate_period / resource_period:
+        Stage cadences, in intervals (paper: the two stages run at
+        different periods; defaults 2 and 1).
+    interval:
+        Interval length in seconds (for backlog-drain sizing).
+    drain_intervals:
+        Horizon, in intervals, over which accumulated backlog should be
+        drained; inflates the capacity demand of backlogged PEs.  The
+        drain demand is capped so a deep backlog requests at most
+        ``burst_factor ×`` the ideal arrival rate — provisioning a burst
+        fleet for a transient queue wastes whole billed hours.
+    burst_factor:
+        Cap on total demanded capacity, as a multiple of the ideal
+        arrival rate.
+    scale_in_margin:
+        Extra throughput headroom (above Ω̂ + ε) required before cores are
+        released, providing hysteresis against oscillation.
+    max_cores:
+        Safety cap on total allocated cores.
+    """
+
+    strategy: Strategy = "local"
+    omega_min: float = 0.7
+    epsilon: float = 0.05
+    dynamism: bool = True
+    alternate_period: int = 2
+    resource_period: int = 1
+    interval: float = 60.0
+    drain_intervals: float = 6.0
+    burst_factor: float = 1.25
+    scale_in_margin: float = 0.05
+    max_cores: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("local", "global"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if not 0 < self.omega_min <= 1:
+            raise ValueError("omega_min must be in (0, 1]")
+        if self.epsilon < 0 or self.scale_in_margin < 0:
+            raise ValueError("epsilon and scale_in_margin must be ≥ 0")
+        if self.alternate_period < 1 or self.resource_period < 1:
+            raise ValueError("stage periods must be ≥ 1 interval")
+        if self.interval <= 0 or self.drain_intervals <= 0:
+            raise ValueError("interval and drain_intervals must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be ≥ 1")
+
+
+class RuntimeAdaptation:
+    """Algorithm 2 against monitored state.
+
+    Parameters
+    ----------
+    dataflow:
+        The running dynamic dataflow.
+    catalog:
+        Provider VM classes.
+    config:
+        Heuristic tunables.
+    """
+
+    def __init__(
+        self,
+        dataflow: DynamicDataflow,
+        catalog: list[VMClass],
+        config: Optional[AdaptationConfig] = None,
+    ) -> None:
+        if not catalog:
+            raise ValueError("catalog must not be empty")
+        self.dataflow = dataflow
+        self.catalog = sorted(catalog)
+        self.config = config or AdaptationConfig()
+
+    # -- public ------------------------------------------------------------------
+
+    def adapt(self, snapshot: Snapshot, interval_index: int) -> DeploymentPlan:
+        """Produce the target plan for the next interval.
+
+        ``interval_index`` is the 1-based index of the completed interval;
+        it gates the two stage cadences.
+        """
+        cfg = self.config
+        selection = dict(snapshot.selection)
+        cluster = snapshot.cluster.clone()
+
+        if cfg.dynamism and interval_index % cfg.alternate_period == 0:
+            selection = self._alternate_stage(snapshot, cluster, selection)
+
+        if interval_index % cfg.resource_period == 0:
+            self._resource_stage(snapshot, cluster, selection)
+
+        return DeploymentPlan(selection=selection, cluster=cluster)
+
+    # -- stage 1: alternate selection ------------------------------------------------
+
+    def _alternate_stage(
+        self,
+        snapshot: Snapshot,
+        cluster: ClusterView,
+        selection: dict[str, str],
+    ) -> dict[str, str]:
+        cfg = self.config
+        df = self.dataflow
+        omega = snapshot.omega_last
+        under = omega <= cfg.omega_min - cfg.epsilon
+        over = omega >= cfg.omega_min + cfg.epsilon
+        if not under and not over:
+            return selection
+
+        ranking_costs = self._ranking_costs(selection)
+
+        for name in df.topological_order():
+            p = df[name]
+            if len(p) == 1:
+                continue
+            arrival = self._demand_rate(snapshot, name)
+            active = p.alternate(selection[name])
+            available = cluster.pe_units(name)
+            needed_active = arrival * active.cost
+
+            feasible: list[Alternate] = []
+            for alt in p.alternates:
+                needed = arrival * alt.cost
+                if under and needed <= needed_active + _EPS:
+                    feasible.append(alt)
+                elif over and needed >= needed_active - _EPS:
+                    feasible.append(alt)
+            if not feasible:
+                continue
+
+            if under:
+                # Trading value for throughput: best value density first.
+                feasible.sort(
+                    key=lambda a: (
+                        p.relative_value(a) / ranking_costs[name][a.name],
+                        a.name,
+                    ),
+                    reverse=True,
+                )
+            else:
+                # Spending slack on value: highest value first, density as
+                # the tie-break.
+                feasible.sort(
+                    key=lambda a: (
+                        p.relative_value(a),
+                        p.relative_value(a) / ranking_costs[name][a.name],
+                        a.name,
+                    ),
+                    reverse=True,
+                )
+            for alt in feasible:
+                if under:
+                    # A downgrade needs no headroom check: it demands no
+                    # more than the active alternate by construction.
+                    fits = True
+                else:
+                    # An upgrade must fit what the PE already holds.
+                    fits = arrival * alt.cost <= available + _EPS
+                    if fits and self.config.strategy == "global":
+                        # Global additionally prices the upgrade with its
+                        # downstream cost against the PE's and its
+                        # successors' resources — a deliberately
+                        # conservative over-estimate that makes global
+                        # "avoid re-deployment to increase the application
+                        # value" at low rates (paper §8.2).
+                        pool = available + self._downstream_units(
+                            cluster, name
+                        )
+                        fits = (
+                            arrival * ranking_costs[name][alt.name]
+                            <= pool + _EPS
+                        )
+                if fits:
+                    if alt.name != active.name:
+                        selection[name] = alt.name
+                    break
+        return selection
+
+    def _downstream_units(self, cluster: ClusterView, pe_name: str) -> float:
+        """Units held by every transitive successor of ``pe_name``."""
+        seen: set[str] = set()
+        frontier = list(self.dataflow.successors(pe_name))
+        total = 0.0
+        while frontier:
+            n = frontier.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            total += cluster.pe_units(n)
+            frontier.extend(self.dataflow.successors(n))
+        return total
+
+    def _ranking_costs(
+        self, selection: Mapping[str, str]
+    ) -> dict[str, dict[str, float]]:
+        """Per-PE, per-alternate ranking cost (Table 1's GetCostOfAlternate).
+
+        Local: the alternate's own cost.  Global: its downstream cost given
+        the rest of the graph keeps the current selection.
+        """
+        df = self.dataflow
+        out: dict[str, dict[str, float]] = {}
+        if self.config.strategy == "local":
+            for p in df.pes:
+                out[p.name] = {a.name: a.cost for a in p.alternates}
+            return out
+        base_dc = df.downstream_costs(selection)
+        for p in df.pes:
+            succ = df.successors(p.name)
+            weight = 1.0
+            if succ and df.split_pattern(p.name) is not SplitPattern.AND_SPLIT:
+                weight = 1.0 / len(succ)
+            tail = sum(base_dc[m] for m in succ)
+            out[p.name] = {
+                a.name: a.cost + a.selectivity * weight * tail
+                for a in p.alternates
+            }
+        return out
+
+    # -- stage 2: resource re-deployment ---------------------------------------------
+
+    def _resource_stage(
+        self,
+        snapshot: Snapshot,
+        cluster: ClusterView,
+        selection: Mapping[str, str],
+    ) -> None:
+        cfg = self.config
+        df = self.dataflow
+        input_rates = self._input_demand(snapshot)
+
+        caps = cluster.capacities(df, selection)
+        flow = constrained_rates(df, selection, input_rates, caps)
+        omega_pred = relative_application_throughput(df, flow)
+        behind = snapshot.omega_average < cfg.omega_min - _EPS
+
+        if behind or omega_pred < cfg.omega_min - _EPS:
+            self._scale_out(snapshot, cluster, selection, input_rates)
+        elif (
+            omega_pred >= cfg.omega_min + cfg.epsilon + cfg.scale_in_margin
+            and snapshot.omega_average >= cfg.omega_min
+        ):
+            # Release only once the period's running average is safe —
+            # hysteresis against scale-out/scale-in thrash under waves.
+            self._scale_in(cluster, selection, input_rates)
+
+        self._retire_idle_vms(cluster)
+
+    def _scale_out(
+        self,
+        snapshot: Snapshot,
+        cluster: ClusterView,
+        selection: Mapping[str, str],
+        input_rates: Mapping[str, float],
+    ) -> None:
+        cfg = self.config
+        df = self.dataflow
+        order = df.forward_bfs_order()
+        target = min(1.0, cfg.omega_min + cfg.epsilon / 2)
+        while True:
+            caps = cluster.capacities(df, selection)
+            flow = constrained_rates(df, selection, input_rates, caps)
+            omega = relative_application_throughput(df, flow)
+            ideal = df.ideal_rates(selection, input_rates)
+
+            # A PE is a bottleneck if it cannot serve the constraint's
+            # share of its *ideal* arrivals plus its backlog-drain rate.
+            # (Sizing against throttled arrivals would compound Ω̂ per
+            # stage and converge to Ω̂^depth instead of Ω̂.)
+            bottleneck = None
+            worst = 1.0 - 1e-6
+            for name in order:
+                backlog = float(snapshot.backlogs.get(name, 0.0))
+                drain = backlog / (cfg.drain_intervals * cfg.interval)
+                required = min(
+                    cfg.omega_min * ideal[name][0] + drain,
+                    cfg.burst_factor * max(ideal[name][0], _EPS),
+                )
+                if required <= _EPS:
+                    continue
+                ratio = caps.get(name, 0.0) / required
+                if ratio < worst:
+                    bottleneck = name
+                    worst = ratio
+            if bottleneck is None:
+                if omega >= target - _EPS:
+                    break
+                # Ω trails the target yet no PE is saturated (e.g. input
+                # rates dipped): nothing a core can fix right now.
+                break
+            total = sum(vm.used_cores for vm in cluster.vms)
+            if total >= cfg.max_cores:
+                break
+            self._add_core(cluster, bottleneck, snapshot, selection)
+
+    def _add_core(
+        self,
+        cluster: ClusterView,
+        pe_name: str,
+        snapshot: Snapshot,
+        selection: Mapping[str, str],
+    ) -> None:
+        """Grant one more core to ``pe_name``.
+
+        Free (already-paid) cores are used before provisioning.  Among
+        free cores the preference order keeps traffic local: VMs already
+        hosting this PE, then VMs hosting a dataflow *neighbour*
+        (collocation avoids network transfer, §5), then the fastest
+        remaining core.  New VMs follow the strategy's class policy.
+        """
+        neighbours = set(self.dataflow.successors(pe_name)) | set(
+            self.dataflow.predecessors(pe_name)
+        )
+        free = sorted(
+            cluster.with_free_cores(),
+            key=lambda vm: (
+                pe_name not in vm.allocations,
+                not any(n in vm.allocations for n in neighbours),
+                -vm.core_units(),
+            ),
+        )
+        if free:
+            free[0].allocate(pe_name, 1)
+            return
+        cluster.new_vm(
+            self._provision_class(cluster, pe_name, snapshot, selection)
+        ).allocate(pe_name, 1)
+
+    def _provision_class(
+        self,
+        cluster: ClusterView,
+        pe_name: str,
+        snapshot: Snapshot,
+        selection: Mapping[str, str],
+    ) -> VMClass:
+        """Local: always the largest class.  Global: cheapest class that
+        covers the PE's remaining unit deficit (best fit)."""
+        if self.config.strategy == "local":
+            return self.catalog[-1]
+        cost = self.dataflow.active_alternate(selection, pe_name).cost
+        demand_units = self._demand_rate(snapshot, pe_name) * cost
+        deficit = max(demand_units - cluster.pe_units(pe_name), 0.0)
+        for klass in self.catalog:  # ascending capacity
+            if klass.total_capacity >= deficit - _EPS:
+                return klass
+        return self.catalog[-1]
+
+    def _scale_in(
+        self,
+        cluster: ClusterView,
+        selection: Mapping[str, str],
+        input_rates: Mapping[str, float],
+    ) -> None:
+        """Release cores while the predicted throughput keeps clearing
+        Ω̂ + ε (with hysteresis margin already verified by the caller)."""
+        cfg = self.config
+        df = self.dataflow
+        floor = cfg.omega_min + cfg.epsilon
+        while True:
+            released = False
+            # Prefer draining the most lightly used VM so it can retire.
+            for vm in sorted(cluster.vms, key=lambda v: v.used_cores):
+                if vm.idle:
+                    continue
+                pe_name = max(
+                    vm.allocations, key=lambda p: vm.allocations[p]
+                )
+                if cluster.pe_cores(pe_name) <= 1:
+                    continue  # every PE keeps at least one core
+                vm.release(pe_name, 1)
+                caps = cluster.capacities(df, selection)
+                flow = constrained_rates(df, selection, input_rates, caps)
+                omega = relative_application_throughput(df, flow)
+                if omega >= floor - _EPS:
+                    released = True
+                    break
+                vm.allocate(pe_name, 1)  # revert: too aggressive
+            if not released:
+                break
+
+    def _retire_idle_vms(self, cluster: ClusterView) -> None:
+        """Drop idle VMs from the plan (the reconciler terminates them).
+
+        The local strategy retires idle VMs immediately.  The global
+        strategy parks idle *live* VMs while their already-billed hour
+        lasts — restarting costs a fresh hour, parking is free — and
+        retires them once the paid time is nearly exhausted.
+        """
+        cfg = self.config
+        for vm in cluster.idle_vms():
+            if vm.is_new:
+                cluster.remove(vm.key)
+            elif cfg.strategy == "local":
+                cluster.remove(vm.key)
+            elif vm.paid_seconds_remaining <= cfg.interval * 1.5:
+                cluster.remove(vm.key)
+
+    # -- demand estimation --------------------------------------------------------------
+
+    def _demand_rate(self, snapshot: Snapshot, pe_name: str) -> float:
+        """Arrival rate to size for: last observed rate plus the rate needed
+        to drain the PE's backlog over the configured horizon.
+
+        Input PEs additionally consider the observed *external* rate: when
+        an input PE momentarily has no capacity (e.g. its host crashed),
+        its measured arrival rate reads zero even though traffic keeps
+        flowing, and sizing from it would wrongly conclude there is no
+        demand.
+        """
+        cfg = self.config
+        arrival = float(snapshot.arrival_rates.get(pe_name, 0.0))
+        if pe_name in self.dataflow.inputs:
+            arrival = max(arrival, float(snapshot.input_rates.get(pe_name, 0.0)))
+        backlog = float(snapshot.backlogs.get(pe_name, 0.0))
+        return arrival + backlog / (cfg.drain_intervals * cfg.interval)
+
+    def _input_demand(self, snapshot: Snapshot) -> dict[str, float]:
+        """Input-PE rates inflated by their backlog drain requirement."""
+        return {
+            name: self._demand_rate(snapshot, name)
+            for name in self.dataflow.inputs
+        }

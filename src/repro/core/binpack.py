@@ -1,0 +1,213 @@
+"""Variable-sized bin-packing primitives (paper §7).
+
+The resource-allocation problem reduces to Variable-Sized Bin Packing
+(VBP): pack PE capacity demands (in standard core units) into VM classes
+of different capacities and prices, minimizing total price.  This module
+provides the generic primitives the deployment/adaptation heuristics
+build on:
+
+* :func:`cheapest_class_for` — best-fit class selection (``RepackPE``),
+* :func:`greedy_cover` — cover a demand with a multiset of classes,
+* :func:`first_fit_decreasing` — classic FFD for fixed-size bins,
+* :func:`iterative_repack` — the repacking pass the global strategy runs
+  over under-filled bins (``RepackFreeVMs``).
+
+Everything here is pure and unit-agnostic: sizes and capacities are plain
+floats, bins are lists of (label, size) items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "BinClass",
+    "Bin",
+    "cheapest_class_for",
+    "greedy_cover",
+    "first_fit_decreasing",
+    "iterative_repack",
+    "packing_cost",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BinClass:
+    """A bin size option with a price (a VM class, abstractly)."""
+
+    name: str
+    capacity: float
+    price: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.price < 0:
+            raise ValueError(f"{self.name}: price must be non-negative")
+
+
+@dataclass
+class Bin:
+    """One open bin holding labelled items."""
+
+    bin_class: BinClass
+    items: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def used(self) -> float:
+        return sum(size for _, size in self.items)
+
+    @property
+    def free(self) -> float:
+        return self.bin_class.capacity - self.used
+
+    def fits(self, size: float) -> bool:
+        return size <= self.free + _EPS
+
+    def add(self, label: str, size: float) -> None:
+        if size < 0:
+            raise ValueError("item size must be non-negative")
+        if not self.fits(size):
+            raise ValueError(
+                f"item {label!r} ({size:g}) does not fit in bin with "
+                f"{self.free:g} free"
+            )
+        self.items.append((label, size))
+
+
+def cheapest_class_for(
+    size: float, classes: Sequence[BinClass]
+) -> Optional[BinClass]:
+    """The cheapest class that can hold ``size`` in one bin (best fit).
+
+    Ties on price resolve to the smaller capacity (less waste).  Returns
+    ``None`` when ``size`` exceeds every class.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    candidates = [c for c in classes if c.capacity >= size - _EPS]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda c: (c.price, c.capacity))
+
+
+def greedy_cover(size: float, classes: Sequence[BinClass]) -> list[BinClass]:
+    """Cover a (possibly huge) demand with a multiset of classes.
+
+    Strategy: while the residual exceeds the largest class, emit the class
+    with the best price-per-capacity; finish with the cheapest single
+    class that fits the remainder.  This mirrors the paper's heuristics,
+    which fill with the largest class and best-fit the tail.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if not classes:
+        raise ValueError("no classes given")
+    result: list[BinClass] = []
+    largest = max(classes, key=lambda c: c.capacity)
+    workhorse = min(classes, key=lambda c: (c.price / c.capacity, -c.capacity))
+    residual = size
+    while residual > largest.capacity + _EPS:
+        result.append(workhorse)
+        residual -= workhorse.capacity
+    if residual > _EPS:
+        tail = cheapest_class_for(residual, classes)
+        assert tail is not None  # residual ≤ largest.capacity by loop guard
+        result.append(tail)
+    return result
+
+
+def first_fit_decreasing(
+    items: Sequence[tuple[str, float]], bin_class: BinClass
+) -> list[Bin]:
+    """Classic FFD into bins of a single class.
+
+    Raises ``ValueError`` if any single item exceeds the class capacity.
+    """
+    bins: list[Bin] = []
+    for label, size in sorted(items, key=lambda kv: kv[1], reverse=True):
+        if size > bin_class.capacity + _EPS:
+            raise ValueError(
+                f"item {label!r} ({size:g}) exceeds bin capacity "
+                f"{bin_class.capacity:g}"
+            )
+        for b in bins:
+            if b.fits(size):
+                b.add(label, size)
+                break
+        else:
+            b = Bin(bin_class)
+            b.add(label, size)
+            bins.append(b)
+    return bins
+
+
+def packing_cost(bins: Sequence[Bin]) -> float:
+    """Total price of a set of bins."""
+    return sum(b.bin_class.price for b in bins)
+
+
+def iterative_repack(
+    bins: Sequence[Bin],
+    classes: Sequence[BinClass],
+    max_rounds: int = 16,
+) -> list[Bin]:
+    """Iteratively reduce packing cost (the global strategy's repacking).
+
+    Each round performs two improvements until a fixed point:
+
+    1. **Evacuate** the least-filled bin: if all its items fit into the
+       free space of the other bins (first-fit over descending free
+       space), move them and drop the bin.
+    2. **Downsize** every bin to the cheapest class that still holds its
+       content.
+
+    The input is not mutated; returns a new bin list with cost ≤ input
+    cost.
+    """
+    current = [Bin(b.bin_class, list(b.items)) for b in bins]
+    for _ in range(max_rounds):
+        changed = False
+
+        # (1) try to evacuate the least-filled bin.
+        non_empty = [b for b in current if b.items]
+        if len(non_empty) > 1:
+            victim = min(non_empty, key=lambda b: b.used)
+            others = [b for b in current if b is not victim]
+            trial = [Bin(b.bin_class, list(b.items)) for b in others]
+            ok = True
+            for label, size in sorted(
+                victim.items, key=lambda kv: kv[1], reverse=True
+            ):
+                hosts = sorted(trial, key=lambda b: b.free, reverse=True)
+                for h in hosts:
+                    if h.fits(size):
+                        h.add(label, size)
+                        break
+                else:
+                    ok = False
+                    break
+            if ok:
+                current = trial
+                changed = True
+
+        # (2) downsize bins to their cheapest sufficient class.
+        downsized: list[Bin] = []
+        for b in current:
+            if not b.items:
+                changed = True  # dropping an empty bin is an improvement
+                continue
+            best = cheapest_class_for(b.used, classes)
+            if best is not None and best.price < b.bin_class.price - _EPS:
+                downsized.append(Bin(best, list(b.items)))
+                changed = True
+            else:
+                downsized.append(b)
+        current = downsized
+
+        if not changed:
+            break
+    return current

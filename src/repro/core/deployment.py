@@ -1,0 +1,391 @@
+"""Initial deployment heuristics (paper §7.1, Algorithm 1, Table 1).
+
+Deployment runs in two stages:
+
+1. **Alternate selection** — each PE independently picks the alternate with
+   the best relative-value/cost ratio.  The *local* strategy prices an
+   alternate by its own processing cost; the *global* strategy prices it
+   by its **downstream cost** — its own cost plus the selectivity-weighted
+   cost of every successor — computed by dynamic programming over a
+   reverse-BFS traversal rooted at the output PEs.
+
+2. **Resource allocation** — a variable-sized bin-packing procedure.  PEs
+   first receive one core each in forward-BFS order (collocating dataflow
+   neighbours on the same VM), then cores are added one at a time to the
+   current *bottleneck* (the PE with the lowest relative throughput) until
+   the predicted relative application throughput meets the Ω̂ constraint.
+   All allocation uses the **largest** VM class; the global strategy then
+   runs two repacking passes (``RepackPE`` best-fit downsizing and
+   ``RepackFreeVMs`` iterative repacking) that trade collocation for
+   reduced resource cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Mapping, Optional
+
+from ..cloud.resources import VMClass
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.metrics import constrained_rates, relative_application_throughput
+from ..dataflow.patterns import SplitPattern
+from .binpack import BinClass
+from .state import ClusterView, DeploymentPlan, VMView
+
+__all__ = ["Strategy", "DeploymentConfig", "InitialDeployment", "select_alternates"]
+
+Strategy = Literal["local", "global"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Tunables of the deployment heuristic.
+
+    Parameters
+    ----------
+    strategy:
+        ``"local"`` or ``"global"`` (Table 1).
+    omega_min:
+        Target relative application throughput Ω̂.
+    dynamism:
+        When ``False`` the alternate-selection stage is skipped and every
+        PE runs its maximum-value alternate (the paper's "without
+        application dynamism" baselines).
+    repack:
+        Whether the global strategy runs its repacking passes
+        (``RepackPE``/``RepackFreeVMs``).  Exposed for the ablation
+        benchmarks; ignored by the local strategy, which never repacks.
+    max_cores:
+        Safety cap on total allocated cores.
+    """
+
+    strategy: Strategy = "local"
+    omega_min: float = 0.7
+    dynamism: bool = True
+    repack: bool = True
+    max_cores: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("local", "global"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if not 0 < self.omega_min <= 1:
+            raise ValueError("omega_min must be in (0, 1]")
+        if self.max_cores < 1:
+            raise ValueError("max_cores must be ≥ 1")
+
+
+def select_alternates(
+    dataflow: DynamicDataflow, strategy: Strategy
+) -> dict[str, str]:
+    """Alternate-selection stage of Algorithm 1 (lines 2–11).
+
+    Ranks every alternate by ``γ / GetCostOfAlternate`` and takes the
+    best.  The global cost is resolved by DP in reverse topological order
+    so each PE's successors have already fixed their choice.
+    """
+    selection: dict[str, str] = {}
+    if strategy == "local":
+        for p in dataflow.pes:
+            best = max(
+                p.alternates,
+                key=lambda a: (p.relative_value(a) / a.cost, a.name),
+            )
+            selection[p.name] = best.name
+        return selection
+
+    # Global: downstream-cost DP, successors first.
+    dc: dict[str, float] = {}
+    for name in reversed(dataflow.topological_order()):
+        p = dataflow[name]
+        succ = dataflow.successors(name)
+        weight = 1.0
+        if succ and dataflow.split_pattern(name) is not SplitPattern.AND_SPLIT:
+            weight = 1.0 / len(succ)
+        succ_cost = sum(dc[m] for m in succ)
+
+        def global_cost(a) -> float:
+            return a.cost + a.selectivity * weight * succ_cost
+
+        best = max(
+            p.alternates,
+            key=lambda a: (p.relative_value(a) / global_cost(a), a.name),
+        )
+        selection[name] = best.name
+        dc[name] = global_cost(best)
+    return selection
+
+
+class InitialDeployment:
+    """Algorithm 1: produce a :class:`DeploymentPlan` from estimated rates.
+
+    Parameters
+    ----------
+    dataflow:
+        The abstract dynamic dataflow.
+    catalog:
+        VM classes available from the provider (any order).
+    config:
+        Strategy and constraint parameters.
+    """
+
+    def __init__(
+        self,
+        dataflow: DynamicDataflow,
+        catalog: list[VMClass],
+        config: Optional[DeploymentConfig] = None,
+    ) -> None:
+        if not catalog:
+            raise ValueError("catalog must not be empty")
+        self.dataflow = dataflow
+        self.catalog = sorted(catalog)
+        self.config = config or DeploymentConfig()
+        self._bin_classes = [
+            BinClass(c.name, c.total_capacity, c.hourly_price) for c in self.catalog
+        ]
+        self._class_by_name = {c.name: c for c in self.catalog}
+
+    # -- public -------------------------------------------------------------
+
+    def plan(self, input_rates: Mapping[str, float]) -> DeploymentPlan:
+        """Run both stages and return the initial deployment plan."""
+        cfg = self.config
+        if cfg.dynamism:
+            selection = select_alternates(self.dataflow, cfg.strategy)
+        else:
+            selection = self.dataflow.default_selection()
+
+        cluster = self._allocate(selection, input_rates)
+
+        if cfg.strategy == "global" and cfg.repack:
+            demands = self._demands(cluster, selection, input_rates)
+            cluster = repack_cluster(
+                cluster, demands, self.catalog, self.dataflow
+            )
+        return DeploymentPlan(selection=selection, cluster=cluster)
+
+    # -- resource allocation stage (lines 12–27) -------------------------------
+
+    def _allocate(
+        self, selection: Mapping[str, str], input_rates: Mapping[str, float]
+    ) -> ClusterView:
+        cfg = self.config
+        df = self.dataflow
+        cluster = ClusterView()
+        largest = self.catalog[-1]
+        bfs = df.forward_bfs_order()
+
+        # INCREMENTAL_ALLOCATION seed: one core per PE in forward BFS order,
+        # filling the most recent VM before opening a new one (collocation).
+        for name in bfs:
+            self._place_core(cluster, name, largest)
+
+        # Iteratively feed the worst bottleneck one core at a time until the
+        # throughput constraint is met.
+        while True:
+            caps = cluster.capacities(df, selection)
+            flow = constrained_rates(df, selection, input_rates, caps)
+            omega = relative_application_throughput(df, flow)
+            if omega >= cfg.omega_min - _EPS:
+                break
+            bottleneck = self._bottleneck(caps, flow.arrivals, bfs)
+            if bottleneck is None:
+                break  # nothing is saturated yet omega < target: inputs idle
+            total = sum(vm.used_cores for vm in cluster.vms)
+            if total >= cfg.max_cores:
+                raise RuntimeError(
+                    f"deployment exceeded max_cores={cfg.max_cores} without "
+                    f"meeting Ω̂={cfg.omega_min}"
+                )
+            self._place_core(cluster, bottleneck, largest)
+        return cluster
+
+    @staticmethod
+    def _bottleneck(
+        caps: Mapping[str, float],
+        arrivals: Mapping[str, float],
+        order: list[str],
+    ) -> Optional[str]:
+        """PE with the lowest service ratio (capacity / arrival), i.e. the
+        lowest relative PE throughput; ties resolve in BFS order."""
+        worst: Optional[str] = None
+        worst_ratio = 1.0 - 1e-6
+        for name in order:
+            arrival = arrivals.get(name, 0.0)
+            if arrival <= _EPS:
+                continue
+            ratio = caps.get(name, 0.0) / arrival
+            if ratio < worst_ratio:
+                worst = name
+                worst_ratio = ratio
+        return worst
+
+    @staticmethod
+    def _place_core(
+        cluster: ClusterView, pe_name: str, vm_class: VMClass
+    ) -> VMView:
+        """Allocate one core for ``pe_name``, preferring VMs that already
+        host it, then the most recently opened VM (collocation), then any
+        free core, opening a new ``vm_class`` VM as a last resort."""
+        hosting = [vm for vm in cluster.vms_hosting(pe_name) if vm.free_cores]
+        if hosting:
+            vm = hosting[-1]
+        else:
+            free = cluster.with_free_cores()
+            vm = free[-1] if free else cluster.new_vm(vm_class)
+        vm.allocate(pe_name, 1)
+        return vm
+
+    def _demands(
+        self,
+        cluster: ClusterView,
+        selection: Mapping[str, str],
+        input_rates: Mapping[str, float],
+    ) -> dict[str, float]:
+        """Standard-unit demand per PE implied by the converged allocation.
+
+        The incremental loop stops as soon as Ω̂ is met, so the allocated
+        units per PE (capped below at the units needed for the observed
+        arrivals, one core minimum) *are* the demand the repacking must
+        preserve.
+        """
+        df = self.dataflow
+        demands: dict[str, float] = {}
+        for name in df.pe_names:
+            # Keep what the incremental loop granted: trimming below the
+            # allocation could break Ω̂ for non-bottleneck PEs whose slack
+            # is an artifact of integer cores.
+            allocated = cluster.pe_units(name)
+            demands[name] = allocated if allocated > 0 else _EPS
+        return demands
+
+
+def repack_cluster(
+    cluster: ClusterView,
+    demands: Mapping[str, float],
+    catalog: list[VMClass],
+    dataflow: DynamicDataflow,
+) -> ClusterView:
+    """Global-strategy repacking (``RepackPE`` + ``RepackFreeVMs``).
+
+    Rebuilds the packing from the per-PE unit demands:
+
+    1. chunk each PE's demand to at most the largest class capacity and
+       first-fit the chunks over open VMs in forward-BFS order (tight
+       packing, still respecting integer cores),
+    2. downsize every VM to the cheapest class whose capacity and core
+       count still fit its content (best-fit ``RepackPE``),
+    3. evacuate the least-filled VM into the others' free cores when
+       possible, iterating to a fixed point (``RepackFreeVMs``).
+
+    Collocation may be sacrificed; the paper accepts that trade-off.
+    """
+    catalog = sorted(catalog)
+    largest = catalog[-1]
+
+    # -- step 1: rebuild with FFD over chunks ---------------------------------
+    rebuilt = ClusterView()
+    for name in dataflow.forward_bfs_order():
+        remaining = demands.get(name, 0.0)
+        if remaining <= _EPS:
+            remaining = 2 * _EPS  # every PE keeps at least one core
+        while remaining > _EPS:
+            chunk = min(remaining, largest.total_capacity)
+            placed = False
+            for vm in rebuilt.vms:
+                cores = _cores_for_units(chunk, vm.vm_class)
+                if cores <= vm.free_cores:
+                    vm.allocate(name, cores)
+                    placed = True
+                    break
+            if not placed:
+                vm = rebuilt.new_vm(largest)
+                cores = min(
+                    _cores_for_units(chunk, largest), largest.cores
+                )
+                vm.allocate(name, cores)
+            remaining -= chunk
+
+    # -- steps 2–3: downsize + evacuate to fixed point -------------------------
+    for _ in range(16):
+        changed = _downsize_pass(rebuilt, catalog)
+        changed = _evacuate_pass(rebuilt) or changed
+        if not changed:
+            break
+
+    # Repacking is an improvement pass: chunk-whole placement can
+    # occasionally fragment worse than the incremental fill, so keep the
+    # cheaper of the two packings.
+    if rebuilt.total_hourly_price() > cluster.total_hourly_price() + 1e-12:
+        return cluster
+    return rebuilt
+
+
+def _cores_for_units(units: float, vm_class: VMClass) -> int:
+    """Cores of ``vm_class`` needed to supply ``units`` (rated speed)."""
+    return max(1, math.ceil(units / vm_class.core_speed - 1e-9))
+
+
+def _downsize_pass(cluster: ClusterView, catalog: list[VMClass]) -> bool:
+    """Swap each VM to the cheapest class that fits its content."""
+    changed = False
+    for vm in cluster.vms:
+        if vm.idle:
+            cluster.remove(vm.key)
+            changed = True
+            continue
+        if vm.instance_id is not None:
+            continue  # never resize a live VM in place
+        content_units = {
+            pe: cores * vm.vm_class.core_speed
+            for pe, cores in vm.allocations.items()
+        }
+        best: Optional[VMClass] = None
+        best_alloc: dict[str, int] = {}
+        for klass in catalog:
+            if klass.hourly_price >= vm.vm_class.hourly_price - 1e-12:
+                continue
+            alloc = {
+                pe: _cores_for_units(u, klass) for pe, u in content_units.items()
+            }
+            if sum(alloc.values()) <= klass.cores:
+                best = klass
+                best_alloc = alloc
+                break  # catalog ascending: first (smallest) fit is cheapest
+        if best is not None:
+            cluster.remove(vm.key)
+            cluster.add(VMView(vm_class=best, allocations=best_alloc))
+            changed = True
+    return changed
+
+
+def _evacuate_pass(cluster: ClusterView) -> bool:
+    """Try to move the least-filled planned VM's content into free cores of
+    the remaining VMs (unit-preserving); drop it on success."""
+    candidates = [vm for vm in cluster.vms if vm.is_new and not vm.idle]
+    if len(cluster.vms) < 2 or not candidates:
+        return False
+    victim = min(candidates, key=lambda vm: vm.used_cores * vm.core_units())
+    others = [vm for vm in cluster.vms if vm is not victim]
+
+    moves: list[tuple[VMView, str, int]] = []
+    budget = {vm.key: vm.free_cores for vm in others}
+    for pe, cores in victim.allocations.items():
+        units = cores * victim.vm_class.core_speed
+        placed = False
+        for vm in sorted(others, key=lambda v: budget[v.key], reverse=True):
+            need = _cores_for_units(units, vm.vm_class)
+            if need <= budget[vm.key]:
+                moves.append((vm, pe, need))
+                budget[vm.key] -= need
+                placed = True
+                break
+        if not placed:
+            return False
+
+    for vm, pe, cores in moves:
+        vm.allocate(pe, cores)
+    cluster.remove(victim.key)
+    return True

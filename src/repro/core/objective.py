@@ -1,0 +1,154 @@
+"""The optimization objective (paper §6).
+
+The user maximizes the *profit*
+
+``Θ = Γ̄ − σ · μ``
+
+subject to the throughput constraint ``Ω̄ ≥ Ω̂`` (checked with tolerance
+ε).  ``σ`` is the user's value/dollar equivalence slope:
+
+``σ = (MaxAppValue − MinAppValue) / (AcceptableCost@MaxVal − AcceptableCost@MinVal)``
+
+where the value extremes come from the dataflow's alternates and the two
+acceptable costs are user inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.metrics import MetricsTimeline
+
+__all__ = ["ObjectiveSpec", "sigma_from_expectations", "EvaluationOutcome"]
+
+
+def sigma_from_expectations(
+    dataflow: DynamicDataflow,
+    acceptable_cost_at_max_value: float,
+    acceptable_cost_at_min_value: float,
+) -> float:
+    """Compute σ from the user's pricing expectations (paper §6).
+
+    Parameters
+    ----------
+    dataflow:
+        Supplies the min/max achievable normalized application value.
+    acceptable_cost_at_max_value:
+        Dollars the user accepts to pay for running at Γ = 1 over the
+        optimization period.
+    acceptable_cost_at_min_value:
+        Dollars accepted at the minimum-value configuration.
+
+    Notes
+    -----
+    When every PE has a single alternate, max and min values coincide and
+    the paper's ratio degenerates; we then fall back to
+    ``max_value / acceptable_cost_at_max_value`` so σ still prices value
+    against the full acceptable budget.
+    """
+    if acceptable_cost_at_max_value <= 0:
+        raise ValueError("acceptable cost at max value must be positive")
+    if acceptable_cost_at_min_value < 0:
+        raise ValueError("acceptable cost at min value must be non-negative")
+    if acceptable_cost_at_max_value < acceptable_cost_at_min_value:
+        raise ValueError(
+            "cost at max value must be ≥ cost at min value "
+            "(more value cannot be cheaper)"
+        )
+    min_value, max_value = dataflow.value_bounds()
+    value_span = max_value - min_value
+    cost_span = acceptable_cost_at_max_value - acceptable_cost_at_min_value
+    if value_span <= 1e-12 or cost_span <= 1e-12:
+        return max_value / acceptable_cost_at_max_value
+    return value_span / cost_span
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """User-facing optimization contract for one period.
+
+    Parameters
+    ----------
+    omega_min:
+        Ω̂ — required average relative throughput (paper uses 0.7).
+    epsilon:
+        Constraint tolerance ε (paper uses 0.05).
+    sigma:
+        Value/dollar equivalence slope.
+    period:
+        Optimization period length T in seconds.
+    interval:
+        Length of one decision interval in seconds.
+    """
+
+    omega_min: float = 0.7
+    epsilon: float = 0.05
+    sigma: float = 0.01
+    period: float = 6 * 3600.0
+    interval: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.omega_min <= 1:
+            raise ValueError("omega_min must be in (0, 1]")
+        if not 0 <= self.epsilon < self.omega_min:
+            raise ValueError("epsilon must be in [0, omega_min)")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.period <= 0 or self.interval <= 0:
+            raise ValueError("period and interval must be positive")
+        if self.interval > self.period:
+            raise ValueError("interval cannot exceed the period")
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of decision intervals in the period."""
+        return max(1, int(round(self.period / self.interval)))
+
+    def theta(self, mean_value: float, total_cost: float) -> float:
+        """Θ = Γ̄ − σ·μ."""
+        return mean_value - self.sigma * total_cost
+
+    def satisfied(self, mean_throughput: float) -> bool:
+        """Whether Ω̄ meets the constraint within tolerance."""
+        return mean_throughput >= self.omega_min - self.epsilon
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """Final verdict for one run, following the paper's §8.2 comparison
+    protocol: first check the Ω constraint (necessary), then compare Θ."""
+
+    mean_value: float
+    mean_throughput: float
+    total_cost: float
+    theta: float
+    constraint_met: bool
+
+    @classmethod
+    def from_timeline(
+        cls, timeline: MetricsTimeline, spec: ObjectiveSpec
+    ) -> "EvaluationOutcome":
+        gamma = timeline.mean_value
+        omega = timeline.mean_throughput
+        cost = timeline.total_cost
+        return cls(
+            mean_value=gamma,
+            mean_throughput=omega,
+            total_cost=cost,
+            theta=spec.theta(gamma, cost),
+            constraint_met=spec.satisfied(omega),
+        )
+
+    def better_than(self, other: "EvaluationOutcome") -> bool:
+        """Paper §8.2 ordering: constraint satisfaction first, then Θ."""
+        if self.constraint_met != other.constraint_met:
+            return self.constraint_met
+        return self.theta > other.theta
+
+    def __str__(self) -> str:
+        check = "✓" if self.constraint_met else "✗"
+        return (
+            f"Θ={self.theta:+.4f}  Γ̄={self.mean_value:.3f}  "
+            f"Ω̄={self.mean_throughput:.3f}{check}  μ=${self.total_cost:.2f}"
+        )

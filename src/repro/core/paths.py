@@ -1,0 +1,198 @@
+"""Dynamic paths (paper §9 future work).
+
+The paper proposes extending dynamic *tasks* to dynamic *paths*:
+"alternate implementations at coarser granularities, such as a subset of
+the application graph".  This module implements deployment-time path
+selection:
+
+* a :class:`PathVariant` is a complete dataflow graph realizing the same
+  logical application (same input/output contract) with a user-assigned
+  relative value — e.g. a three-stage enrichment path vs. a direct
+  two-stage path that skips enrichment at lower value;
+* a :class:`DynamicPathSet` holds the variants;
+* :class:`PathSelector` plans every variant with the regular Algorithm 1
+  deployment, predicts each plan's objective
+  ``Θ = γ_path · Γ(selection) − σ · μ̂`` (the variant's value scales the
+  alternates' application value; ``μ̂`` is the fleet's predicted cost
+  over the optimization period), and picks the best variant that can
+  satisfy the throughput constraint.
+
+Variants still contain per-PE alternates, so path selection composes
+with the paper's per-task dynamism: the selector optimizes over
+*variant × alternate-selection × packing* jointly, reusing the existing
+heuristics per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..cloud.resources import VMClass
+from ..dataflow.graph import DynamicDataflow
+from .deployment import DeploymentConfig, InitialDeployment
+from .objective import ObjectiveSpec
+from .state import DeploymentPlan
+
+__all__ = ["PathVariant", "DynamicPathSet", "PathChoice", "PathSelector"]
+
+
+@dataclass(frozen=True)
+class PathVariant:
+    """One realization of the logical application.
+
+    Parameters
+    ----------
+    name:
+        Variant identifier, unique within its set.
+    dataflow:
+        The complete graph of this variant.
+    value:
+        Relative value of the *path* in ``(0, 1]`` — the quality ceiling
+        of this realization (e.g. 1.0 for the full enrichment path, 0.8
+        for the shortcut).  Multiplies the variant's application value Γ.
+    """
+
+    name: str
+    dataflow: DynamicDataflow
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variant name must be non-empty")
+        if not 0 < self.value <= 1:
+            raise ValueError(f"variant {self.name!r}: value must be in (0, 1]")
+
+
+class DynamicPathSet:
+    """A family of path variants sharing the same input contract.
+
+    All variants must have the same *number* of input PEs; input rates
+    are mapped positionally so workloads defined for one variant apply to
+    all.
+    """
+
+    def __init__(self, variants: Sequence[PathVariant]) -> None:
+        if not variants:
+            raise ValueError("need at least one path variant")
+        names = [v.name for v in variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variant names: {names}")
+        arity = len(variants[0].dataflow.inputs)
+        for v in variants:
+            if len(v.dataflow.inputs) != arity:
+                raise ValueError(
+                    f"variant {v.name!r} has {len(v.dataflow.inputs)} inputs, "
+                    f"expected {arity}"
+                )
+        self._variants = tuple(variants)
+
+    @property
+    def variants(self) -> tuple[PathVariant, ...]:
+        return self._variants
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __getitem__(self, name: str) -> PathVariant:
+        for v in self._variants:
+            if v.name == name:
+                return v
+        raise KeyError(
+            f"no variant {name!r}; known: {[v.name for v in self._variants]}"
+        )
+
+    def map_rates(
+        self, variant: PathVariant, input_rates: Mapping[str, float]
+    ) -> dict[str, float]:
+        """Map positional input rates from the first variant onto another."""
+        reference = self._variants[0].dataflow.inputs
+        values = [input_rates[name] for name in reference]
+        return dict(zip(variant.dataflow.inputs, values))
+
+
+@dataclass(frozen=True)
+class PathChoice:
+    """The selector's verdict for one variant."""
+
+    variant: PathVariant
+    plan: DeploymentPlan
+    #: Path-scaled application value γ_path · Γ(selection).
+    predicted_value: float
+    #: Predicted dollar cost over the optimization period.
+    predicted_cost: float
+    #: Predicted objective Θ.
+    predicted_theta: float
+
+
+class PathSelector:
+    """Deployment-time selection over a :class:`DynamicPathSet`.
+
+    Parameters
+    ----------
+    paths:
+        The variant family.
+    catalog:
+        Provider VM classes.
+    spec:
+        Objective parameters (Ω̂, σ, period).
+    strategy / dynamism:
+        Passed through to each variant's Algorithm 1 deployment.
+    """
+
+    def __init__(
+        self,
+        paths: DynamicPathSet,
+        catalog: list[VMClass],
+        spec: ObjectiveSpec,
+        strategy: str = "global",
+        dynamism: bool = True,
+    ) -> None:
+        self.paths = paths
+        self.catalog = catalog
+        self.spec = spec
+        self.config = DeploymentConfig(
+            strategy=strategy,  # type: ignore[arg-type]
+            omega_min=spec.omega_min,
+            dynamism=dynamism,
+        )
+
+    def evaluate(
+        self, variant: PathVariant, input_rates: Mapping[str, float]
+    ) -> PathChoice:
+        """Plan one variant and predict its objective."""
+        rates = self.paths.map_rates(variant, input_rates)
+        deployment = InitialDeployment(variant.dataflow, self.catalog, self.config)
+        plan = deployment.plan(rates)
+        gamma = variant.value * variant.dataflow.application_value(plan.selection)
+        hours = self.spec.period / 3600.0
+        cost = plan.cluster.total_hourly_price() * hours
+        return PathChoice(
+            variant=variant,
+            plan=plan,
+            predicted_value=gamma,
+            predicted_cost=cost,
+            predicted_theta=gamma - self.spec.sigma * cost,
+        )
+
+    def rank(
+        self, input_rates: Mapping[str, float]
+    ) -> list[PathChoice]:
+        """All variants, best predicted Θ first."""
+        choices = [
+            self.evaluate(v, input_rates) for v in self.paths.variants
+        ]
+        choices.sort(key=lambda c: c.predicted_theta, reverse=True)
+        return choices
+
+    def select(self, input_rates: Mapping[str, float]) -> PathChoice:
+        """The Θ-best variant for the estimated input rates."""
+        return self.rank(input_rates)[0]
+
+    def plan(self, input_rates: Mapping[str, float]) -> DeploymentPlan:
+        """Policy-compatible entry point: the chosen variant's plan.
+
+        Note the plan references the chosen variant's dataflow; run it
+        with that dataflow (``select(...).variant.dataflow``).
+        """
+        return self.select(input_rates).plan

@@ -1,0 +1,143 @@
+"""Named scheduling policies compared in the paper's evaluation (§8).
+
+A :class:`Policy` bundles an initial-deployment strategy with an optional
+runtime-adaptation strategy and the application-dynamism toggle.  The
+registry covers every line the paper's figures plot:
+
+=====================  ==========================================================
+name                   meaning
+=====================  ==========================================================
+``static-bruteforce``  Θ-optimal static deployment, no adaptation (small cases)
+``static-local``       local deployment heuristic, no adaptation
+``static-global``      global deployment heuristic, no adaptation
+``local``              local deployment + local runtime adaptation
+``global``             global deployment + global runtime adaptation
+``local-nodyn``        local, alternates pinned to maximum value
+``global-nodyn``       global, alternates pinned to maximum value
+=====================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from ..cloud.resources import VMClass
+from ..dataflow.graph import DynamicDataflow
+from .adaptation import AdaptationConfig, RuntimeAdaptation
+from .bruteforce import BruteForceConfig, BruteForceDeployment
+from .deployment import DeploymentConfig, InitialDeployment
+from .objective import ObjectiveSpec
+from .state import DeploymentPlan, Snapshot
+
+__all__ = ["Policy", "make_policy", "POLICY_NAMES"]
+
+POLICY_NAMES = (
+    "static-bruteforce",
+    "static-local",
+    "static-global",
+    "local",
+    "global",
+    "local-nodyn",
+    "global-nodyn",
+)
+
+
+@dataclass
+class Policy:
+    """A deployment + adaptation pairing the run manager can execute.
+
+    Attributes
+    ----------
+    name:
+        Registry name.
+    deployer:
+        Object with ``plan(input_rates) → DeploymentPlan``.
+    adapter:
+        Runtime adaptation, or ``None`` for static policies.
+    """
+
+    name: str
+    deployer: object
+    adapter: Optional[RuntimeAdaptation]
+
+    @property
+    def adaptive(self) -> bool:
+        return self.adapter is not None
+
+    def initial_plan(self, input_rates: Mapping[str, float]) -> DeploymentPlan:
+        """Initial deployment from estimated input rates."""
+        return self.deployer.plan(input_rates)  # type: ignore[attr-defined]
+
+    def adapt(
+        self, snapshot: Snapshot, interval_index: int
+    ) -> Optional[DeploymentPlan]:
+        """Runtime decision at an interval boundary (None = keep as is)."""
+        if self.adapter is None:
+            return None
+        return self.adapter.adapt(snapshot, interval_index)
+
+
+def make_policy(
+    name: str,
+    dataflow: DynamicDataflow,
+    catalog: list[VMClass],
+    spec: ObjectiveSpec,
+    adaptation_overrides: Optional[AdaptationConfig] = None,
+) -> Policy:
+    """Instantiate a named policy bound to a dataflow and catalog.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`POLICY_NAMES`.
+    spec:
+        Objective parameters (Ω̂, ε, σ, period, interval) shared by the
+        deployment and adaptation components.
+    adaptation_overrides:
+        Optional replacement adaptation config; its strategy/dynamism
+        fields are still forced to match the policy name.
+    """
+    if name not in POLICY_NAMES:
+        raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
+
+    if name == "static-bruteforce":
+        deployer = BruteForceDeployment(
+            dataflow,
+            catalog,
+            BruteForceConfig(
+                omega_min=spec.omega_min,
+                sigma=spec.sigma,
+                period_hours=spec.period / 3600.0,
+            ),
+        )
+        return Policy(name=name, deployer=deployer, adapter=None)
+
+    static = name.startswith("static-")
+    base = name.removeprefix("static-")
+    dynamism = not base.endswith("-nodyn")
+    strategy = "global" if base.startswith("global") else "local"
+
+    deployer = InitialDeployment(
+        dataflow,
+        catalog,
+        DeploymentConfig(
+            strategy=strategy,
+            omega_min=spec.omega_min,
+            dynamism=dynamism,
+        ),
+    )
+    if static:
+        return Policy(name=name, deployer=deployer, adapter=None)
+
+    acfg = adaptation_overrides or AdaptationConfig()
+    acfg = replace(
+        acfg,
+        strategy=strategy,
+        dynamism=dynamism,
+        omega_min=spec.omega_min,
+        epsilon=spec.epsilon,
+        interval=spec.interval,
+    )
+    adapter = RuntimeAdaptation(dataflow, catalog, acfg)
+    return Policy(name=name, deployer=deployer, adapter=adapter)

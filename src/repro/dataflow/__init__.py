@@ -1,0 +1,37 @@
+"""Dynamic dataflow application model (S2).
+
+Processing elements with alternates (Def. 2), the dataflow DAG (Def. 1),
+and QoS metrics Γ (Def. 3) and Ω (Def. 4).
+"""
+
+from .graph import AlternateSelection, CycleError, DynamicDataflow, Edge
+from .metrics import (
+    FlowState,
+    IntervalMetrics,
+    MetricsTimeline,
+    constrained_rates,
+    relative_application_throughput,
+    relative_pe_throughputs,
+)
+from .patterns import MergePattern, SplitPattern, merge_rate, split_rates
+from .pe import Alternate, ProcessingElement, pe
+
+__all__ = [
+    "Alternate",
+    "AlternateSelection",
+    "CycleError",
+    "DynamicDataflow",
+    "Edge",
+    "FlowState",
+    "IntervalMetrics",
+    "MergePattern",
+    "MetricsTimeline",
+    "ProcessingElement",
+    "SplitPattern",
+    "constrained_rates",
+    "merge_rate",
+    "pe",
+    "relative_application_throughput",
+    "relative_pe_throughputs",
+    "split_rates",
+]

@@ -1,0 +1,401 @@
+"""The dynamic dataflow DAG (paper §3, Defs. 1–3).
+
+A :class:`DynamicDataflow` is a directed acyclic graph of
+:class:`~repro.dataflow.pe.ProcessingElement` vertices with designated
+input and output PE sets.  This module provides construction and
+validation, graph traversals used by the heuristics (forward BFS from the
+inputs for deployment ordering, reverse BFS from the outputs for the
+global heuristic's downstream-cost dynamic program), ideal rate
+propagation, and the normalized application value Γ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .patterns import MergePattern, SplitPattern, merge_rate, split_rates
+from .pe import Alternate, ProcessingElement
+
+__all__ = ["Edge", "DynamicDataflow", "CycleError", "AlternateSelection"]
+
+#: A selection maps PE name → active alternate name.
+AlternateSelection = Mapping[str, str]
+
+
+class CycleError(ValueError):
+    """Raised when the dataflow contains a directed cycle."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dataflow edge between two PEs."""
+
+    source: str
+    sink: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.sink:
+            raise ValueError(f"self-loop on {self.source!r} is not allowed")
+
+
+class DynamicDataflow:
+    """A continuous dataflow with alternates (the quadruple ``(P, E, I, O)``).
+
+    Parameters
+    ----------
+    pes:
+        The processing elements; names must be unique.
+    edges:
+        Directed edges as ``(source, sink)`` pairs or :class:`Edge`.
+    inputs / outputs:
+        Optional explicit input/output PE name sets.  When omitted they
+        default to sources (no in-edges) and sinks (no out-edges).
+    split / merge:
+        Optional per-PE overrides of the output-port split pattern and
+        input-port merge pattern (paper defaults: and-split, multi-merge).
+
+    Raises
+    ------
+    CycleError
+        If the edges contain a directed cycle.
+    ValueError
+        On dangling edges, duplicate PEs, empty input/output sets, or PEs
+        unreachable from the inputs.
+    """
+
+    def __init__(
+        self,
+        pes: Sequence[ProcessingElement],
+        edges: Iterable[Edge | tuple[str, str]],
+        *,
+        inputs: Optional[Iterable[str]] = None,
+        outputs: Optional[Iterable[str]] = None,
+        split: Optional[Mapping[str, SplitPattern]] = None,
+        merge: Optional[Mapping[str, MergePattern]] = None,
+    ) -> None:
+        names = [p.name for p in pes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate PE names: {sorted(names)}")
+        self._pes: dict[str, ProcessingElement] = {p.name: p for p in pes}
+
+        self._edges: list[Edge] = []
+        self._succ: dict[str, list[str]] = {n: [] for n in names}
+        self._pred: dict[str, list[str]] = {n: [] for n in names}
+        seen: set[tuple[str, str]] = set()
+        for e in edges:
+            edge = e if isinstance(e, Edge) else Edge(*e)
+            for endpoint in (edge.source, edge.sink):
+                if endpoint not in self._pes:
+                    raise ValueError(f"edge {edge} references unknown PE {endpoint!r}")
+            if (edge.source, edge.sink) in seen:
+                raise ValueError(f"duplicate edge {edge}")
+            seen.add((edge.source, edge.sink))
+            self._edges.append(edge)
+            self._succ[edge.source].append(edge.sink)
+            self._pred[edge.sink].append(edge.source)
+
+        self._topo = self._toposort()
+
+        derived_inputs = [n for n in names if not self._pred[n]]
+        derived_outputs = [n for n in names if not self._succ[n]]
+        self._inputs = tuple(inputs) if inputs is not None else tuple(derived_inputs)
+        self._outputs = (
+            tuple(outputs) if outputs is not None else tuple(derived_outputs)
+        )
+        if not self._inputs:
+            raise ValueError("dataflow must have at least one input PE")
+        if not self._outputs:
+            raise ValueError("dataflow must have at least one output PE")
+        for n in self._inputs + self._outputs:
+            if n not in self._pes:
+                raise ValueError(f"designated input/output {n!r} is not a PE")
+
+        self._split = {n: SplitPattern.AND_SPLIT for n in names}
+        if split:
+            for n, pat in split.items():
+                if n not in self._pes:
+                    raise ValueError(f"split override for unknown PE {n!r}")
+                self._split[n] = pat
+        self._merge = {n: MergePattern.MULTI_MERGE for n in names}
+        if merge:
+            for n, pat in merge.items():
+                if n not in self._pes:
+                    raise ValueError(f"merge override for unknown PE {n!r}")
+                self._merge[n] = pat
+
+        unreachable = set(names) - set(self.forward_bfs_order())
+        if unreachable:
+            raise ValueError(
+                f"PEs unreachable from the inputs: {sorted(unreachable)}"
+            )
+
+    # -- basic access ---------------------------------------------------------
+
+    @property
+    def pes(self) -> tuple[ProcessingElement, ...]:
+        """All PEs in insertion order."""
+        return tuple(self._pes.values())
+
+    @property
+    def pe_names(self) -> tuple[str, ...]:
+        return tuple(self._pes)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(self._edges)
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Names of the input PEs (set ``I``)."""
+        return self._inputs
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        """Names of the output PEs (set ``O``)."""
+        return self._outputs
+
+    def __len__(self) -> int:
+        return len(self._pes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pes
+
+    def __getitem__(self, name: str) -> ProcessingElement:
+        try:
+            return self._pes[name]
+        except KeyError:
+            raise KeyError(
+                f"no PE named {name!r}; known: {sorted(self._pes)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<DynamicDataflow |P|={len(self._pes)} |E|={len(self._edges)} "
+            f"I={list(self._inputs)} O={list(self._outputs)}>"
+        )
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        return tuple(self._succ[self[name].name])
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        return tuple(self._pred[self[name].name])
+
+    def split_pattern(self, name: str) -> SplitPattern:
+        return self._split[self[name].name]
+
+    def merge_pattern(self, name: str) -> MergePattern:
+        return self._merge[self[name].name]
+
+    # -- traversals -------------------------------------------------------------
+
+    def _toposort(self) -> list[str]:
+        indeg = {n: len(p) for n, p in self._pred.items()}
+        # Deterministic order: seed with declaration order.
+        ready = deque(n for n in self._pes if indeg[n] == 0)
+        order: list[str] = []
+        while ready:
+            n = ready.popleft()
+            order.append(n)
+            for m in self._succ[n]:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    ready.append(m)
+        if len(order) != len(self._pes):
+            cyclic = sorted(n for n, d in indeg.items() if d > 0)
+            raise CycleError(f"dataflow contains a cycle through {cyclic}")
+        return order
+
+    def topological_order(self) -> list[str]:
+        """PE names in a deterministic topological order."""
+        return list(self._topo)
+
+    def forward_bfs_order(self) -> list[str]:
+        """Breadth-first order rooted at the input PEs (Alg. 1's
+        ``GetNextPE`` initial ordering)."""
+        seen: set[str] = set()
+        order: list[str] = []
+        frontier = deque(self._inputs)
+        while frontier:
+            n = frontier.popleft()
+            if n in seen:
+                continue
+            seen.add(n)
+            order.append(n)
+            frontier.extend(m for m in self._succ[n] if m not in seen)
+        return order
+
+    def reverse_bfs_order(self) -> list[str]:
+        """Breadth-first order rooted at the output PEs following edges
+        backwards (used by the global downstream-cost DP)."""
+        seen: set[str] = set()
+        order: list[str] = []
+        frontier = deque(self._outputs)
+        while frontier:
+            n = frontier.popleft()
+            if n in seen:
+                continue
+            seen.add(n)
+            order.append(n)
+            frontier.extend(m for m in self._pred[n] if m not in seen)
+        return order
+
+    # -- alternates -------------------------------------------------------------
+
+    def validate_selection(self, selection: AlternateSelection) -> None:
+        """Check that ``selection`` names one valid alternate per PE."""
+        missing = set(self._pes) - set(selection)
+        if missing:
+            raise ValueError(f"selection missing PEs: {sorted(missing)}")
+        for pe_name, alt_name in selection.items():
+            self[pe_name].alternate(alt_name)  # raises KeyError if absent
+
+    def active_alternate(
+        self, selection: AlternateSelection, pe_name: str
+    ) -> Alternate:
+        """The alternate selected for ``pe_name``."""
+        return self[pe_name].alternate(selection[pe_name])
+
+    def default_selection(self) -> dict[str, str]:
+        """Selection picking every PE's best-value alternate (Γ = 1)."""
+        return {p.name: p.best_alternate.name for p in self.pes}
+
+    def cheapest_selection(self) -> dict[str, str]:
+        """Selection picking every PE's lowest-cost alternate."""
+        return {p.name: p.cheapest_alternate.name for p in self.pes}
+
+    def all_selections(self) -> Iterable[dict[str, str]]:
+        """Iterate over the full cross-product of alternate selections.
+
+        Exponential; intended only for the brute-force baseline on small
+        graphs.
+        """
+        names = list(self._pes)
+
+        def rec(i: int, acc: dict[str, str]):
+            if i == len(names):
+                yield dict(acc)
+                return
+            for alt in self._pes[names[i]].alternates:
+                acc[names[i]] = alt.name
+                yield from rec(i + 1, acc)
+            acc.pop(names[i], None)
+
+        yield from rec(0, {})
+
+    # -- Def. 3: normalized application value ------------------------------------
+
+    def application_value(self, selection: AlternateSelection) -> float:
+        """Normalized application value Γ ∈ (0, 1] for a selection.
+
+        Γ averages the relative values γ of the active alternates, making
+        value an additive property over the graph as in Def. 3.
+        """
+        self.validate_selection(selection)
+        total = sum(
+            self[p].relative_value(selection[p]) for p in self._pes
+        )
+        return total / len(self._pes)
+
+    def value_bounds(self) -> tuple[float, float]:
+        """(min, max) achievable Γ over all selections."""
+        lo = sum(
+            p.relative_value(p.worst_alternate) for p in self.pes
+        ) / len(self._pes)
+        return lo, 1.0
+
+    # -- rate propagation ---------------------------------------------------------
+
+    def ideal_rates(
+        self,
+        selection: AlternateSelection,
+        input_rates: Mapping[str, float],
+    ) -> dict[str, tuple[float, float]]:
+        """Steady-state (input, output) message rates per PE with infinite
+        processing capacity.
+
+        Parameters
+        ----------
+        selection:
+            Active alternate per PE (determines selectivities).
+        input_rates:
+            External messages/second entering each input PE.
+
+        Returns
+        -------
+        dict
+            ``{pe_name: (arrival_rate, output_rate)}``.
+        """
+        self.validate_selection(selection)
+        for n in self._inputs:
+            if n not in input_rates:
+                raise ValueError(f"missing input rate for input PE {n!r}")
+
+        arrivals: dict[str, float] = {n: 0.0 for n in self._pes}
+        outputs: dict[str, float] = {}
+        edge_rate: dict[tuple[str, str], float] = {}
+
+        for n in self._topo:
+            external = float(input_rates.get(n, 0.0)) if n in self._inputs else 0.0
+            incoming = [edge_rate[(p, n)] for p in self._pred[n]]
+            arrival = external
+            if incoming:
+                arrival += merge_rate(self._merge[n], incoming)
+            arrivals[n] = arrival
+            out = arrival * self.active_alternate(selection, n).selectivity
+            outputs[n] = out
+            succ = self._succ[n]
+            if succ:
+                rates = split_rates(self._split[n], out, len(succ))
+                for m, r in zip(succ, rates):
+                    edge_rate[(n, m)] = r
+
+        return {n: (arrivals[n], outputs[n]) for n in self._pes}
+
+    # -- global heuristic support ---------------------------------------------------
+
+    def downstream_costs(
+        self, selection: AlternateSelection
+    ) -> dict[str, float]:
+        """Per-PE downstream cost for the *global* strategy (Table 1).
+
+        For PE ``i`` with active alternate ``a``:
+
+        ``dc(i) = a.cost + a.selectivity · Σ_{j ∈ succ(i)} w_j · dc(j)``
+
+        where the weight ``w_j`` follows the split pattern (1 for
+        and-split since messages are duplicated; 1/|succ| for
+        round-robin/choice).  Computed by dynamic programming over the
+        reverse topological order, i.e. a reverse-BFS-rooted traversal from
+        the output PEs as in the paper.
+        """
+        self.validate_selection(selection)
+        dc: dict[str, float] = {}
+        for n in reversed(self._topo):
+            alt = self.active_alternate(selection, n)
+            succ = self._succ[n]
+            tail = 0.0
+            if succ:
+                weight = (
+                    1.0
+                    if self._split[n] is SplitPattern.AND_SPLIT
+                    else 1.0 / len(succ)
+                )
+                tail = alt.selectivity * weight * sum(dc[m] for m in succ)
+            dc[n] = alt.cost + tail
+        return dc
+
+    def downstream_cost_of(
+        self,
+        selection: AlternateSelection,
+        pe_name: str,
+        alternate: Alternate | str,
+    ) -> float:
+        """Downstream cost of ``pe_name`` if it ran ``alternate`` while the
+        rest of the graph keeps ``selection``."""
+        if isinstance(alternate, str):
+            alternate = self[pe_name].alternate(alternate)
+        probe = dict(selection)
+        probe[pe_name] = alternate.name
+        return self.downstream_costs(probe)[pe_name]

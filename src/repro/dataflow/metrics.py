@@ -1,0 +1,223 @@
+"""Application QoS metrics (paper §3, Defs. 3–4, and §6 aggregates).
+
+Two complementary QoS dimensions:
+
+* **Normalized application value Γ(t)** — how good the active alternates
+  are, averaged over the PEs (Def. 3, implemented on the graph as
+  :meth:`repro.dataflow.graph.DynamicDataflow.application_value`).
+* **Relative application throughput Ω(t)** — the fraction of achievable
+  output the dataflow actually delivers, treating the dataflow as a black
+  box from input PEs to output PEs (Def. 4).
+
+This module computes capacity-constrained steady-state rates, per-PE
+relative throughputs (used by ``GetNextPE`` to find bottlenecks), the
+application-level Ω, and provides :class:`IntervalMetrics` /
+:class:`MetricsTimeline` records used by the optimization bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .graph import AlternateSelection, DynamicDataflow
+from .patterns import merge_rate, split_rates
+
+__all__ = [
+    "FlowState",
+    "constrained_rates",
+    "relative_pe_throughputs",
+    "relative_application_throughput",
+    "IntervalMetrics",
+    "MetricsTimeline",
+]
+
+
+@dataclass(frozen=True)
+class FlowState:
+    """Steady-state flow solution for one configuration.
+
+    Attributes
+    ----------
+    arrivals:
+        Messages/second arriving at each PE (post-merge).
+    processed:
+        Messages/second actually processed (min of arrival and capacity).
+    outputs:
+        Messages/second emitted (= processed × selectivity).
+    ideal_outputs:
+        Output rates with infinite capacity everywhere.
+    """
+
+    arrivals: Mapping[str, float]
+    processed: Mapping[str, float]
+    outputs: Mapping[str, float]
+    ideal_outputs: Mapping[str, float]
+
+
+def constrained_rates(
+    dataflow: DynamicDataflow,
+    selection: AlternateSelection,
+    input_rates: Mapping[str, float],
+    capacities: Mapping[str, float],
+) -> FlowState:
+    """Propagate rates through the DAG under per-PE service capacities.
+
+    Parameters
+    ----------
+    capacities:
+        Sustainable processing rate (messages/second) per PE, e.g.
+        ``Σ_cores π_core / c_alt`` for its current allocation.  PEs missing
+        from the mapping are treated as capacity 0 (unallocated).
+
+    Notes
+    -----
+    The model is a steady-state fluid approximation: each PE forwards
+    ``min(arrival, capacity) · selectivity``.  Backlogged messages are
+    accounted by the execution engine, not here.
+    """
+    dataflow.validate_selection(selection)
+    ideal = dataflow.ideal_rates(selection, input_rates)
+
+    arrivals: dict[str, float] = {}
+    processed: dict[str, float] = {}
+    outputs: dict[str, float] = {}
+    edge_rate: dict[tuple[str, str], float] = {}
+
+    for n in dataflow.topological_order():
+        external = (
+            float(input_rates.get(n, 0.0)) if n in dataflow.inputs else 0.0
+        )
+        incoming = [edge_rate[(p, n)] for p in dataflow.predecessors(n)]
+        arrival = external
+        if incoming:
+            arrival += merge_rate(dataflow.merge_pattern(n), incoming)
+        capacity = max(0.0, float(capacities.get(n, 0.0)))
+        served = min(arrival, capacity)
+        alt = dataflow.active_alternate(selection, n)
+        out = served * alt.selectivity
+
+        arrivals[n] = arrival
+        processed[n] = served
+        outputs[n] = out
+
+        succ = dataflow.successors(n)
+        if succ:
+            rates = split_rates(dataflow.split_pattern(n), out, len(succ))
+            for m, r in zip(succ, rates):
+                edge_rate[(n, m)] = r
+
+    return FlowState(
+        arrivals=arrivals,
+        processed=processed,
+        outputs=outputs,
+        ideal_outputs={n: out for n, (_, out) in ideal.items()},
+    )
+
+
+def relative_pe_throughputs(flow: FlowState) -> dict[str, float]:
+    """Per-PE relative throughput Ω_i = actual output / ideal output.
+
+    A PE with zero ideal output (no traffic routed to it) is defined as
+    fully served (Ω_i = 1) so it never appears as a bottleneck.
+    """
+    out: dict[str, float] = {}
+    for n, ideal in flow.ideal_outputs.items():
+        if ideal <= 0:
+            out[n] = 1.0
+        else:
+            out[n] = min(1.0, flow.outputs[n] / ideal)
+    return out
+
+
+def relative_application_throughput(
+    dataflow: DynamicDataflow, flow: FlowState
+) -> float:
+    """Def. 4: Ω = (Σ_{i ∈ O} Ω_i) / |O| over the output PEs."""
+    per_pe = relative_pe_throughputs(flow)
+    return sum(per_pe[o] for o in dataflow.outputs) / len(dataflow.outputs)
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """QoS and cost observed over one optimization interval."""
+
+    #: Interval start time (seconds).
+    t: float
+    #: Normalized application value Γ(t) ∈ (0, 1].
+    value: float
+    #: Relative application throughput Ω(t) ∈ [0, 1].
+    throughput: float
+    #: Cumulative dollar cost μ[t] of all VM instances up to interval end.
+    cumulative_cost: float
+    #: Messages delivered at output PEs during the interval.
+    delivered: float = 0.0
+    #: Messages that would have been delivered with infinite capacity.
+    deliverable: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.throughput <= 1.0 + 1e-9:
+            raise ValueError(f"throughput {self.throughput} outside [0, 1]")
+        if self.cumulative_cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+class MetricsTimeline:
+    """Accumulates per-interval metrics and produces §6 aggregates.
+
+    The paper's optimization period ``T`` is a sequence of equal-length
+    intervals; Ω̄ and Γ̄ are plain means over the intervals, and the total
+    cost μ is the cumulative cost at the final interval.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[IntervalMetrics] = []
+
+    def record(self, metrics: IntervalMetrics) -> None:
+        """Append one interval's metrics (time must be non-decreasing)."""
+        if self._records and metrics.t < self._records[-1].t:
+            raise ValueError(
+                f"interval at t={metrics.t} precedes last recorded "
+                f"t={self._records[-1].t}"
+            )
+        self._records.append(metrics)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[IntervalMetrics, ...]:
+        return tuple(self._records)
+
+    @property
+    def mean_value(self) -> float:
+        """Γ̄ — average normalized application value over the period."""
+        self._require_data()
+        return sum(r.value for r in self._records) / len(self._records)
+
+    @property
+    def mean_throughput(self) -> float:
+        """Ω̄ — average relative application throughput over the period."""
+        self._require_data()
+        return sum(r.throughput for r in self._records) / len(self._records)
+
+    @property
+    def total_cost(self) -> float:
+        """μ — cumulative dollar cost at the end of the period."""
+        self._require_data()
+        return self._records[-1].cumulative_cost
+
+    def objective(self, sigma: float) -> float:
+        """Θ = Γ̄ − σ·μ for the given cost/value equivalence ``sigma``."""
+        return self.mean_value - sigma * self.total_cost
+
+    def meets_constraint(self, omega_min: float, epsilon: float = 0.0) -> bool:
+        """Whether Ω̄ ≥ Ω̂ − ε (the paper's necessary condition)."""
+        return self.mean_throughput >= omega_min - epsilon
+
+    def _require_data(self) -> None:
+        if not self._records:
+            raise ValueError("no intervals recorded yet")

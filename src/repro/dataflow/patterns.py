@@ -1,0 +1,78 @@
+"""Edge semantics for dataflow ports (paper §3).
+
+The paper assumes, without loss of generality, *and-split* semantics for
+edges leaving the same output port (messages are duplicated on every
+outgoing edge) and *multi-merge* semantics for edges entering the same
+input port (messages from all incoming edges are interleaved).  We model
+those two as the defaults and additionally provide the other patterns the
+paper cites from the workflow-patterns literature so users can compose
+richer graphs.
+
+The patterns matter for *rate propagation*: given a PE's output message
+rate, each pattern defines the rate observed on each outgoing edge, and
+given rates on incoming edges, the rate arriving at the PE.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+__all__ = ["SplitPattern", "MergePattern", "split_rates", "merge_rate"]
+
+
+class SplitPattern(enum.Enum):
+    """How messages on an output port map onto multiple outgoing edges."""
+
+    #: Duplicate every message on every outgoing edge (paper default).
+    AND_SPLIT = "and-split"
+    #: Each message goes to exactly one edge, round-robin (load sharing).
+    ROUND_ROBIN = "round-robin"
+    #: Each message goes to exactly one edge chosen by content; modelled as
+    #: an even probabilistic split for rate purposes.
+    CHOICE = "choice"
+
+
+class MergePattern(enum.Enum):
+    """How messages on multiple incoming edges combine at an input port."""
+
+    #: Interleave messages from all edges (paper default).
+    MULTI_MERGE = "multi-merge"
+    #: Wait for one message from *every* edge, emit a single joined unit.
+    SYNCHRONIZE = "synchronize"
+
+
+def split_rates(
+    pattern: SplitPattern, output_rate: float, n_edges: int
+) -> list[float]:
+    """Per-edge message rates for ``output_rate`` leaving a port.
+
+    Parameters
+    ----------
+    pattern:
+        The split semantics.
+    output_rate:
+        Messages/second emitted on the port (must be ≥ 0).
+    n_edges:
+        Number of outgoing edges on the port (must be ≥ 1).
+    """
+    if output_rate < 0:
+        raise ValueError("output rate must be non-negative")
+    if n_edges < 1:
+        raise ValueError("a port needs at least one outgoing edge")
+    if pattern is SplitPattern.AND_SPLIT:
+        return [output_rate] * n_edges
+    # ROUND_ROBIN and CHOICE both spread the rate evenly in expectation.
+    return [output_rate / n_edges] * n_edges
+
+
+def merge_rate(pattern: MergePattern, edge_rates: Sequence[float]) -> float:
+    """Aggregate rate arriving at a port from its incoming edges."""
+    if not edge_rates:
+        raise ValueError("a port needs at least one incoming edge")
+    if any(r < 0 for r in edge_rates):
+        raise ValueError("edge rates must be non-negative")
+    if pattern is MergePattern.MULTI_MERGE:
+        return float(sum(edge_rates))
+    # SYNCHRONIZE: the join completes at the rate of the slowest edge.
+    return float(min(edge_rates))

@@ -1,0 +1,179 @@
+"""Processing elements and their alternates (paper §3, Defs. 1–2).
+
+A :class:`ProcessingElement` (PE) is a long-running task in a continuous
+dataflow.  A *dynamic* dataflow equips every PE with one or more
+:class:`Alternate` implementations; at any time exactly one alternate is
+*active*.  Each alternate carries the three metrics from Def. 2:
+
+``value``
+    The user-defined value function output ``f(p_i^j)`` (e.g. an F1 score
+    for a classifier PE).  The *relative* value ``γ`` is derived by
+    normalizing against the best alternate of the same PE.
+``cost``
+    Core-seconds needed to process one message on a *standard* CPU core
+    (``π = 1``).
+``selectivity``
+    Output messages produced per input message consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["Alternate", "ProcessingElement", "pe"]
+
+
+@dataclass(frozen=True)
+class Alternate:
+    """One implementation choice for a processing element.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within its PE.
+    value:
+        Raw user-defined value ``f(p) > 0`` of this implementation.
+    cost:
+        Core-seconds per message on a standard core; must be positive.
+    selectivity:
+        Output/input message ratio; must be positive.
+    """
+
+    name: str
+    value: float
+    cost: float
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("alternate name must be non-empty")
+        if self.value <= 0:
+            raise ValueError(f"alternate {self.name!r}: value must be > 0")
+        if self.cost <= 0:
+            raise ValueError(f"alternate {self.name!r}: cost must be > 0")
+        if self.selectivity <= 0:
+            raise ValueError(f"alternate {self.name!r}: selectivity must be > 0")
+
+    def scaled_cost(self, processing_power: float) -> float:
+        """Seconds to process one message on a core of normalized power
+        ``processing_power`` (paper §4: ``c' = c / π``)."""
+        if processing_power <= 0:
+            raise ValueError("processing power must be positive")
+        return self.cost / processing_power
+
+
+class ProcessingElement:
+    """A named vertex of a dynamic dataflow with ≥1 alternates.
+
+    The PE itself does not know its graph position; edges live on
+    :class:`repro.dataflow.graph.DynamicDataflow`.
+
+    Parameters
+    ----------
+    name:
+        Unique PE identifier within the dataflow.
+    alternates:
+        Non-empty sequence of :class:`Alternate`; names must be unique.
+    """
+
+    def __init__(self, name: str, alternates: Sequence[Alternate]) -> None:
+        if not name:
+            raise ValueError("PE name must be non-empty")
+        if not alternates:
+            raise ValueError(f"PE {name!r} needs at least one alternate")
+        names = [a.name for a in alternates]
+        if len(set(names)) != len(names):
+            raise ValueError(f"PE {name!r} has duplicate alternate names: {names}")
+        self.name = name
+        self._alternates: tuple[Alternate, ...] = tuple(alternates)
+        self._by_name = {a.name: a for a in self._alternates}
+        self._max_value = max(a.value for a in self._alternates)
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def alternates(self) -> tuple[Alternate, ...]:
+        """All alternates, in declaration order."""
+        return self._alternates
+
+    def __iter__(self) -> Iterator[Alternate]:
+        return iter(self._alternates)
+
+    def __len__(self) -> int:
+        return len(self._alternates)
+
+    def __repr__(self) -> str:
+        return f"<PE {self.name!r} ×{len(self._alternates)} alternates>"
+
+    def alternate(self, name: str) -> Alternate:
+        """Look up an alternate by name.
+
+        Raises ``KeyError`` with a helpful message when absent.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"PE {self.name!r} has no alternate {name!r}; "
+                f"known: {sorted(self._by_name)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # -- Def. 2 metrics -------------------------------------------------------
+
+    def relative_value(self, alternate: Alternate | str) -> float:
+        """Relative value ``γ = f(p) / max_j f(p^j)`` in ``(0, 1]``."""
+        if isinstance(alternate, str):
+            alternate = self.alternate(alternate)
+        return alternate.value / self._max_value
+
+    @property
+    def best_alternate(self) -> Alternate:
+        """The alternate with the maximum raw value (γ = 1)."""
+        return max(self._alternates, key=lambda a: a.value)
+
+    @property
+    def worst_alternate(self) -> Alternate:
+        """The alternate with the minimum raw value."""
+        return min(self._alternates, key=lambda a: a.value)
+
+    @property
+    def cheapest_alternate(self) -> Alternate:
+        """The alternate with the lowest processing cost."""
+        return min(self._alternates, key=lambda a: a.cost)
+
+    def ranked_by_value_density(self) -> list[Alternate]:
+        """Alternates sorted by γ/cost descending (Alg. 1 ranking)."""
+        return sorted(
+            self._alternates,
+            key=lambda a: self.relative_value(a) / a.cost,
+            reverse=True,
+        )
+
+
+def pe(
+    name: str,
+    *,
+    alternates: Optional[Sequence[Alternate]] = None,
+    value: float = 1.0,
+    cost: float = 1.0,
+    selectivity: float = 1.0,
+) -> ProcessingElement:
+    """Convenience constructor for a PE.
+
+    With ``alternates`` given, builds a multi-alternate PE; otherwise a
+    single-alternate PE named ``<name>.default`` with the scalar metrics.
+    """
+    if alternates is None:
+        alternates = [
+            Alternate(
+                name=f"{name}.default",
+                value=value,
+                cost=cost,
+                selectivity=selectivity,
+            )
+        ]
+    return ProcessingElement(name, alternates)

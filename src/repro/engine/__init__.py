@@ -1,0 +1,26 @@
+"""Dataflow execution engine on the simulated cloud (S5 + S6)."""
+
+from .executor import FluidExecutor
+from .failures import FailureDriver
+from .latency import LatencySummary, LatencyTracker, fluid_latency_estimate
+from .manager import RunManager, RunResult
+from .messages import IntervalStats, Message
+from .monitor import Monitor
+from .permsg import PerMessageExecutor
+from .reconcile import ReconcileReport, apply_plan
+
+__all__ = [
+    "FailureDriver",
+    "FluidExecutor",
+    "IntervalStats",
+    "LatencySummary",
+    "LatencyTracker",
+    "fluid_latency_estimate",
+    "Message",
+    "Monitor",
+    "PerMessageExecutor",
+    "ReconcileReport",
+    "RunManager",
+    "RunResult",
+    "apply_plan",
+]

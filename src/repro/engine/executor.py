@@ -1,0 +1,607 @@
+"""Vectorized fluid-flow dataflow execution engine (substrate S6).
+
+Simulates the continuous dataflow on the provisioned VM fleet with a
+fluid approximation advanced in fixed ticks (default 1 s): message counts
+are real-valued, per-(PE, VM) input queues accumulate backlog, service
+capacity follows the monitored CPU coefficients of each VM, and
+inter-VM edges are constrained by pairwise network bandwidth.  The model
+implements the paper's runtime semantics (§5):
+
+* several instances of a PE run data-parallel, one core each; incoming
+  messages are load-balanced across the allocated cores (we route
+  proportionally to capacity share),
+* colocated PEs transfer messages in memory; remote transfers pay
+  latency/bandwidth,
+* releasing a VM migrates its pending buffered messages to the remaining
+  VMs hosting the PE, with the network transfer cost paid as a delay,
+* PEs are stateless, so cores can move between VMs and alternates can be
+  switched at any interval boundary without violating consistency.
+
+The engine is validated against a per-message discrete-event executor in
+the test suite (``tests/engine/test_fluid_vs_permsg.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.resources import VMInstance
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.patterns import SplitPattern
+from ..sim.kernel import Environment
+from ..workloads.rates import RateProfile
+from .messages import IntervalStats
+
+__all__ = ["FluidExecutor"]
+
+_EPS = 1e-12
+
+
+def _reject_synchronize_merges(dataflow: DynamicDataflow) -> None:
+    """The engines implement multi-merge (interleaving) arrivals only.
+
+    SYNCHRONIZE joins need message pairing state the stateless-PE model
+    deliberately excludes (§5); running such a graph would silently
+    mis-account Ω, so refuse it loudly.  The flow *metrics* in
+    :mod:`repro.dataflow.metrics` do support SYNCHRONIZE for analysis.
+    """
+    from ..dataflow.patterns import MergePattern
+
+    offenders = [
+        n
+        for n in dataflow.pe_names
+        if dataflow.merge_pattern(n) is MergePattern.SYNCHRONIZE
+    ]
+    if offenders:
+        raise ValueError(
+            f"the execution engines support MULTI_MERGE only; PEs with "
+            f"SYNCHRONIZE merges: {offenders}"
+        )
+
+
+class _MigratingBuffer:
+    """Messages in flight between VMs during a buffer migration."""
+
+    __slots__ = ("pe", "messages", "available_at")
+
+    def __init__(self, pe: str, messages: float, available_at: float) -> None:
+        self.pe = pe
+        self.messages = messages
+        self.available_at = available_at
+
+
+class FluidExecutor:
+    """Runs one dynamic dataflow over a provider's fleet.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (drives the tick process).
+    dataflow:
+        The application.
+    provider:
+        The cloud provider owning VMs and performance models.
+    profiles:
+        Input rate profile per input PE.
+    selection:
+        Initial active alternate per PE.
+    tick:
+        Fluid step in seconds.
+    message_size_mb:
+        Message payload size (paper: ~100 KB → 0.1 MB).
+    network_refresh:
+        Seconds between re-sampling of pairwise link budgets.
+    network_pair_cap:
+        When a PE edge spans more VM pairs than this, link bandwidth is
+        estimated from a deterministic subsample (documented
+        approximation; keeps large fleets O(cap) per refresh).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        dataflow: DynamicDataflow,
+        provider: CloudProvider,
+        profiles: Mapping[str, RateProfile],
+        selection: Mapping[str, str],
+        tick: float = 1.0,
+        message_size_mb: float = 0.1,
+        network_refresh: float = 60.0,
+        network_pair_cap: int = 256,
+    ) -> None:
+        missing = set(dataflow.inputs) - set(profiles)
+        if missing:
+            raise ValueError(f"missing rate profiles for inputs: {sorted(missing)}")
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        _reject_synchronize_merges(dataflow)
+        if message_size_mb <= 0:
+            raise ValueError("message size must be positive")
+        self.env = env
+        self.dataflow = dataflow
+        self.provider = provider
+        self.profiles = dict(profiles)
+        self.tick = float(tick)
+        self.message_size_mb = float(message_size_mb)
+        self.network_refresh = float(network_refresh)
+        self.network_pair_cap = int(network_pair_cap)
+
+        self._pe_names = list(dataflow.pe_names)
+        self._pe_index = {n: i for i, n in enumerate(self._pe_names)}
+        self._edges = [(e.source, e.sink) for e in dataflow.edges]
+
+        self.selection: dict[str, str] = dict(selection)
+        dataflow.validate_selection(self.selection)
+
+        # VM-indexed arrays (rebuilt by sync()).
+        self._vms: list[VMInstance] = []
+        self._vm_index: dict[str, int] = {}
+        self._alloc = np.zeros((len(self._pe_names), 0))
+        self._backlog = np.zeros((len(self._pe_names), 0))
+        self._core_speed = np.zeros(0)
+        self._ready_time = np.zeros(0)
+        self._cpu_views: list[Optional[tuple[np.ndarray, int, float]]] = []
+        self._egress: dict[tuple[str, str], np.ndarray] = {
+            e: np.zeros(0) for e in self._edges
+        }
+        self._migrating: list[_MigratingBuffer] = []
+        #: Messages waiting for a PE that currently has no cores at all.
+        self._unhosted: dict[str, float] = {}
+        self._remote_budget: dict[tuple[str, str], np.ndarray] = {}
+        self._next_net_refresh = -np.inf
+
+        self._set_selection_arrays()
+        self.stats = IntervalStats(start=env.now, end=env.now)
+        self._started = False
+
+    # -- configuration -------------------------------------------------------------
+
+    def set_selection(self, selection: Mapping[str, str]) -> None:
+        """Switch active alternates (backlogs survive; PEs are stateless)."""
+        self.dataflow.validate_selection(selection)
+        self.selection = dict(selection)
+        self._set_selection_arrays()
+
+    def _set_selection_arrays(self) -> None:
+        df = self.dataflow
+        self._cost = np.array(
+            [
+                df.active_alternate(self.selection, n).cost
+                for n in self._pe_names
+            ]
+        )
+        self._selectivity = np.array(
+            [
+                df.active_alternate(self.selection, n).selectivity
+                for n in self._pe_names
+            ]
+        )
+        # Split factor per edge: 1 for and-split, 1/k otherwise.
+        self._edge_factor: dict[tuple[str, str], float] = {}
+        for u, w in self._edges:
+            k = len(df.successors(u))
+            if df.split_pattern(u) is SplitPattern.AND_SPLIT:
+                self._edge_factor[(u, w)] = 1.0
+            else:
+                self._edge_factor[(u, w)] = 1.0 / k
+        # Linear gain from each input PE's rate to each output PE's ideal
+        # output rate (deliverable accounting is then one dot product).
+        self._gain = self._ideal_gain_matrix()
+
+    def _ideal_gain_matrix(self) -> np.ndarray:
+        """gain[o, i]: ideal output msgs at output ``o`` per input msg at
+        input ``i`` under the current selection."""
+        df = self.dataflow
+        gain = np.zeros((len(df.outputs), len(df.inputs)))
+        for col, inp in enumerate(df.inputs):
+            probe = {n: (1.0 if n == inp else 0.0) for n in df.inputs}
+            rates = df.ideal_rates(self.selection, probe)
+            for row, out in enumerate(df.outputs):
+                gain[row, col] = rates[out][1]
+        return gain
+
+    def sync(self, now: Optional[float] = None) -> None:
+        """Rebuild VM-indexed state from the provider's current fleet.
+
+        Call after applying a deployment plan.  Backlogs and egress
+        buffers carry over by instance id; buffers on removed hosts are
+        migrated (with network delay) to the remaining hosts of their PE.
+        """
+        t = self.env.now if now is None else now
+        old_vms = self._vms
+        old_index = self._vm_index
+        old_backlog = self._backlog
+        old_egress = self._egress
+
+        vms = [r for r in self.provider.active_instances() if r.used_cores > 0]
+        self._vms = vms
+        self._vm_index = {r.instance_id: j for j, r in enumerate(vms)}
+        P, V = len(self._pe_names), len(vms)
+
+        self._alloc = np.zeros((P, V))
+        for j, r in enumerate(vms):
+            for pe_name, cores in r.allocations.items():
+                if pe_name not in self._pe_index:
+                    raise ValueError(
+                        f"VM {r.instance_id} hosts unknown PE {pe_name!r}"
+                    )
+                self._alloc[self._pe_index[pe_name], j] = cores
+        self._core_speed = np.array([r.vm_class.core_speed for r in vms])
+        self._ready_time = np.array([self.provider.ready_at(r) for r in vms])
+        self._cpu_views = [self._cpu_view(r) for r in vms]
+
+        # Carry state over, collecting orphans for migration.
+        new_backlog = np.zeros((P, V))
+        orphans: dict[str, float] = {}
+        for i, pe_name in enumerate(self._pe_names):
+            for old_j, r in enumerate(old_vms):
+                amount = old_backlog[i, old_j] if old_backlog.size else 0.0
+                if amount <= _EPS:
+                    continue
+                new_j = self._vm_index.get(r.instance_id)
+                if new_j is not None and self._alloc[i, new_j] > 0:
+                    new_backlog[i, new_j] += amount
+                else:
+                    orphans[pe_name] = orphans.get(pe_name, 0.0) + amount
+
+        new_egress: dict[tuple[str, str], np.ndarray] = {}
+        for e in self._edges:
+            arr = np.zeros(V)
+            old = old_egress.get(e)
+            if old is not None and old.size:
+                for old_j, r in enumerate(old_vms):
+                    amount = old[old_j]
+                    if amount <= _EPS:
+                        continue
+                    new_j = self._vm_index.get(r.instance_id)
+                    if new_j is not None:
+                        arr[new_j] += amount
+                    else:
+                        # The producing VM is gone: hand the messages to
+                        # the destination PE via migration.
+                        dst = e[1]
+                        orphans[dst] = orphans.get(dst, 0.0) + amount
+            new_egress[e] = arr
+
+        self._backlog = new_backlog
+        self._egress = new_egress
+
+        for pe_name, amount in orphans.items():
+            self._migrate(pe_name, amount, t)
+
+        self._next_net_refresh = -np.inf  # placement changed: re-probe links
+
+    def fail_vm(self, instance_id: str) -> dict[str, float]:
+        """Destroy a crashed VM's buffered state (messages are lost).
+
+        Call *before* :meth:`sync` when a VM crashes: its input queues and
+        pending egress vanish instead of migrating.  Returns the lost
+        message counts per PE; they are also recorded in the interval
+        stats.
+        """
+        j = self._vm_index.get(instance_id)
+        lost: dict[str, float] = {}
+        if j is None:
+            return lost
+        for i, pe_name in enumerate(self._pe_names):
+            amount = float(self._backlog[i, j]) if self._backlog.size else 0.0
+            if amount > _EPS:
+                lost[pe_name] = lost.get(pe_name, 0.0) + amount
+                self._backlog[i, j] = 0.0
+        for (_u, w), arr in self._egress.items():
+            if arr.size:
+                amount = float(arr[j])
+                if amount > _EPS:
+                    lost[w] = lost.get(w, 0.0) + amount
+                    arr[j] = 0.0
+        for pe_name, amount in lost.items():
+            self.stats.lost[pe_name] = (
+                self.stats.lost.get(pe_name, 0.0) + amount
+            )
+        return lost
+
+    def _cpu_view(
+        self, vm: VMInstance
+    ) -> Optional[tuple[np.ndarray, int, float]]:
+        viewer = getattr(self.provider.performance, "cpu_series_view", None)
+        if viewer is None:
+            return None
+        return viewer(vm.trace_key)
+
+    def _migrate(self, pe_name: str, messages: float, t: float) -> None:
+        """Queue migrated messages, delayed by the network transfer time."""
+        if messages <= _EPS:
+            return
+        hosts = [r for r in self._vms if r.cores_for(pe_name) > 0]
+        if not hosts:
+            # PE momentarily has no host (should not happen under the
+            # heuristics' one-core floor); retry shortly.
+            self._migrating.append(
+                _MigratingBuffer(pe_name, messages, t + self.tick)
+            )
+            return
+        # Price the transfer against the first remaining host's slowest
+        # link — a conservative single representative.
+        target = hosts[0]
+        bandwidth = min(
+            (
+                self.provider.performance.bandwidth_mbps(
+                    r.trace_key, target.trace_key, t
+                )
+                for r in self._vms
+                if r is not target
+            ),
+            default=float("inf"),
+        )
+        if bandwidth == float("inf") or bandwidth <= 0:
+            delay = 0.0
+        else:
+            delay = messages * self.message_size_mb * 8.0 / bandwidth
+        self._migrating.append(
+            _MigratingBuffer(pe_name, messages, t + delay)
+        )
+
+    # -- run ------------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the tick process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._run(), name="fluid-executor")
+
+    def _run(self):
+        while True:
+            self.step(self.tick)
+            yield self.env.timeout(self.tick)
+
+    # -- interval accounting -----------------------------------------------------------
+
+    def roll_interval(self) -> IntervalStats:
+        """Close the current interval's counters and start a new one."""
+        stats = self.stats
+        stats.end = self.env.now
+        self.stats = IntervalStats(start=self.env.now, end=self.env.now)
+        return stats
+
+    def pe_backlog(self, pe_name: str) -> float:
+        """Messages pending for a PE: input queues, undelivered egress of
+        incoming edges, and in-flight migrations."""
+        i = self._pe_index[pe_name]
+        total = float(self._backlog[i].sum()) if self._backlog.size else 0.0
+        for (u, w), arr in self._egress.items():
+            if w == pe_name and arr.size:
+                total += float(arr.sum())
+        total += sum(m.messages for m in self._migrating if m.pe == pe_name)
+        total += self._unhosted.get(pe_name, 0.0)
+        return total
+
+    def backlogs(self) -> dict[str, float]:
+        return {n: self.pe_backlog(n) for n in self._pe_names}
+
+    # -- the tick ------------------------------------------------------------------------
+
+    def step(self, dt: float) -> None:
+        """Advance the fluid model by ``dt`` seconds."""
+        t = self.env.now
+        P, V = self._alloc.shape
+        stats = self.stats
+
+        if V == 0:
+            # Nothing deployed: messages still arrive and are lost from
+            # the throughput ledger (deliverable grows, delivered doesn't).
+            rates = {n: self.profiles[n].rate_at(t) for n in self.dataflow.inputs}
+            self._account_deliverable(rates, dt, stats)
+            return
+
+        # 0. release due migrations into their PE's queues.
+        if self._migrating:
+            due = [m for m in self._migrating if m.available_at <= t]
+            if due:
+                self._migrating = [
+                    m for m in self._migrating if m.available_at > t
+                ]
+                for m in due:
+                    self._deposit(m.pe, m.messages)
+
+        # 1. current effective speeds.
+        coef = self._coefficients(t)
+        ready = self._ready_time <= t
+        eff_speed = self._core_speed * coef * ready
+        units = self._alloc * eff_speed[np.newaxis, :]  # (P, V)
+        unit_sums = units.sum(axis=1)
+        cap_msgs = units / self._cost[:, np.newaxis] * dt
+
+        shares = np.zeros_like(units)
+        for i in range(P):
+            if unit_sums[i] > _EPS:
+                shares[i] = units[i] / unit_sums[i]
+            else:
+                alloc_sum = self._alloc[i].sum()
+                if alloc_sum > 0:
+                    shares[i] = self._alloc[i] / alloc_sum
+
+        arrivals = np.zeros((P, V))
+
+        # 2. external arrivals.  A PE with no live cores cannot absorb its
+        # traffic, but the messages do not vanish: they wait in an
+        # unhosted holding buffer (conceptually at the ingest broker) and
+        # re-enter once capacity returns.
+        ext_rates: dict[str, float] = {}
+        for name in self.dataflow.inputs:
+            rate = self.profiles[name].rate_at(t)
+            ext_rates[name] = rate
+            n = rate * dt
+            if n <= 0:
+                continue
+            i = self._pe_index[name]
+            stats.external_in[name] = stats.external_in.get(name, 0.0) + n
+            if shares[i].sum() > _EPS:
+                arrivals[i] += n * shares[i]
+            else:
+                self._unhosted[name] = self._unhosted.get(name, 0.0) + n
+        # Drain holding buffers of PEs that regained capacity.
+        if self._unhosted:
+            for name, pending in list(self._unhosted.items()):
+                i = self._pe_index[name]
+                if shares[i].sum() > _EPS and pending > _EPS:
+                    arrivals[i] += pending * shares[i]
+                    del self._unhosted[name]
+        self._account_deliverable(ext_rates, dt, stats)
+
+        # 3. network refresh + edge transfers.
+        if t >= self._next_net_refresh:
+            self._refresh_network(t, shares)
+            self._next_net_refresh = t + self.network_refresh
+
+        for e in self._edges:
+            eg = self._egress[e]
+            if eg.sum() <= _EPS:
+                continue
+            iw = self._pe_index[e[1]]
+            s = shares[iw]  # destination share per VM index
+            if s.sum() <= _EPS:
+                continue  # destination has no cores: hold in egress
+            # Source VM i routes eg_i proportionally to the destination
+            # shares: the fraction s_i stays on-VM (free), the remaining
+            # (1 − s_i) crosses the network under i's link budget, scaled
+            # by f_i ∈ [0, 1].
+            remote_want = eg * (1.0 - s)
+            budget = self._remote_budget.get(e)
+            if budget is None:
+                f = np.ones_like(eg)
+            else:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    f = np.where(
+                        remote_want > _EPS,
+                        np.minimum(1.0, (budget * dt) / remote_want),
+                        1.0,
+                    )
+            # Destination j receives s_j of every source's moved flow,
+            # except that its own VM's contribution is local (factor 1
+            # instead of f_j):  arrivals_j = s_j (Σ_i f_i eg_i + eg_j (1 − f_j)).
+            moved_pool = float((f * eg).sum())
+            arrivals[iw] += s * (moved_pool + eg * (1.0 - f))
+            self._egress[e] = eg * (1.0 - s) * (1.0 - f)
+
+        # 4. processing.
+        queue = self._backlog + arrivals
+        served = np.minimum(queue, cap_msgs)
+        self._backlog = queue - served
+        served_totals = served.sum(axis=1)
+        arrival_totals = arrivals.sum(axis=1)
+        for i, name in enumerate(self._pe_names):
+            if arrival_totals[i] > 0:
+                stats.arrivals[name] = (
+                    stats.arrivals.get(name, 0.0) + arrival_totals[i]
+                )
+            if served_totals[i] > 0:
+                stats.processed[name] = (
+                    stats.processed.get(name, 0.0) + served_totals[i]
+                )
+
+        # 5. emission.
+        out = served * self._selectivity[:, np.newaxis]
+        for name in self.dataflow.outputs:
+            i = self._pe_index[name]
+            emitted = out[i].sum()
+            if emitted > 0:
+                stats.delivered[name] = (
+                    stats.delivered.get(name, 0.0) + emitted
+                )
+        for e in self._edges:
+            u, _w = e
+            iu = self._pe_index[u]
+            flow = out[iu] * self._edge_factor[e]
+            if flow.sum() > _EPS:
+                self._egress[e] = self._egress[e] + flow
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _deposit(self, pe_name: str, messages: float) -> None:
+        """Add messages to a PE's queues, proportional to allocation."""
+        i = self._pe_index[pe_name]
+        alloc = self._alloc[i]
+        total = alloc.sum()
+        if total <= 0:
+            # No host yet: try again next tick.
+            self._migrating.append(
+                _MigratingBuffer(pe_name, messages, self.env.now + self.tick)
+            )
+            return
+        self._backlog[i] += messages * (alloc / total)
+
+    def _coefficients(self, t: float) -> np.ndarray:
+        V = len(self._vms)
+        coef = np.ones(V)
+        scalar_needed = []
+        for j, view in enumerate(self._cpu_views):
+            if view is None:
+                scalar_needed.append(j)
+            else:
+                series, offset, res = view
+                coef[j] = series[(offset + int(t / res)) % series.shape[0]]
+        for j in scalar_needed:
+            coef[j] = self.provider.cpu_coefficient(self._vms[j], t)
+        return coef
+
+    def _account_deliverable(
+        self, ext_rates: Mapping[str, float], dt: float, stats: IntervalStats
+    ) -> None:
+        if not ext_rates:
+            return
+        vec = np.array(
+            [ext_rates.get(n, 0.0) for n in self.dataflow.inputs]
+        )
+        ideal = self._gain @ vec * dt
+        for row, name in enumerate(self.dataflow.outputs):
+            if ideal[row] > 0:
+                stats.deliverable[name] = (
+                    stats.deliverable.get(name, 0.0) + float(ideal[row])
+                )
+
+    def _refresh_network(self, t: float, shares: np.ndarray) -> None:
+        """Re-sample per-edge remote-transfer budgets from monitored links.
+
+        For each dataflow edge and each source VM, the budget is the
+        share-weighted message rate the source can push to the remote
+        destination VMs.  Large VM-pair products are subsampled (see
+        ``network_pair_cap``).
+        """
+        self._remote_budget = {}
+        per_msg_mbit = self.message_size_mb * 8.0
+        for e in self._edges:
+            u, w = e
+            iu, iw = self._pe_index[u], self._pe_index[w]
+            src_idx = np.flatnonzero(self._alloc[iu] > 0)
+            dst_idx = np.flatnonzero(self._alloc[iw] > 0)
+            if src_idx.size == 0 or dst_idx.size == 0:
+                continue
+            budget = np.full(len(self._vms), np.inf)
+            n_pairs = src_idx.size * dst_idx.size
+            if n_pairs > self.network_pair_cap:
+                # Subsample destinations deterministically (evenly spaced).
+                keep = max(1, self.network_pair_cap // src_idx.size)
+                step = max(1, dst_idx.size // keep)
+                dst_sample = dst_idx[::step]
+            else:
+                dst_sample = dst_idx
+            dst_share = shares[iw][dst_sample]
+            share_sum = dst_share.sum()
+            for si in src_idx:
+                src_vm = self._vms[si]
+                total_rate = 0.0
+                for k, dj in enumerate(dst_sample):
+                    if dj == si:
+                        continue
+                    link = self.provider.link(src_vm, self._vms[dj], t)
+                    if link.colocated:
+                        continue
+                    total_rate += (
+                        link.bandwidth_mbps / per_msg_mbit
+                    ) * (dst_share[k] / share_sum if share_sum > 0 else 1.0)
+                budget[si] = total_rate if total_rate > 0 else np.inf
+            self._remote_budget[e] = budget

@@ -1,0 +1,89 @@
+"""Failure injection driver (paper §9 future work: fault tolerance).
+
+Connects a :class:`~repro.cloud.failures.FailureModel` to a live run:
+a background simulation process watches the active fleet, crashes VMs at
+their scheduled failure times (buffered messages are destroyed, cores
+vanish), and leaves recovery to the runtime adaptation — which observes
+the missing capacity through the monitor and re-provisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..cloud.failures import FailureModel
+from ..cloud.provider import CloudProvider
+from ..sim.kernel import Environment, Event
+from .executor import FluidExecutor
+
+__all__ = ["FailureDriver"]
+
+
+class FailureDriver:
+    """Crashes VMs according to a failure model during a run.
+
+    Parameters
+    ----------
+    env, provider, executor:
+        The live run's simulation pieces.
+    model:
+        The failure schedule.
+    poll_interval:
+        How often the driver re-scans the fleet for newly provisioned
+        instances (seconds).  Failure times themselves are hit exactly;
+        the poll only bounds how late a *new* VM's schedule is noticed,
+        and MTBFs are hours, so the default is ample.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        provider: CloudProvider,
+        executor: FluidExecutor,
+        model: FailureModel,
+        poll_interval: float = 30.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.env = env
+        self.provider = provider
+        self.executor = executor
+        self.model = model
+        self.poll_interval = poll_interval
+        #: (time, instance_id, lost message count) per crash, for reports.
+        self.crashes: list[tuple[float, str, float]] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Begin watching the fleet (idempotent, no-op when disabled)."""
+        if self._started or not self.model.enabled:
+            return
+        self._started = True
+        self.env.process(self._run(), name="failure-driver")
+
+    def _run(self) -> Generator[Event, Any, None]:
+        while True:
+            now = self.env.now
+            next_time = None
+            victim = None
+            for r in self.provider.active_instances():
+                t = self.model.next_failure(r, now)
+                if t is not None and (next_time is None or t < next_time):
+                    next_time = t
+                    victim = r
+            if next_time is None:
+                yield self.env.timeout(self.poll_interval)
+                continue
+            wait = min(next_time - now, self.poll_interval)
+            if wait > 0:
+                yield self.env.timeout(wait)
+            if victim is None or not victim.active:
+                continue
+            if self.env.now + 1e-9 < next_time:
+                continue  # woke early to rescan the fleet
+            lost = self.executor.fail_vm(victim.instance_id)
+            self.provider.fail(victim, self.env.now)
+            self.executor.sync(self.env.now)
+            self.crashes.append(
+                (self.env.now, victim.instance_id, sum(lost.values()))
+            )

@@ -1,0 +1,150 @@
+"""End-to-end message latency metrics.
+
+The paper motivates adaptation partly through "the penalty of high
+processing latencies during the high data rate period" (§1).  This
+module adds the latency dimension to both engines:
+
+* :class:`LatencyTracker` — exact per-message latency samples from the
+  per-message engine (created → delivered at an output PE), with
+  percentile summaries;
+* :func:`fluid_latency_estimate` — a Little's-law estimate for the fluid
+  engine: the expected sojourn time of a message entering now is the
+  queued work ahead of it divided by the service rate, summed along the
+  critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..dataflow.graph import DynamicDataflow
+
+__all__ = ["LatencySummary", "LatencyTracker", "fluid_latency_estimate"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of end-to-end latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: "np.ndarray") -> "LatencySummary":
+        if samples.size == 0:
+            raise ValueError("no latency samples")
+        return cls(
+            count=int(samples.size),
+            mean=float(samples.mean()),
+            p50=float(np.percentile(samples, 50)),
+            p95=float(np.percentile(samples, 95)),
+            p99=float(np.percentile(samples, 99)),
+            max=float(samples.max()),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f}s p50={self.p50:.3f}s "
+            f"p95={self.p95:.3f}s p99={self.p99:.3f}s max={self.max:.3f}s"
+        )
+
+
+class LatencyTracker:
+    """Collects per-message end-to-end latency samples.
+
+    Attach to a :class:`~repro.engine.permsg.PerMessageExecutor` via its
+    ``latency_tracker`` attribute; the executor calls :meth:`record` when
+    an output PE emits a message.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be ≥ 1")
+        self._samples: list[float] = []
+        self._capacity = capacity
+        self.dropped = 0
+
+    def record(self, created_at: float, delivered_at: float) -> None:
+        """Record one delivery; negative latencies are rejected."""
+        latency = delivered_at - created_at
+        if latency < 0:
+            raise ValueError(
+                f"negative latency: created {created_at}, "
+                f"delivered {delivered_at}"
+            )
+        if len(self._samples) >= self._capacity:
+            self.dropped += 1
+            return
+        self._samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples)
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary.from_samples(self.samples)
+
+    def reset(self) -> list[float]:
+        """Clear and return the collected samples."""
+        out, self._samples = self._samples, []
+        self.dropped = 0
+        return out
+
+
+def fluid_latency_estimate(
+    dataflow: DynamicDataflow,
+    backlogs: Mapping[str, float],
+    capacities: Mapping[str, float],
+    processing_costs: Optional[Mapping[str, float]] = None,
+) -> dict[str, float]:
+    """Little's-law sojourn-time estimate per PE and end to end.
+
+    For each PE, a message arriving now waits behind ``backlog`` queued
+    messages served at ``capacity`` msg/s, then is processed.  The
+    end-to-end estimate (key ``"__total__"``) is the maximum over paths
+    from an input PE to an output PE of the summed per-PE sojourns — the
+    latency of the critical path.
+
+    Parameters
+    ----------
+    backlogs / capacities:
+        Per-PE queued messages and sustainable service rates.
+    processing_costs:
+        Optional per-PE service time of one message (seconds); defaults
+        to ``1 / capacity``.
+    """
+    sojourn: dict[str, float] = {}
+    for name in dataflow.pe_names:
+        cap = float(capacities.get(name, 0.0))
+        queue = float(backlogs.get(name, 0.0))
+        if cap <= 0:
+            sojourn[name] = float("inf") if queue > 0 else 0.0
+            continue
+        service = (
+            float(processing_costs[name])
+            if processing_costs is not None and name in processing_costs
+            else 1.0 / cap
+        )
+        sojourn[name] = queue / cap + service
+
+    # Critical path DP over the topological order.
+    best: dict[str, float] = {}
+    for name in dataflow.topological_order():
+        preds = dataflow.predecessors(name)
+        upstream = max((best[p] for p in preds), default=0.0)
+        best[name] = upstream + sojourn[name]
+    total = max(best[o] for o in dataflow.outputs)
+
+    out = dict(sojourn)
+    out["__total__"] = total
+    return out

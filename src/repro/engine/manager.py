@@ -1,0 +1,199 @@
+"""Run orchestration: deploy → execute → monitor → adapt (paper §5).
+
+:class:`RunManager` wires the whole reproduction together for one
+optimization period: it asks the policy for an initial plan from the
+estimated rates, runs the fluid executor interval by interval, feeds
+monitored snapshots to the policy's runtime adaptation, reconciles each
+returned plan, and records the §6 metrics.  The result carries everything
+the evaluation figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..cloud.failures import FailureModel
+from ..cloud.provider import CloudProvider
+from ..core.objective import EvaluationOutcome, ObjectiveSpec
+from ..core.policies import Policy
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.metrics import IntervalMetrics, MetricsTimeline
+from ..sim.kernel import Environment
+from ..workloads.rates import RateProfile
+from .executor import FluidExecutor
+from .failures import FailureDriver
+from .monitor import Monitor
+from .reconcile import ReconcileReport, apply_plan
+
+__all__ = ["RunManager", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one managed run."""
+
+    policy_name: str
+    spec: ObjectiveSpec
+    timeline: MetricsTimeline
+    outcome: EvaluationOutcome
+    #: Total VMs ever provisioned / peak simultaneously active.
+    vms_provisioned: int
+    vms_peak: int
+    #: Number of intervals in which the fleet or selection changed.
+    adaptations: int
+    #: Alternate selection at the end of the run.
+    final_selection: dict[str, str]
+    #: Per-interval reconciliation reports (index 0 = initial deployment).
+    reports: list[ReconcileReport] = field(default_factory=list)
+    #: (time, instance_id, lost messages) per injected VM crash.
+    crashes: list[tuple[float, str, float]] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return self.outcome.total_cost
+
+    @property
+    def theta(self) -> float:
+        return self.outcome.theta
+
+    def summary(self) -> str:
+        return f"[{self.policy_name}] {self.outcome}"
+
+
+class RunManager:
+    """Executes one policy over one optimization period.
+
+    Parameters
+    ----------
+    dataflow:
+        The dynamic dataflow application.
+    profiles:
+        Input rate profile per input PE.
+    policy:
+        A :class:`~repro.core.policies.Policy` (deployment + adaptation).
+    provider:
+        The cloud provider (carries the performance model; a fresh
+        provider should be used per run so billing starts at zero).
+    spec:
+        Objective parameters (period, interval, Ω̂, ε, σ).
+    tick:
+        Fluid engine step in seconds.
+    message_size_mb:
+        Message size (paper: ~100 KB).
+    estimated_rates:
+        Input-rate estimates given to the initial deployment; defaults to
+        each profile's ``mean_rate``.
+    """
+
+    def __init__(
+        self,
+        dataflow: DynamicDataflow,
+        profiles: Mapping[str, RateProfile],
+        policy: Policy,
+        provider: CloudProvider,
+        spec: ObjectiveSpec,
+        tick: float = 1.0,
+        message_size_mb: float = 0.1,
+        estimated_rates: Optional[Mapping[str, float]] = None,
+        failures: Optional[FailureModel] = None,
+        monitor_noise_std: float = 0.0,
+        monitor_seed: int = 0,
+    ) -> None:
+        self.dataflow = dataflow
+        self.profiles = dict(profiles)
+        self.policy = policy
+        self.provider = provider
+        self.spec = spec
+        self.tick = tick
+        self.message_size_mb = message_size_mb
+        self.estimated_rates = dict(
+            estimated_rates
+            if estimated_rates is not None
+            else {n: p.mean_rate for n, p in self.profiles.items()}
+        )
+        self.failures = failures
+        self.monitor_noise_std = monitor_noise_std
+        self.monitor_seed = monitor_seed
+
+    def run(self) -> RunResult:
+        """Execute the full optimization period and return the results."""
+        spec = self.spec
+        env = Environment()
+        plan = self.policy.initial_plan(self.estimated_rates)
+
+        executor = FluidExecutor(
+            env,
+            self.dataflow,
+            self.provider,
+            self.profiles,
+            selection=plan.selection,
+            tick=self.tick,
+            message_size_mb=self.message_size_mb,
+        )
+        monitor = Monitor(
+            self.dataflow,
+            self.provider,
+            executor,
+            noise_std=self.monitor_noise_std,
+            seed=self.monitor_seed,
+        )
+
+        reports = [apply_plan(self.provider, executor, plan, env.now)]
+        executor.start()
+
+        failure_driver: Optional[FailureDriver] = None
+        if self.failures is not None and self.failures.enabled:
+            failure_driver = FailureDriver(
+                env, self.provider, executor, self.failures
+            )
+            failure_driver.start()
+
+        timeline = MetricsTimeline()
+        selection = dict(plan.selection)
+        omega_sum = 0.0
+        adaptations = 0
+        peak = len(self.provider.active_instances())
+
+        n = spec.n_intervals
+        for k in range(1, n + 1):
+            env.run(until=k * spec.interval)
+            stats = executor.roll_interval()
+            omega_k = stats.omega(self.dataflow.outputs)
+            omega_sum += omega_k
+            timeline.record(
+                IntervalMetrics(
+                    t=stats.start,
+                    value=self.dataflow.application_value(selection),
+                    throughput=omega_k,
+                    cumulative_cost=self.provider.cost_at(env.now),
+                    delivered=sum(stats.delivered.values()),
+                    deliverable=sum(stats.deliverable.values()),
+                )
+            )
+            if self.policy.adaptive and k < n:
+                snap = monitor.snapshot(stats, selection, omega_sum / k, env.now)
+                new_plan = self.policy.adapt(snap, k)
+                if new_plan is not None:
+                    report = apply_plan(
+                        self.provider, executor, new_plan, env.now
+                    )
+                    reports.append(report)
+                    if report.changed or dict(new_plan.selection) != selection:
+                        adaptations += 1
+                    selection = dict(new_plan.selection)
+            peak = max(peak, len(self.provider.active_instances()))
+
+        outcome = EvaluationOutcome.from_timeline(timeline, spec)
+        return RunResult(
+            policy_name=self.policy.name,
+            spec=spec,
+            timeline=timeline,
+            outcome=outcome,
+            vms_provisioned=len(self.provider.all_instances()),
+            vms_peak=peak,
+            adaptations=adaptations,
+            final_selection=selection,
+            reports=reports,
+            crashes=list(failure_driver.crashes) if failure_driver else [],
+        )

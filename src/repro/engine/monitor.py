@@ -1,0 +1,128 @@
+"""Monitoring framework (substrate S5, paper §4–5).
+
+The paper presumes "a monitoring framework that periodically and
+non-invasively probes the performance of the cloud VMs and their network
+connectivity using standard benchmarks", plus measurement of the message
+data rates of the running dataflow.  :class:`Monitor` implements that
+boundary: at each interval it assembles a
+:class:`~repro.core.state.Snapshot` from
+
+* the provider's fleet with *currently monitored* CPU coefficients and
+  remaining paid time,
+* the executor's interval counters (rates, throughput, backlogs),
+* the billing meter.
+
+Heuristics only ever see these snapshots — never the trace arrays or the
+future — which keeps the decision inputs identical to what a real
+deployment could observe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..core.state import ClusterView, Snapshot, VMView
+from ..dataflow.graph import DynamicDataflow
+from .executor import FluidExecutor
+from .messages import IntervalStats
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Builds interval snapshots for the runtime heuristics.
+
+    Parameters
+    ----------
+    noise_std:
+        Relative standard deviation of multiplicative measurement noise
+        on the probed CPU coefficients (0 = perfect probes).  Real
+        monitoring benchmarks are short and noisy; the robustness
+        ablation (`benchmarks/test_bench_ablation_monitor_noise.py`)
+        sweeps this.
+    seed:
+        Determinism root for the noise stream.
+    """
+
+    def __init__(
+        self,
+        dataflow: DynamicDataflow,
+        provider: CloudProvider,
+        executor: FluidExecutor,
+        noise_std: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        self.dataflow = dataflow
+        self.provider = provider
+        self.executor = executor
+        self.noise_std = float(noise_std)
+        self._rng = np.random.default_rng(seed)
+
+    def _probe_coefficient(self, instance, now: float) -> float:
+        """Monitored CPU coefficient, with optional measurement noise."""
+        true = self.provider.cpu_coefficient(instance, now)
+        if self.noise_std == 0.0:
+            return true
+        noisy = true * (1.0 + float(self._rng.normal(0.0, self.noise_std)))
+        return max(noisy, 1e-3)
+
+    def cluster_view(self, now: float) -> ClusterView:
+        """The monitored fleet: active VMs with probed coefficients."""
+        cluster = ClusterView()
+        for r in self.provider.active_instances():
+            cluster.add(
+                VMView(
+                    vm_class=r.vm_class,
+                    instance_id=r.instance_id,
+                    coefficient=self._probe_coefficient(r, now),
+                    allocations=r.allocations,
+                    paid_seconds_remaining=self.provider.paid_seconds_remaining(
+                        r, now
+                    ),
+                )
+            )
+        return cluster
+
+    def snapshot(
+        self,
+        stats: IntervalStats,
+        selection: dict[str, str],
+        omega_average: float,
+        now: float,
+    ) -> Snapshot:
+        """Assemble the interval-boundary snapshot.
+
+        Parameters
+        ----------
+        stats:
+            The just-closed interval's counters.
+        selection:
+            The alternates active during that interval.
+        omega_average:
+            Running mean relative throughput since the period started.
+        now:
+            Current simulation time (the interval boundary).
+        """
+        duration = max(stats.duration, 1e-9)
+        input_rates = {
+            name: stats.external_in.get(name, 0.0) / duration
+            for name in self.dataflow.inputs
+        }
+        arrival_rates = {
+            name: stats.arrivals.get(name, 0.0) / duration
+            for name in self.dataflow.pe_names
+        }
+        return Snapshot(
+            time=now,
+            selection=dict(selection),
+            cluster=self.cluster_view(now),
+            input_rates=input_rates,
+            arrival_rates=arrival_rates,
+            omega_last=stats.omega(self.dataflow.outputs),
+            omega_average=omega_average,
+            backlogs=self.executor.backlogs(),
+            cumulative_cost=self.provider.cost_at(now),
+        )

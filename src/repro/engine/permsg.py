@@ -1,0 +1,252 @@
+"""Per-message discrete-event execution engine (validation substrate).
+
+An exact, message-granular counterpart to the fluid engine: every message
+is an object, every allocated core is a worker process on the simulation
+kernel, transfers between non-colocated PEs pay sampled latency and
+per-message bandwidth time.  Orders of magnitude slower than
+:class:`~repro.engine.executor.FluidExecutor`, so it is used only to
+validate the fluid approximation at small scales (see
+``tests/engine/test_fluid_vs_permsg.py``) and for fine-grained studies of
+queueing behaviour.
+
+Supports a *fixed* deployment (no runtime adaptation): the validation
+compares steady-state throughput, which is deployment-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping, Optional
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.resources import VMInstance
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.patterns import SplitPattern
+from ..sim.kernel import Environment, Event
+from ..sim.queues import Store
+from ..workloads.generator import MessageSource
+from ..workloads.rates import RateProfile
+from .latency import LatencyTracker
+from .messages import IntervalStats, Message
+
+__all__ = ["PerMessageExecutor"]
+
+
+class PerMessageExecutor:
+    """Message-granular execution of a fixed deployment.
+
+    Parameters
+    ----------
+    env, dataflow, provider, profiles, selection:
+        As for :class:`~repro.engine.executor.FluidExecutor`.
+    message_size_mb:
+        Payload size for transfer-time computation.
+    rng:
+        Generator for routing choices (seeded for reproducibility).
+    latency_tracker:
+        Optional :class:`~repro.engine.latency.LatencyTracker` recording
+        end-to-end latency of every message delivered at an output PE.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        dataflow: DynamicDataflow,
+        provider: CloudProvider,
+        profiles: Mapping[str, RateProfile],
+        selection: Mapping[str, str],
+        message_size_mb: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+        latency_tracker: Optional["LatencyTracker"] = None,
+    ) -> None:
+        from .executor import _reject_synchronize_merges
+
+        _reject_synchronize_merges(dataflow)
+        self.env = env
+        self.dataflow = dataflow
+        self.provider = provider
+        self.profiles = dict(profiles)
+        self.selection = dict(selection)
+        dataflow.validate_selection(self.selection)
+        self.message_size_mb = float(message_size_mb)
+        self.rng = rng or np.random.default_rng(0)
+        self.latency_tracker = latency_tracker
+
+        #: One input queue per (PE, VM) hosting it.
+        self._queues: dict[tuple[str, str], Store] = {}
+        #: Fractional-selectivity accumulators per PE (selectivity < 1
+        #: emits one message every 1/s inputs, deterministically).
+        self._sel_acc: dict[str, float] = {}
+        self.stats = IntervalStats(start=env.now, end=env.now)
+        self._sources: list[MessageSource] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn core workers and input sources (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for vm in self.provider.active_instances():
+            for pe_name, cores in vm.allocations.items():
+                q = self._queue(pe_name, vm)
+                for c in range(cores):
+                    self.env.process(
+                        self._worker(pe_name, vm, q),
+                        name=f"{pe_name}@{vm.instance_id}#{c}",
+                    )
+        for name in self.dataflow.inputs:
+            profile = self.profiles[name]
+            source = MessageSource(
+                self.env,
+                profile,
+                sink=lambda t, seq, pe=name: self._external(pe, t, seq),
+                jitter="regular",
+            )
+            self._sources.append(source)
+
+    def stop(self) -> None:
+        for s in self._sources:
+            s.stop()
+
+    def roll_interval(self) -> IntervalStats:
+        stats = self.stats
+        stats.end = self.env.now
+        self.stats = IntervalStats(start=self.env.now, end=self.env.now)
+        return stats
+
+    def queue_depth(self, pe_name: str) -> int:
+        """Messages currently buffered for a PE across all its VMs."""
+        return sum(
+            len(q) for (p, _vm), q in self._queues.items() if p == pe_name
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _queue(self, pe_name: str, vm: VMInstance) -> Store:
+        key = (pe_name, vm.instance_id)
+        q = self._queues.get(key)
+        if q is None:
+            q = Store(self.env)
+            self._queues[key] = q
+        return q
+
+    def _hosts(self, pe_name: str) -> list[VMInstance]:
+        return [
+            vm
+            for vm in self.provider.active_instances()
+            if vm.cores_for(pe_name) > 0
+        ]
+
+    def _external(self, pe_name: str, t: float, seq: int) -> None:
+        self.stats.external_in[pe_name] = (
+            self.stats.external_in.get(pe_name, 0.0) + 1
+        )
+        # Deliverable ledger: ideal per-message contribution to outputs.
+        probe = {n: (1.0 if n == pe_name else 0.0) for n in self.dataflow.inputs}
+        ideal = self.dataflow.ideal_rates(self.selection, probe)
+        for out in self.dataflow.outputs:
+            contribution = ideal[out][1]
+            if contribution > 0:
+                self.stats.deliverable[out] = (
+                    self.stats.deliverable.get(out, 0.0) + contribution
+                )
+        self._enqueue(pe_name, Message(seq=seq, created_at=t, size_mb=self.message_size_mb))
+
+    def _enqueue(self, pe_name: str, message: Message) -> None:
+        """Route a message to one of the PE's VMs (capacity-weighted)."""
+        hosts = self._hosts(pe_name)
+        if not hosts:
+            return  # dropped: PE has no cores (counted as lost throughput)
+        weights = np.array(
+            [
+                vm.cores_for(pe_name)
+                * self.provider.effective_core_speed(vm, self.env.now)
+                for vm in hosts
+            ]
+        )
+        total = weights.sum()
+        if total <= 0:
+            choice = hosts[int(self.rng.integers(len(hosts)))]
+        else:
+            idx = self.rng.choice(len(hosts), p=weights / total)
+            choice = hosts[int(idx)]
+        self.stats.arrivals[pe_name] = self.stats.arrivals.get(pe_name, 0.0) + 1
+        self._queue(pe_name, choice).put(message)
+
+    def _worker(
+        self, pe_name: str, vm: VMInstance, queue: Store
+    ) -> Generator[Event, Any, None]:
+        """One core: fetch, process at monitored speed, emit."""
+        df = self.dataflow
+        while True:
+            get = queue.get()
+            message = yield get
+            alt = df.active_alternate(self.selection, pe_name)
+            speed = self.provider.effective_core_speed(vm, self.env.now)
+            yield self.env.timeout(alt.cost / max(speed, 1e-9))
+            self.stats.processed[pe_name] = (
+                self.stats.processed.get(pe_name, 0.0) + 1
+            )
+            self._emit(pe_name, vm, message)
+
+    def _emit(self, pe_name: str, vm: VMInstance, message: Message) -> None:
+        """Apply selectivity, then route to successors (or deliver).
+
+        Transfers run as separate processes so a core is never blocked on
+        the network while it could be processing the next message.
+        """
+        df = self.dataflow
+        alt = df.active_alternate(self.selection, pe_name)
+        acc = self._sel_acc.get(pe_name, 0.0) + alt.selectivity
+        emitted = int(acc)
+        self._sel_acc[pe_name] = acc - emitted
+        if emitted == 0:
+            return
+
+        if pe_name in df.outputs:
+            self.stats.delivered[pe_name] = (
+                self.stats.delivered.get(pe_name, 0.0) + emitted
+            )
+            if self.latency_tracker is not None:
+                for _ in range(emitted):
+                    self.latency_tracker.record(
+                        message.created_at, self.env.now
+                    )
+
+        succ = df.successors(pe_name)
+        if not succ:
+            return
+        split = df.split_pattern(pe_name)
+        for _ in range(emitted):
+            if split is SplitPattern.AND_SPLIT:
+                targets = list(succ)
+            else:
+                targets = [succ[int(self.rng.integers(len(succ)))]]
+            for nxt in targets:
+                self.env.process(
+                    self._transfer(vm, nxt, message),
+                    name=f"xfer:{pe_name}->{nxt}",
+                )
+
+    def _transfer(
+        self, src_vm: VMInstance, dst_pe: str, message: Message
+    ) -> Generator[Event, Any, None]:
+        """Pay the network cost to the destination PE's pool, if remote."""
+        hosts = self._hosts(dst_pe)
+        colocated = any(h.instance_id == src_vm.instance_id for h in hosts)
+        if hosts and not colocated:
+            link = self.provider.link(src_vm, hosts[0], self.env.now)
+            delay = link.transfer_time(message.size_mb)
+            if delay > 0:
+                yield self.env.timeout(delay)
+        self._enqueue(
+            dst_pe,
+            Message(
+                seq=message.seq,
+                created_at=message.created_at,
+                size_mb=message.size_mb,
+            ),
+        )

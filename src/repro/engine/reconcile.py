@@ -1,0 +1,105 @@
+"""Plan reconciliation: make the live fleet match a deployment plan.
+
+The heuristics output a declarative :class:`~repro.core.state.DeploymentPlan`;
+this module applies it to the :class:`~repro.cloud.provider.CloudProvider`
+and resynchronizes the executor.  Actions, in order:
+
+1. release cores that the plan shrinks or removes (frees capacity first),
+2. terminate live VMs absent from the plan (their buffers migrate),
+3. provision the plan's new VMs,
+4. grow allocations on surviving VMs,
+5. switch alternates and resync the executor.
+
+The function is idempotent: applying the same plan twice is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cloud.provider import CloudProvider
+from ..cloud.resources import VMInstance
+from ..core.state import DeploymentPlan
+from .executor import FluidExecutor
+
+__all__ = ["ReconcileReport", "apply_plan"]
+
+
+@dataclass
+class ReconcileReport:
+    """What a reconciliation actually did (for logging and tests)."""
+
+    provisioned: list[str] = field(default_factory=list)
+    terminated: list[str] = field(default_factory=list)
+    cores_allocated: int = 0
+    cores_released: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.provisioned
+            or self.terminated
+            or self.cores_allocated
+            or self.cores_released
+        )
+
+
+def apply_plan(
+    provider: CloudProvider,
+    executor: FluidExecutor,
+    plan: DeploymentPlan,
+    now: float,
+) -> ReconcileReport:
+    """Apply ``plan`` to the provider and executor at time ``now``."""
+    report = ReconcileReport()
+    live: dict[str, VMInstance] = {
+        r.instance_id: r for r in provider.active_instances()
+    }
+    planned_existing = {
+        vm.instance_id: vm for vm in plan.cluster.vms if vm.instance_id
+    }
+    planned_new = [vm for vm in plan.cluster.vms if vm.instance_id is None]
+
+    unknown = set(planned_existing) - set(live)
+    if unknown:
+        raise ValueError(
+            f"plan references non-active instances: {sorted(unknown)}"
+        )
+
+    # 1. shrink allocations on surviving VMs.
+    for instance_id, view in planned_existing.items():
+        r = live[instance_id]
+        for pe_name, current in list(r.allocations.items()):
+            target = view.allocations.get(pe_name, 0)
+            if target < current:
+                report.cores_released += r.release(pe_name, current - target)
+
+    # 2. terminate VMs not in the plan.
+    for instance_id, r in live.items():
+        if instance_id not in planned_existing:
+            released = r.release_all()
+            report.cores_released += sum(released.values())
+            provider.terminate(r, now)
+            report.terminated.append(instance_id)
+
+    # 3. provision new VMs.
+    for view in planned_new:
+        r = provider.provision(view.vm_class, now)
+        report.provisioned.append(r.instance_id)
+        for pe_name, cores in view.allocations.items():
+            r.allocate(pe_name, cores)
+            report.cores_allocated += cores
+
+    # 4. grow allocations on surviving VMs.
+    for instance_id, view in planned_existing.items():
+        r = live[instance_id]
+        for pe_name, target in view.allocations.items():
+            current = r.cores_for(pe_name)
+            if target > current:
+                r.allocate(pe_name, target - current)
+                report.cores_allocated += target - current
+
+    # 5. alternates + executor resync.
+    executor.set_selection(dict(plan.selection))
+    executor.sync(now)
+    return report

@@ -1,0 +1,56 @@
+"""Experiment harness (S14): scenarios, sweeps, per-figure reproducers."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from .report import generate_report, write_report
+from .runner import SweepRow, average_rows, sweep
+from .scenarios import (
+    EPSILON,
+    MESSAGE_SIZE_MB,
+    OMEGA_MIN,
+    Scenario,
+    fig1_dataflow,
+    make_performance,
+    make_profile,
+    run_policy,
+    scaled_dataflow,
+    standard_spec,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "EPSILON",
+    "MESSAGE_SIZE_MB",
+    "OMEGA_MIN",
+    "FigureResult",
+    "Scenario",
+    "SweepRow",
+    "fig1_dataflow",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "generate_report",
+    "average_rows",
+    "write_report",
+    "make_performance",
+    "make_profile",
+    "run_policy",
+    "scaled_dataflow",
+    "standard_spec",
+    "sweep",
+]

@@ -1,0 +1,121 @@
+"""Sweep runner: execute policy × scenario grids and collect rows.
+
+All figure drivers are thin layers over :func:`sweep`, which runs every
+(policy, scenario) combination through the managed engine and returns
+one :class:`SweepRow` per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..engine.manager import RunResult
+from .scenarios import Scenario, run_policy
+
+__all__ = ["SweepRow", "average_rows", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One completed run in a sweep grid."""
+
+    policy: str
+    rate: float
+    rate_kind: str
+    variability: str
+    seed: int
+    omega: float
+    gamma: float
+    cost: float
+    theta: float
+    constraint_met: bool
+    vms_peak: int
+    adaptations: int
+
+    @classmethod
+    def from_result(cls, scenario: Scenario, result: RunResult) -> "SweepRow":
+        o = result.outcome
+        return cls(
+            policy=result.policy_name,
+            rate=scenario.rate,
+            rate_kind=scenario.rate_kind,
+            variability=scenario.variability,
+            seed=scenario.seed,
+            omega=o.mean_throughput,
+            gamma=o.mean_value,
+            cost=o.total_cost,
+            theta=o.theta,
+            constraint_met=o.constraint_met,
+            vms_peak=result.vms_peak,
+            adaptations=result.adaptations,
+        )
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.policy,
+            self.rate,
+            self.variability,
+            self.omega,
+            self.gamma,
+            self.cost,
+            self.theta,
+            self.constraint_met,
+        )
+
+
+def sweep(
+    scenarios: Iterable[Scenario],
+    policies: Sequence[str],
+) -> list[SweepRow]:
+    """Run every policy on every scenario (deterministic order)."""
+    rows: list[SweepRow] = []
+    for scenario in scenarios:
+        for policy in policies:
+            result = run_policy(scenario, policy)
+            rows.append(SweepRow.from_result(scenario, result))
+    return rows
+
+
+def average_rows(per_seed: Sequence[Sequence[SweepRow]]) -> list[SweepRow]:
+    """Average sweep rows across seed replicas.
+
+    Rows are matched by (policy, rate, rate_kind, variability); numeric
+    fields are means, ``constraint_met`` requires every replica to pass
+    (the conservative reading of the paper's necessary condition), and
+    ``seed`` is set to −1 to mark an aggregate.
+
+    Raises ``ValueError`` if the replicas do not cover identical grids.
+    """
+    if not per_seed:
+        raise ValueError("need at least one replica")
+    keys = [
+        tuple((r.policy, r.rate, r.rate_kind, r.variability) for r in rows)
+        for rows in per_seed
+    ]
+    if len(set(keys)) != 1:
+        raise ValueError("replicas cover different (policy, scenario) grids")
+
+    out: list[SweepRow] = []
+    n = len(per_seed)
+    for group in zip(*per_seed):
+        first = group[0]
+        out.append(
+            SweepRow(
+                policy=first.policy,
+                rate=first.rate,
+                rate_kind=first.rate_kind,
+                variability=first.variability,
+                seed=-1,
+                omega=sum(r.omega for r in group) / n,
+                gamma=sum(r.gamma for r in group) / n,
+                cost=sum(r.cost for r in group) / n,
+                theta=sum(r.theta for r in group) / n,
+                constraint_met=all(r.constraint_met for r in group),
+                vms_peak=max(r.vms_peak for r in group),
+                adaptations=round(
+                    sum(r.adaptations for r in group) / n
+                ),
+            )
+        )
+    return out

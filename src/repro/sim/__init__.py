@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate (S1).
+
+A dependency-free SimPy-style kernel plus stores, process helpers and
+reproducible random streams.  See :mod:`repro.sim.kernel` for the core
+event loop.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .process import Ticker, after, at_times, every
+from .queues import Container, PriorityStore, Store
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Ticker",
+    "Timeout",
+    "after",
+    "at_times",
+    "every",
+]

@@ -1,0 +1,552 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, dependency-free discrete-event simulation
+(DES) core in the style of SimPy: an :class:`Environment` owns a virtual
+clock and a priority queue of pending events; generator functions are
+wrapped into :class:`Process` objects that advance by yielding events.
+
+The kernel is the foundation (substrate S1 in DESIGN.md) for the IaaS cloud
+simulator and the dataflow execution engine.  It supports:
+
+* absolute-time event scheduling with stable FIFO ordering for ties,
+* generator-based cooperative processes (``yield env.timeout(...)``),
+* event composition (:class:`AllOf`, :class:`AnyOf`),
+* process interruption (:meth:`Process.interrupt`),
+* bounded runs (``env.run(until=...)``) and step-wise execution.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "StopSimulation",
+    "SimulationError",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class _PendingType:
+    """Sentinel for an event value that has not been set yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+#: Sentinel object marking events whose value is not yet decided.
+PENDING = _PendingType()
+
+#: Scheduling priority for events that must fire before normal ones at the
+#: same timestamp (used for interrupts).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *untriggered*, becomes *triggered* once scheduled with a
+    value (it then sits in the event queue), and finally is *processed* when
+    the environment pops it and invokes its callbacks.
+
+    Callbacks are callables of one argument (the event itself), appended to
+    :attr:`callbacks`.  After processing, :attr:`callbacks` is set to
+    ``None`` and further appends are an error.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.callbacks is None
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now:g}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        A failed event re-raises its exception inside every process waiting
+        on it.  If nothing waits on it, the exception surfaces from
+        :meth:`Environment.step` unless :meth:`defused` is set.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self, NORMAL, 0.0)
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay:g}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a :class:`Process` at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running process wrapping a generator of events.
+
+    The process itself is an event that triggers when the generator
+    terminates: successfully with its return value, or failed with its
+    uncaught exception.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on, if any.
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at t={self.env.now:g}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is waiting for (``None`` if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The interrupt is delivered asynchronously via an urgent event so the
+        interrupter continues first; interrupting a dead process is an
+        error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks = [self._resume_interrupt]
+        self.env._schedule(event, URGENT, 0.0)
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # terminated between interrupt() and delivery: drop it.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as error:
+                self._ok = False
+                self._value = error
+                self._defused = False
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_event, Event):
+                proto = Event(self.env)
+                proto._ok = False
+                proto._value = TypeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                event = proto
+                continue
+            if next_event.env is not self.env:
+                raise SimulationError(
+                    f"process {self.name!r} yielded event from another environment"
+                )
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: park until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already-processed event: resume immediately with its value.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate`` is satisfied over events.
+
+    Building block for :class:`AllOf` / :class:`AnyOf`.  Failure of any
+    constituent fails the condition immediately.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+
+        if not self._events:
+            self.succeed(self._collect_values())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._count, len(self._events)):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggers once *all* constituent events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda done, total: done == total, events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda done, total: done >= 1, events)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event triggering when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event triggering when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def schedule_at(self, when: float, value: Any = None) -> Event:
+        """Create an event that succeeds at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        return self.timeout(when - self._now, value)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events") from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it to the caller of run()/step().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs to queue exhaustion.  A number runs until the
+            clock reaches that time (the clock is then set to exactly
+            ``until``).  An :class:`Event` runs until that event is
+            processed and returns its value.
+        """
+        stop_event: Optional[Event] = None
+        horizon = float("inf")
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event.value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise ValueError(
+                        f"until={horizon} lies before current time {self._now}"
+                    )
+
+        try:
+            while self._queue:
+                if self._queue[0][0] > horizon:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) ended before the event was triggered"
+                )
+            return stop_event.value
+
+        if horizon != float("inf"):
+            self._now = horizon
+        return None
+
+    # -- internal ----------------------------------------------------------
+
+    def _stop_callback(self, event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        # Re-raise the failure in the caller of run().
+        event._defused = True
+        raise event._value
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )

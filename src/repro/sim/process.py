@@ -1,0 +1,138 @@
+"""Higher-level process utilities built on the kernel.
+
+Helpers for common simulation idioms: periodic ticks, delayed calls, and
+rate-limited loops.  These keep engine code declarative and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .kernel import Environment, Event, Process
+
+__all__ = ["every", "after", "at_times", "Ticker"]
+
+
+def every(
+    env: Environment,
+    interval: float,
+    action: Callable[[float], Any],
+    *,
+    start_offset: float = 0.0,
+    until: float = float("inf"),
+    name: Optional[str] = None,
+) -> Process:
+    """Run ``action(now)`` every ``interval`` seconds.
+
+    The first invocation happens at ``now + start_offset`` (so pass
+    ``start_offset=0`` to fire immediately).  The loop stops once the clock
+    passes ``until``.  Returns the driving :class:`Process`.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+
+    def _loop() -> Generator[Event, Any, None]:
+        if start_offset > 0:
+            yield env.timeout(start_offset)
+        while env.now <= until:
+            action(env.now)
+            yield env.timeout(interval)
+
+    return env.process(_loop(), name=name or f"every({interval:g}s)")
+
+
+def after(
+    env: Environment,
+    delay: float,
+    action: Callable[[float], Any],
+    *,
+    name: Optional[str] = None,
+) -> Process:
+    """Run ``action(now)`` once, ``delay`` seconds from now."""
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
+
+    def _once() -> Generator[Event, Any, None]:
+        yield env.timeout(delay)
+        action(env.now)
+
+    return env.process(_once(), name=name or f"after({delay:g}s)")
+
+
+def at_times(
+    env: Environment,
+    times: Iterable[float],
+    action: Callable[[float], Any],
+    *,
+    name: Optional[str] = None,
+) -> Process:
+    """Run ``action(t)`` at each absolute time in ``times`` (sorted).
+
+    Times earlier than the current clock raise ``ValueError`` when reached.
+    """
+
+    schedule = sorted(times)
+
+    def _loop() -> Generator[Event, Any, None]:
+        for when in schedule:
+            if when < env.now:
+                raise ValueError(f"scheduled time {when} is in the past")
+            if when > env.now:
+                yield env.timeout(when - env.now)
+            action(env.now)
+
+    return env.process(_loop(), name=name or "at_times")
+
+
+class Ticker:
+    """A cancellable periodic callback with drift-free scheduling.
+
+    Unlike :func:`every`, a :class:`Ticker` anchors each tick to
+    ``t0 + k * interval`` so long-running callbacks do not push subsequent
+    ticks later.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    interval:
+        Seconds between ticks.
+    action:
+        Called with the tick index and current time: ``action(k, now)``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float,
+        action: Callable[[int, float], Any],
+        *,
+        start_offset: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = float(interval)
+        self.action = action
+        self._cancelled = False
+        self._t0 = env.now + start_offset
+        self.process = env.process(self._run(), name=f"ticker({interval:g}s)")
+
+    def cancel(self) -> None:
+        """Stop ticking after the current tick (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _run(self) -> Generator[Event, Any, None]:
+        k = 0
+        while not self._cancelled:
+            target = self._t0 + k * self.interval
+            if target > self.env.now:
+                yield self.env.timeout(target - self.env.now)
+            if self._cancelled:
+                return
+            self.action(k, self.env.now)
+            k += 1

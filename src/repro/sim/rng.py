@@ -1,0 +1,85 @@
+"""Named deterministic random streams.
+
+Every stochastic component in the simulator (trace generation, workload
+profiles, message jitter, …) draws from its own named
+:class:`numpy.random.Generator` derived from a single experiment seed.
+Independent streams keep results bit-reproducible even when components are
+added, removed or reordered: stream ``("traces", "vm-3", "cpu")`` always
+yields the same sequence for a given root seed regardless of what other
+components consume.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+_Key = Union[str, int]
+
+
+class RandomStreams:
+    """Factory of independent, reproducible random generators.
+
+    Parameters
+    ----------
+    seed:
+        The root experiment seed.  Two :class:`RandomStreams` constructed
+        with the same seed produce identical streams for identical keys.
+
+    Example
+    -------
+    >>> streams = RandomStreams(42)
+    >>> r1 = streams.get("traces", "vm-0", "cpu")
+    >>> r2 = RandomStreams(42).get("traces", "vm-0", "cpu")
+    >>> float(r1.random()) == float(r2.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+        self._cache: dict[tuple[_Key, ...], np.random.Generator] = {}
+
+    def child_seed(self, *key: _Key) -> int:
+        """Derive a deterministic 64-bit child seed for ``key``."""
+        material = repr((self.seed,) + tuple(key)).encode("utf-8")
+        # crc32 of two different salts gives 64 stable bits without hashlib
+        # overhead; collisions across distinct keys are astronomically
+        # unlikely for the handful of streams we use and would only
+        # correlate two streams, never break determinism.
+        lo = zlib.crc32(material)
+        hi = zlib.crc32(material, 0xDEADBEEF)
+        return (hi << 32) | lo
+
+    def get(self, *key: _Key) -> np.random.Generator:
+        """Return the generator for ``key``, creating it on first use.
+
+        Repeated calls with the same key return the *same* generator object
+        (its internal state advances as it is consumed).
+        """
+        k = tuple(key)
+        if not k:
+            raise ValueError("stream key must not be empty")
+        gen = self._cache.get(k)
+        if gen is None:
+            gen = np.random.default_rng(self.child_seed(*k))
+            self._cache[k] = gen
+        return gen
+
+    def fresh(self, *key: _Key) -> np.random.Generator:
+        """Return a brand-new generator for ``key`` (state reset)."""
+        k = tuple(key)
+        if not k:
+            raise ValueError("stream key must not be empty")
+        gen = np.random.default_rng(self.child_seed(*k))
+        self._cache[k] = gen
+        return gen
+
+    def spawn(self, *key: _Key) -> "RandomStreams":
+        """Return a child :class:`RandomStreams` namespaced under ``key``."""
+        return RandomStreams(self.child_seed(*key) & 0x7FFFFFFFFFFFFFFF)

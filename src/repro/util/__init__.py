@@ -1,0 +1,5 @@
+"""Shared utilities (formatting, statistics helpers)."""
+
+from .tables import format_table, format_value
+
+__all__ = ["format_table", "format_value"]

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module renders them as aligned ASCII tables so results are
+readable in CI logs and the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Consistent scalar formatting: floats trimmed, bools as ✓/✗."""
+    if isinstance(value, bool):
+        return "✓" if value else "✗"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 10 ** -precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows into an aligned table with a separator under the header.
+
+    Raises ``ValueError`` if any row's length differs from the header's.
+    """
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[c]) for r in cells)) if cells else len(h)
+        for c, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Workload generation (S7): data-rate profiles and message sources."""
+
+from .generator import MessageSource, interval_arrivals
+from .rates import (
+    BurstRate,
+    ConstantRate,
+    PeriodicWave,
+    RandomWalkRate,
+    RateProfile,
+    ScaledRate,
+    SteppedRate,
+    average_rate,
+)
+
+__all__ = [
+    "BurstRate",
+    "ConstantRate",
+    "MessageSource",
+    "PeriodicWave",
+    "RandomWalkRate",
+    "RateProfile",
+    "ScaledRate",
+    "SteppedRate",
+    "average_rate",
+    "interval_arrivals",
+]

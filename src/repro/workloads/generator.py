@@ -1,0 +1,106 @@
+"""Message sources driving the dataflow's input PEs.
+
+Two consumption styles, matching the two engine modes:
+
+* :class:`MessageSource` — a simulation process emitting individual
+  messages at the profile's instantaneous rate (non-homogeneous Poisson or
+  regular spacing), for the per-message validation engine.
+* :func:`interval_arrivals` — expected message count over an interval, for
+  the fluid-flow engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..sim.kernel import Environment, Event
+from .rates import RateProfile, average_rate
+
+__all__ = ["MessageSource", "interval_arrivals"]
+
+
+def interval_arrivals(
+    profile: RateProfile, t0: float, t1: float, samples: int = 16
+) -> float:
+    """Expected number of messages arriving during ``[t0, t1]``."""
+    return average_rate(profile, t0, t1, samples=samples) * (t1 - t0)
+
+
+class MessageSource:
+    """Emits messages into a callback according to a rate profile.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    profile:
+        The rate profile to follow.
+    sink:
+        Called as ``sink(timestamp, payload)`` for every message.
+    jitter:
+        ``"poisson"`` draws exponential gaps from the instantaneous rate
+        (non-homogeneous Poisson via thinning against ``peak_rate``);
+        ``"regular"`` emits at exact ``1/rate`` spacing.
+    peak_rate:
+        Upper bound on the instantaneous rate, required for Poisson
+        thinning; defaults to 4× the mean rate.
+    rng:
+        NumPy generator for Poisson gaps (default: seeded from 0).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: RateProfile,
+        sink: Callable[[float, int], Any],
+        jitter: str = "regular",
+        peak_rate: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if jitter not in ("regular", "poisson"):
+            raise ValueError(f"unknown jitter mode {jitter!r}")
+        self.env = env
+        self.profile = profile
+        self.sink = sink
+        self.jitter = jitter
+        self.peak_rate = (
+            float(peak_rate)
+            if peak_rate is not None
+            else max(profile.mean_rate * 4.0, 1e-9)
+        )
+        self.rng = rng or np.random.default_rng(0)
+        self.emitted = 0
+        self._stopped = False
+        self.process = env.process(self._run(), name="message-source")
+
+    def stop(self) -> None:
+        """Stop emitting after the next wake-up (idempotent)."""
+        self._stopped = True
+
+    def _run(self) -> Generator[Event, Any, None]:
+        seq = 0
+        while not self._stopped:
+            if self.jitter == "poisson":
+                # Thinning: candidate gaps at the peak rate, accepted with
+                # probability rate(t)/peak — exact for rate ≤ peak.
+                gap = float(self.rng.exponential(1.0 / self.peak_rate))
+                yield self.env.timeout(gap)
+                if self._stopped:
+                    return
+                rate = self.profile.rate_at(self.env.now)
+                if self.rng.random() >= rate / self.peak_rate:
+                    continue
+            else:
+                rate = self.profile.rate_at(self.env.now)
+                if rate <= 0:
+                    # Idle: re-sample the profile shortly.
+                    yield self.env.timeout(1.0)
+                    continue
+                yield self.env.timeout(1.0 / rate)
+                if self._stopped:
+                    return
+            self.sink(self.env.now, seq)
+            self.emitted += 1
+            seq += 1

@@ -1,0 +1,352 @@
+"""Input data-rate profiles (paper §8.1).
+
+The evaluation drives the dataflow with three stream-rate shapes at mean
+rates from 2 to 50 msg/s: **constant**, **periodic waves**, and a
+**random walk around a mean**.  All profiles implement the
+:class:`RateProfile` interface: ``rate_at(t)`` in messages/second.
+
+Profiles are deterministic functions of time (random-walk profiles
+precompute their path from a seed) so the fluid engine, the per-message
+engine, and any re-run observe identical workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "RateProfile",
+    "BurstRate",
+    "ConstantRate",
+    "PeriodicWave",
+    "RandomWalkRate",
+    "SteppedRate",
+    "ScaledRate",
+    "average_rate",
+]
+
+
+@runtime_checkable
+class RateProfile(Protocol):
+    """A deterministic message-rate function of simulated time."""
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous message rate (messages/second) at time ``t``."""
+        ...
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average rate (used for sizing and σ calibration)."""
+        ...
+
+
+class ConstantRate:
+    """A fixed rate: the paper's *constant data rate* profile."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._rate = float(rate)
+
+    def rate_at(self, t: float) -> float:
+        return self._rate
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:
+        return f"ConstantRate({self._rate:g}/s)"
+
+
+class PeriodicWave:
+    """A sinusoidal rate: the paper's *periodic waves* profile.
+
+    ``rate(t) = mean + amplitude · sin(2πt/period + phase)``, clipped at 0.
+
+    Parameters
+    ----------
+    mean:
+        Mean messages/second.
+    amplitude:
+        Peak deviation from the mean (defaults to half the mean).
+    period:
+        Wave period in seconds (default one hour).
+    phase:
+        Phase offset in radians.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        amplitude: float | None = None,
+        period: float = 3600.0,
+        phase: float = 0.0,
+    ) -> None:
+        if mean < 0:
+            raise ValueError("mean must be non-negative")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._mean = float(mean)
+        self._amplitude = float(mean / 2 if amplitude is None else amplitude)
+        if self._amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        self._period = float(period)
+        self._phase = float(phase)
+
+    def rate_at(self, t: float) -> float:
+        wave = self._amplitude * math.sin(
+            2.0 * math.pi * t / self._period + self._phase
+        )
+        return max(0.0, self._mean + wave)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._mean
+
+    @property
+    def amplitude(self) -> float:
+        return self._amplitude
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicWave(mean={self._mean:g}/s, amp={self._amplitude:g}, "
+            f"period={self._period:g}s)"
+        )
+
+
+class RandomWalkRate:
+    """A mean-reverting random walk: the paper's *random walk* profile.
+
+    The path is an Ornstein–Uhlenbeck-style discrete walk precomputed at
+    ``resolution`` seconds from ``seed``; lookups step-interpolate and
+    wrap, so the profile is stationary and fully reproducible.
+
+    Parameters
+    ----------
+    mean:
+        Level the walk reverts to.
+    step_sigma:
+        Std-dev of each step as a *fraction of the mean*.
+    reversion:
+        Pull-back strength toward the mean per step, in (0, 1].
+    resolution:
+        Seconds between steps.
+    horizon:
+        Length of the precomputed path in seconds.
+    bounds:
+        Clip range as fractions of the mean (default 0.1×–2×).
+    seed:
+        Determinism root.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        step_sigma: float = 0.10,
+        reversion: float = 0.05,
+        resolution: float = 30.0,
+        horizon: float = 12 * 3600.0,
+        bounds: tuple[float, float] = (0.1, 2.0),
+        seed: int = 0,
+    ) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if not 0 < reversion <= 1:
+            raise ValueError("reversion must be in (0, 1]")
+        if step_sigma < 0:
+            raise ValueError("step_sigma must be non-negative")
+        if resolution <= 0 or horizon <= resolution:
+            raise ValueError("need horizon > resolution > 0")
+        if not 0 <= bounds[0] < bounds[1]:
+            raise ValueError("invalid bounds")
+        self._mean = float(mean)
+        self._resolution = float(resolution)
+
+        n = int(horizon / resolution)
+        rng = np.random.default_rng(seed)
+        steps = rng.normal(0.0, step_sigma * mean, size=n)
+        path = np.empty(n)
+        level = mean
+        for i in range(n):
+            level += reversion * (mean - level) + steps[i]
+            path[i] = level
+        self._path = np.clip(path, bounds[0] * mean, bounds[1] * mean)
+
+    def rate_at(self, t: float) -> float:
+        idx = int(t / self._resolution) % self._path.shape[0]
+        return float(self._path[idx])
+
+    @property
+    def mean_rate(self) -> float:
+        return self._mean
+
+    @property
+    def path(self) -> np.ndarray:
+        """The precomputed rate path (read-only view)."""
+        view = self._path.view()
+        view.flags.writeable = False
+        return view
+
+    def __repr__(self) -> str:
+        return f"RandomWalkRate(mean={self._mean:g}/s)"
+
+
+class BurstRate:
+    """Flash crowds: a base rate with sudden multiplicative bursts.
+
+    Burst start times follow a Poisson process; each burst multiplies the
+    base rate by ``factor`` for ``duration`` seconds (overlapping bursts
+    do not stack).  Precomputed from a seed, hence deterministic.
+
+    Parameters
+    ----------
+    base:
+        Steady rate between bursts (messages/second).
+    factor:
+        Rate multiplier during a burst (> 1).
+    bursts_per_hour:
+        Expected burst frequency.
+    duration:
+        Burst length in seconds.
+    horizon:
+        Length of the precomputed schedule (wraps after this).
+    seed:
+        Determinism root.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        factor: float = 4.0,
+        bursts_per_hour: float = 2.0,
+        duration: float = 300.0,
+        horizon: float = 12 * 3600.0,
+        seed: int = 0,
+    ) -> None:
+        if base < 0:
+            raise ValueError("base rate must be non-negative")
+        if factor <= 1.0:
+            raise ValueError("burst factor must exceed 1")
+        if bursts_per_hour <= 0 or duration <= 0:
+            raise ValueError("burst frequency and duration must be positive")
+        if horizon <= duration:
+            raise ValueError("horizon must exceed the burst duration")
+        self._base = float(base)
+        self._factor = float(factor)
+        self._duration = float(duration)
+        self._horizon = float(horizon)
+
+        rng = np.random.default_rng(seed)
+        n_expected = bursts_per_hour * horizon / 3600.0
+        n = rng.poisson(n_expected)
+        self._starts = np.sort(rng.uniform(0.0, horizon, size=n))
+        self._bursts_per_hour = bursts_per_hour
+
+    @property
+    def burst_starts(self) -> np.ndarray:
+        """Scheduled burst start times within the horizon (read-only)."""
+        view = self._starts.view()
+        view.flags.writeable = False
+        return view
+
+    def in_burst(self, t: float) -> bool:
+        """Whether ``t`` falls inside a burst window."""
+        w = t % self._horizon
+        idx = int(np.searchsorted(self._starts, w, side="right")) - 1
+        return idx >= 0 and (w - self._starts[idx]) < self._duration
+
+    def rate_at(self, t: float) -> float:
+        return self._base * (self._factor if self.in_burst(t) else 1.0)
+
+    @property
+    def mean_rate(self) -> float:
+        burst_fraction = min(
+            1.0, self._bursts_per_hour * self._duration / 3600.0
+        )
+        return self._base * (
+            1.0 + (self._factor - 1.0) * burst_fraction
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstRate(base={self._base:g}/s, ×{self._factor:g} "
+            f"for {self._duration:g}s)"
+        )
+
+
+class SteppedRate:
+    """Piecewise-constant rates: ``[(t_0, r_0), (t_1, r_1), …]``.
+
+    The rate is ``r_i`` for ``t ∈ [t_i, t_{i+1})``; before ``t_0`` it is
+    ``r_0``.  Useful for tests and for modelling scheduled load changes.
+    """
+
+    def __init__(self, steps: Sequence[tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one step")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ValueError("step times must be non-decreasing")
+        if any(r < 0 for _, r in steps):
+            raise ValueError("rates must be non-negative")
+        self._steps = [(float(t), float(r)) for t, r in steps]
+
+    def rate_at(self, t: float) -> float:
+        rate = self._steps[0][1]
+        for start, r in self._steps:
+            if t >= start:
+                rate = r
+            else:
+                break
+        return rate
+
+    @property
+    def mean_rate(self) -> float:
+        # Time-weighted mean over the defined span; a single step is just
+        # its rate.
+        if len(self._steps) == 1:
+            return self._steps[0][1]
+        total = 0.0
+        span = self._steps[-1][0] - self._steps[0][0]
+        for (t0, r), (t1, _) in zip(self._steps, self._steps[1:]):
+            total += r * (t1 - t0)
+        return total / span if span > 0 else self._steps[-1][1]
+
+
+class ScaledRate:
+    """A profile multiplied by a constant factor (e.g. per-input shares)."""
+
+    def __init__(self, base: RateProfile, factor: float) -> None:
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self._base = base
+        self._factor = float(factor)
+
+    def rate_at(self, t: float) -> float:
+        return self._base.rate_at(t) * self._factor
+
+    @property
+    def mean_rate(self) -> float:
+        return self._base.mean_rate * self._factor
+
+
+def average_rate(
+    profile: RateProfile, t0: float, t1: float, samples: int = 64
+) -> float:
+    """Mean rate of ``profile`` over ``[t0, t1]`` by midpoint sampling."""
+    if t1 <= t0:
+        raise ValueError("need t1 > t0")
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    dt = (t1 - t0) / samples
+    return (
+        sum(profile.rate_at(t0 + (i + 0.5) * dt) for i in range(samples)) / samples
+    )

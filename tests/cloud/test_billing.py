@@ -1,0 +1,106 @@
+"""Unit tests for hour-boundary billing (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import HOUR, VMClass, VMInstance, instance_cost, total_cost
+from repro.cloud.billing import BillingMeter, billed_hours, remaining_paid_seconds
+
+
+def make_vm(price=0.24, started_at=0.0):
+    klass = VMClass(name="t", cores=2, core_speed=2.0, hourly_price=price)
+    return VMInstance(klass, started_at=started_at)
+
+
+class TestBilledHours:
+    def test_zero_elapsed_bills_first_hour(self):
+        assert billed_hours(0.0) == 1
+
+    def test_partial_hour_rounds_up(self):
+        assert billed_hours(1.0) == 1
+        assert billed_hours(3599.0) == 1
+        assert billed_hours(3601.0) == 2
+
+    def test_exact_boundary_not_overcharged(self):
+        assert billed_hours(HOUR) == 1
+        assert billed_hours(2 * HOUR) == 2
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            billed_hours(-1.0)
+
+
+class TestInstanceCost:
+    def test_charged_full_hour_on_start(self):
+        vm = make_vm(price=0.24)
+        assert instance_cost(vm, at=0.0) == 0.24
+        assert instance_cost(vm, at=1800.0) == 0.24
+
+    def test_second_hour_starts_after_boundary(self):
+        vm = make_vm(price=0.24)
+        assert instance_cost(vm, at=HOUR) == 0.24
+        assert instance_cost(vm, at=HOUR + 1) == 0.48
+
+    def test_before_start_is_free(self):
+        vm = make_vm(started_at=100.0)
+        assert instance_cost(vm, at=50.0) == 0.0
+
+    def test_stopped_instance_freezes_cost(self):
+        vm = make_vm(price=0.24)
+        vm.stop(at=1800.0)  # half an hour used, full hour billed
+        assert instance_cost(vm, at=10 * HOUR) == 0.24
+
+    def test_early_shutdown_still_charges_started_hour(self):
+        vm = make_vm(price=0.06)
+        vm.stop(at=60.0)
+        assert instance_cost(vm, at=HOUR * 5) == 0.06
+
+    def test_total_cost_sums_fleet(self):
+        vms = [make_vm(price=0.1), make_vm(price=0.2)]
+        assert total_cost(vms, at=0.0) == pytest.approx(0.3)
+
+
+class TestRemainingPaidSeconds:
+    def test_full_hour_left_at_start(self):
+        vm = make_vm()
+        assert remaining_paid_seconds(vm, at=0.0) == pytest.approx(HOUR)
+
+    def test_decreases_within_hour(self):
+        vm = make_vm()
+        assert remaining_paid_seconds(vm, at=1000.0) == pytest.approx(HOUR - 1000)
+
+    def test_resets_each_hour(self):
+        vm = make_vm()
+        assert remaining_paid_seconds(vm, at=HOUR + 10) == pytest.approx(
+            HOUR - 10
+        )
+
+    def test_stopped_instance_has_none(self):
+        vm = make_vm()
+        vm.stop(at=100.0)
+        assert remaining_paid_seconds(vm, at=200.0) == 0.0
+
+
+class TestBillingMeter:
+    def test_registers_and_accumulates(self):
+        meter = BillingMeter()
+        meter.register(make_vm(price=0.1))
+        meter.register(make_vm(price=0.2))
+        assert meter.cost_at(0.0) == pytest.approx(0.3)
+        assert meter.cost_at(HOUR + 1) == pytest.approx(0.6)
+
+    def test_burn_rate_counts_only_active(self):
+        meter = BillingMeter()
+        a = make_vm(price=0.1)
+        b = make_vm(price=0.2)
+        meter.register(a)
+        meter.register(b)
+        b.stop(at=100.0)
+        assert meter.active_hourly_rate(at=200.0) == pytest.approx(0.1)
+
+    def test_cost_monotone_in_time(self):
+        meter = BillingMeter()
+        meter.register(make_vm(price=0.48))
+        costs = [meter.cost_at(t) for t in (0, 1800, 3601, 7200, 7201)]
+        assert costs == sorted(costs)

@@ -1,0 +1,103 @@
+"""Unit tests for the VM failure model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    CloudProvider,
+    FailureModel,
+    ProvisioningError,
+    VMClass,
+    VMInstance,
+    aws_2013_catalog,
+)
+
+
+def make_vm(started_at=0.0):
+    return VMInstance(
+        VMClass(name="t", cores=2, core_speed=1.0, hourly_price=0.1),
+        started_at=started_at,
+    )
+
+
+class TestFailureModel:
+    def test_disabled_has_no_failures(self):
+        model = FailureModel(None)
+        assert not model.enabled
+        assert model.next_failure(make_vm(), 0.0) is None
+
+    def test_failures_after_start(self):
+        model = FailureModel(mtbf_hours=1.0, seed=1)
+        vm = make_vm(started_at=100.0)
+        t = model.next_failure(vm, 100.0)
+        assert t is not None and t > 100.0
+
+    def test_deterministic_schedule(self):
+        a = FailureModel(1.0, seed=5)
+        b = FailureModel(1.0, seed=5)
+        vm = make_vm()
+        assert a.next_failure(vm, 0.0) == b.next_failure(vm, 0.0)
+
+    def test_schedule_advances_past_now(self):
+        model = FailureModel(0.1, seed=2)
+        vm = make_vm()
+        first = model.next_failure(vm, 0.0)
+        later = model.next_failure(vm, first + 1.0)
+        assert later > first
+
+    def test_mean_gap_tracks_mtbf(self):
+        model = FailureModel(mtbf_hours=1.0, seed=9, max_failures_per_vm=64)
+        vm = make_vm()
+        times = []
+        t = 0.0
+        for _ in range(50):
+            nxt = model.next_failure(vm, t)
+            times.append(nxt)
+            t = nxt
+        gaps = [b - a for a, b in zip([0.0] + times[:-1], times)]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(3600.0, rel=0.4)
+
+    def test_fails_within_window(self):
+        model = FailureModel(1.0, seed=3)
+        vm = make_vm()
+        first = model.next_failure(vm, 0.0)
+        assert model.fails_within(vm, 0.0, first + 1.0) == first
+        assert model.fails_within(vm, 0.0, first - 1.0) is None
+        with pytest.raises(ValueError):
+            model.fails_within(vm, 10.0, 10.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FailureModel(0.0)
+        with pytest.raises(ValueError):
+            FailureModel(1.0, max_failures_per_vm=0)
+
+
+class TestProviderFail:
+    def test_fail_releases_and_stops(self):
+        provider = CloudProvider(aws_2013_catalog())
+        vm = provider.provision("m1.large", now=0.0)
+        vm.allocate("pe", 2)
+        lost = provider.fail(vm, now=100.0)
+        assert lost == {"pe": 2}
+        assert not vm.active
+        assert provider.failed_instances() == [vm]
+
+    def test_fail_still_bills_started_hour(self):
+        provider = CloudProvider(aws_2013_catalog())
+        vm = provider.provision("m1.small", now=0.0)
+        provider.fail(vm, now=60.0)
+        assert provider.cost_at(7200.0) == pytest.approx(0.06)
+
+    def test_fail_unknown_rejected(self):
+        provider = CloudProvider(aws_2013_catalog())
+        with pytest.raises(ProvisioningError):
+            provider.fail(make_vm(), now=0.0)
+
+    def test_terminate_not_marked_failed(self):
+        provider = CloudProvider(aws_2013_catalog())
+        vm = provider.provision("m1.small", now=0.0)
+        provider.terminate(vm, now=10.0)
+        assert provider.failed_instances() == []

@@ -1,0 +1,86 @@
+"""Unit tests for the network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    ConstantPerformance,
+    LinkQuality,
+    NetworkModel,
+    VMClass,
+    VMInstance,
+    migration_time,
+)
+
+
+def make_vm(bandwidth=100.0):
+    klass = VMClass(
+        name="t", cores=1, core_speed=1.0, bandwidth_mbps=bandwidth,
+        hourly_price=0.1,
+    )
+    return VMInstance(klass, started_at=0.0)
+
+
+class TestLinkQuality:
+    def test_message_rate_limit(self):
+        link = LinkQuality(latency_s=0.001, bandwidth_mbps=100.0)
+        # 0.1 MB messages = 0.8 Mbit each → 125 msg/s on 100 Mbps.
+        assert link.message_rate_limit(0.1) == pytest.approx(125.0)
+
+    def test_colocated_unlimited(self):
+        link = LinkQuality(latency_s=0.0, bandwidth_mbps=float("inf"))
+        assert link.colocated
+        assert link.message_rate_limit(0.1) == float("inf")
+        assert link.transfer_time(100.0) == 0.0
+
+    def test_transfer_time_includes_latency(self):
+        link = LinkQuality(latency_s=0.5, bandwidth_mbps=80.0)
+        # 10 MB = 80 Mbit → 1 s at 80 Mbps, plus latency.
+        assert link.transfer_time(10.0) == pytest.approx(1.5)
+
+    def test_zero_size_is_free(self):
+        link = LinkQuality(latency_s=0.5, bandwidth_mbps=80.0)
+        assert link.transfer_time(0.0) == 0.0
+
+    def test_invalid_inputs(self):
+        link = LinkQuality(latency_s=0.0, bandwidth_mbps=10.0)
+        with pytest.raises(ValueError):
+            link.message_rate_limit(0.0)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1.0)
+
+
+class TestNetworkModel:
+    def test_same_instance_is_colocated(self):
+        model = NetworkModel(ConstantPerformance())
+        vm = make_vm()
+        assert model.link(vm, vm, 0.0).colocated
+
+    def test_rated_bandwidth_caps_link(self):
+        model = NetworkModel(ConstantPerformance(bandwidth_mbps=1000.0))
+        a, b = make_vm(bandwidth=100.0), make_vm(bandwidth=50.0)
+        link = model.link(a, b, 0.0)
+        assert link.bandwidth_mbps == 50.0  # slower NIC wins
+
+    def test_measured_bandwidth_below_rated(self):
+        model = NetworkModel(ConstantPerformance(bandwidth_mbps=30.0))
+        a, b = make_vm(), make_vm()
+        assert model.link(a, b, 0.0).bandwidth_mbps == 30.0
+
+
+class TestMigration:
+    def test_migration_time_scales_with_messages(self):
+        link = LinkQuality(latency_s=0.0, bandwidth_mbps=80.0)
+        t1 = migration_time(link, 100, 0.1)  # 10 MB
+        t2 = migration_time(link, 200, 0.1)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_zero_messages_free(self):
+        link = LinkQuality(latency_s=1.0, bandwidth_mbps=10.0)
+        assert migration_time(link, 0, 0.1) == 0.0
+
+    def test_negative_count_rejected(self):
+        link = LinkQuality(latency_s=0.0, bandwidth_mbps=10.0)
+        with pytest.raises(ValueError):
+            migration_time(link, -1, 0.1)

@@ -1,0 +1,73 @@
+"""Property-based tests for cloud billing and traces."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.cloud import VMClass, VMInstance, instance_cost
+from repro.cloud.billing import HOUR, billed_hours
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.01, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_cost_is_at_least_linear_usage(elapsed, price):
+    """Hour rounding can only ever charge MORE than fractional usage."""
+    klass = VMClass(name="t", cores=1, core_speed=1.0, hourly_price=price)
+    vm = VMInstance(klass, started_at=0.0)
+    cost = instance_cost(vm, at=elapsed)
+    assert cost >= price * (elapsed / HOUR) - 1e-9
+    # ... but never more than one extra hour.
+    assert cost <= price * (elapsed / HOUR + 1.0) + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=1e6), st.floats(min_value=0.0, max_value=1e5))
+@settings(max_examples=100, deadline=None)
+def test_cost_monotone_in_time(t1, dt):
+    klass = VMClass(name="t", cores=1, core_speed=1.0, hourly_price=0.5)
+    vm = VMInstance(klass, started_at=0.0)
+    assert instance_cost(vm, at=t1 + dt) >= instance_cost(vm, at=t1)
+
+
+@given(st.floats(min_value=0.0, max_value=100 * HOUR))
+@settings(max_examples=100, deadline=None)
+def test_billed_hours_within_one_of_exact(elapsed):
+    hours = billed_hours(elapsed)
+    assert hours >= 1
+    assert hours - 1 <= elapsed / HOUR <= hours + 1e-6
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e5),
+    st.floats(min_value=1.0, max_value=1e5),
+)
+@settings(max_examples=60, deadline=None)
+def test_stopping_never_increases_cost(stop_at, probe_after):
+    """Stopping a VM can never make it more expensive than leaving it on."""
+    klass = VMClass(name="t", cores=1, core_speed=1.0, hourly_price=0.3)
+    running = VMInstance(klass, started_at=0.0)
+    stopped = VMInstance(klass, started_at=0.0)
+    stopped.stop(at=stop_at)
+    probe = stop_at + probe_after
+    assert instance_cost(stopped, at=probe) <= instance_cost(running, at=probe)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_trace_library_deterministic(seed):
+    from repro.cloud import CPUTraceConfig, NetworkTraceConfig, TraceLibrary
+
+    cfg = dict(
+        n_cpu_series=2,
+        n_network_series=2,
+        cpu=CPUTraceConfig(duration_s=7200.0),
+        network=NetworkTraceConfig(duration_s=7200.0),
+    )
+    a = TraceLibrary(seed=seed, **cfg)
+    b = TraceLibrary(seed=seed, **cfg)
+    assert np.array_equal(a.cpu_series, b.cpu_series)
+    assert np.array_equal(a.bandwidth_series, b.bandwidth_series)

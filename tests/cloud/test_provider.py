@@ -1,0 +1,135 @@
+"""Unit tests for the elastic cloud provider."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    CloudProvider,
+    ConstantPerformance,
+    ProvisioningError,
+    aws_2013_catalog,
+)
+
+
+class TestCatalog:
+    def test_sorted_ascending(self, provider):
+        caps = [c.total_capacity for c in provider.catalog]
+        assert caps == sorted(caps)
+
+    def test_largest_smallest(self, provider):
+        assert provider.largest_class.name == "m1.xlarge"
+        assert provider.smallest_class.name == "m1.small"
+
+    def test_lookup_by_name(self, provider):
+        assert provider.vm_class("m1.large").cores == 2
+        with pytest.raises(KeyError):
+            provider.vm_class("nope")
+
+    def test_classes_at_least(self, provider):
+        names = [c.name for c in provider.classes_at_least(3.0)]
+        assert names == ["m1.large", "m1.xlarge"]
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            CloudProvider([])
+
+    def test_duplicate_class_names_rejected(self):
+        cat = aws_2013_catalog()
+        with pytest.raises(ValueError):
+            CloudProvider(cat + [cat[0]])
+
+
+class TestProvisioning:
+    def test_provision_by_name(self, provider):
+        vm = provider.provision("m1.medium", now=10.0)
+        assert vm.vm_class.name == "m1.medium"
+        assert vm.started_at == 10.0
+        assert vm.active
+
+    def test_provision_by_class(self, provider, catalog):
+        vm = provider.provision(catalog[-1], now=0.0)
+        assert vm.vm_class.name == "m1.xlarge"
+
+    def test_foreign_class_rejected(self, provider):
+        from repro.cloud import VMClass
+
+        foreign = VMClass(name="alien", cores=1, core_speed=1.0)
+        with pytest.raises(ProvisioningError):
+            provider.provision(foreign, now=0.0)
+
+    def test_instance_ids_unique(self, provider):
+        a = provider.provision("m1.small", 0.0)
+        b = provider.provision("m1.small", 0.0)
+        assert a.instance_id != b.instance_id
+
+    def test_billing_starts_at_provision(self, provider):
+        provider.provision("m1.small", now=0.0)
+        assert provider.cost_at(1.0) == pytest.approx(0.06)
+
+    def test_instance_cap(self, catalog):
+        provider = CloudProvider(catalog, max_instances=2)
+        provider.provision("m1.small", 0.0)
+        provider.provision("m1.small", 0.0)
+        with pytest.raises(ProvisioningError, match="cap"):
+            provider.provision("m1.small", 0.0)
+
+    def test_startup_delay(self, catalog):
+        provider = CloudProvider(catalog, startup_delay=45.0)
+        vm = provider.provision("m1.small", now=0.0)
+        assert provider.ready_at(vm) == 45.0
+        assert provider.ready_instances(10.0) == []
+        assert provider.ready_instances(45.0) == [vm]
+
+    def test_callable_startup_delay(self, catalog):
+        provider = CloudProvider(
+            catalog, startup_delay=lambda c: c.cores * 10.0
+        )
+        vm = provider.provision("m1.xlarge", now=0.0)
+        assert provider.ready_at(vm) == 40.0
+
+
+class TestTermination:
+    def test_terminate_stops_billing_growth(self, provider):
+        vm = provider.provision("m1.small", now=0.0)
+        provider.terminate(vm, now=100.0)
+        assert not vm.active
+        assert provider.cost_at(10 * 3600.0) == pytest.approx(0.06)
+
+    def test_terminate_with_allocations_rejected(self, provider):
+        vm = provider.provision("m1.large", now=0.0)
+        vm.allocate("pe", 1)
+        with pytest.raises(ProvisioningError, match="release"):
+            provider.terminate(vm, now=1.0)
+
+    def test_terminate_unknown_rejected(self, provider, catalog):
+        from repro.cloud import VMInstance
+
+        stranger = VMInstance(catalog[0], started_at=0.0)
+        with pytest.raises(ProvisioningError):
+            provider.terminate(stranger, now=1.0)
+
+    def test_active_vs_all_instances(self, provider):
+        a = provider.provision("m1.small", 0.0)
+        b = provider.provision("m1.small", 0.0)
+        provider.terminate(a, 10.0)
+        assert set(provider.all_instances()) == {a, b}
+        assert provider.active_instances() == [b]
+
+
+class TestMonitoring:
+    def test_constant_performance_coefficient(self, provider):
+        vm = provider.provision("m1.large", 0.0)
+        assert provider.cpu_coefficient(vm, 0.0) == 1.0
+        assert provider.effective_core_speed(vm, 0.0) == 2.0
+
+    def test_link_between_instances(self, provider):
+        a = provider.provision("m1.small", 0.0)
+        b = provider.provision("m1.small", 0.0)
+        link = provider.link(a, b, 0.0)
+        assert link.bandwidth_mbps == 100.0
+        assert not link.colocated
+
+    def test_paid_seconds_remaining(self, provider):
+        vm = provider.provision("m1.small", now=0.0)
+        assert provider.paid_seconds_remaining(vm, 600.0) == pytest.approx(3000.0)

@@ -1,0 +1,128 @@
+"""Unit tests for VM classes and instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import VMClass, VMInstance, aws_2013_catalog
+
+
+class TestVMClass:
+    def test_total_capacity(self):
+        c = VMClass(name="x", cores=4, core_speed=2.0, hourly_price=0.48)
+        assert c.total_capacity == 8.0
+
+    def test_price_per_capacity(self):
+        c = VMClass(name="x", cores=2, core_speed=2.0, hourly_price=0.24)
+        assert c.price_per_capacity == pytest.approx(0.06)
+
+    def test_ordering_by_capacity(self):
+        catalog = aws_2013_catalog()
+        caps = [c.total_capacity for c in catalog]
+        assert caps == sorted(caps)
+        assert catalog[-1].name == "m1.xlarge"
+        assert catalog[0].name == "m1.small"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", cores=1, core_speed=1.0),
+            dict(name="x", cores=0, core_speed=1.0),
+            dict(name="x", cores=1, core_speed=0.0),
+            dict(name="x", cores=1, core_speed=1.0, bandwidth_mbps=0.0),
+            dict(name="x", cores=1, core_speed=1.0, hourly_price=-0.1),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            VMClass(**kwargs)
+
+    def test_catalog_standard_core(self):
+        small = aws_2013_catalog()[0]
+        assert small.core_speed == 1.0  # m1.small is the standard core
+
+
+class TestVMInstance:
+    def make(self, cores=4):
+        klass = VMClass(name="test", cores=cores, core_speed=2.0, hourly_price=0.4)
+        return VMInstance(klass, started_at=0.0)
+
+    def test_fresh_instance_state(self):
+        vm = self.make()
+        assert vm.active
+        assert vm.free_cores == 4 and vm.used_cores == 0
+
+    def test_allocate_and_release(self):
+        vm = self.make()
+        vm.allocate("A", 2)
+        vm.allocate("B", 1)
+        assert vm.used_cores == 3 and vm.free_cores == 1
+        assert vm.cores_for("A") == 2
+        assert set(vm.hosted_pes) == {"A", "B"}
+        assert vm.release("A", 1) == 1
+        assert vm.cores_for("A") == 1
+
+    def test_release_all_cores_of_pe(self):
+        vm = self.make()
+        vm.allocate("A", 3)
+        assert vm.release("A") == 3
+        assert "A" not in vm.allocations
+
+    def test_release_unknown_pe_is_zero(self):
+        assert self.make().release("ghost") == 0
+
+    def test_over_allocation_rejected(self):
+        vm = self.make(cores=2)
+        vm.allocate("A", 2)
+        with pytest.raises(ValueError, match="free"):
+            vm.allocate("B", 1)
+
+    def test_incremental_allocation_same_pe(self):
+        vm = self.make()
+        vm.allocate("A", 1)
+        vm.allocate("A", 2)
+        assert vm.cores_for("A") == 3
+
+    def test_zero_core_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().allocate("A", 0)
+
+    def test_stop_lifecycle(self):
+        vm = self.make()
+        vm.stop(at=100.0)
+        assert not vm.active
+        assert vm.stopped_at == 100.0
+        with pytest.raises(ValueError):
+            vm.stop(at=200.0)
+
+    def test_stop_before_start_rejected(self):
+        vm = VMInstance(
+            VMClass(name="t", cores=1, core_speed=1.0), started_at=50.0
+        )
+        with pytest.raises(ValueError):
+            vm.stop(at=10.0)
+
+    def test_allocate_on_stopped_vm_rejected(self):
+        vm = self.make()
+        vm.stop(at=1.0)
+        with pytest.raises(ValueError, match="stopped"):
+            vm.allocate("A", 1)
+
+    def test_release_all(self):
+        vm = self.make()
+        vm.allocate("A", 1)
+        vm.allocate("B", 2)
+        held = vm.release_all()
+        assert held == {"A": 1, "B": 2}
+        assert vm.used_cores == 0
+
+    def test_unique_instance_ids(self):
+        a, b = self.make(), self.make()
+        assert a.instance_id != b.instance_id
+
+    def test_allocations_returns_copy(self):
+        vm = self.make()
+        vm.allocate("A", 1)
+        alloc = vm.allocations
+        alloc["A"] = 99
+        assert vm.cores_for("A") == 1

@@ -1,0 +1,187 @@
+"""Unit tests for the synthetic variability traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CPUTraceConfig,
+    NetworkTraceConfig,
+    TraceLibrary,
+    TraceReplayPerformance,
+    trace_statistics,
+)
+
+FAST_CPU = CPUTraceConfig(duration_s=6 * 3600.0)
+FAST_NET = NetworkTraceConfig(duration_s=6 * 3600.0)
+
+
+def small_library(seed=0):
+    return TraceLibrary(
+        seed=seed, n_cpu_series=3, n_network_series=3, cpu=FAST_CPU, network=FAST_NET
+    )
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a, b = small_library(5), small_library(5)
+        assert np.array_equal(a.cpu_series, b.cpu_series)
+        assert np.array_equal(a.latency_series, b.latency_series)
+        assert np.array_equal(a.bandwidth_series, b.bandwidth_series)
+
+    def test_different_seeds_differ(self):
+        a, b = small_library(1), small_library(2)
+        assert not np.array_equal(a.cpu_series, b.cpu_series)
+
+    def test_cpu_series_respect_clip(self):
+        lib = small_library()
+        lo, hi = FAST_CPU.clip
+        assert lib.cpu_series.min() >= lo
+        assert lib.cpu_series.max() <= hi
+
+    def test_cpu_series_vary_over_time(self):
+        lib = small_library()
+        for series in lib.cpu_series:
+            assert series.std() > 0.005  # not constant
+
+    def test_instance_heterogeneity(self):
+        """Different pool series have different means (spatial variation)."""
+        lib = TraceLibrary(seed=3, n_cpu_series=8, n_network_series=1,
+                           cpu=FAST_CPU, network=FAST_NET)
+        means = lib.cpu_series.mean(axis=1)
+        assert means.std() > 0.005
+
+    def test_bandwidth_within_clip(self):
+        lib = small_library()
+        cfg = FAST_NET
+        assert lib.bandwidth_series.min() >= cfg.bandwidth_clip[0] * cfg.bandwidth_base_mbps
+        assert lib.bandwidth_series.max() <= cfg.bandwidth_clip[1] * cfg.bandwidth_base_mbps
+
+    def test_latency_positive_with_spikes(self):
+        lib = small_library()
+        assert lib.latency_series.min() > 0
+        # Spikes: the max should exceed several times the median.
+        for series in lib.latency_series:
+            assert series.max() > 2.0 * np.median(series)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CPUTraceConfig(duration_s=-1)
+        with pytest.raises(ValueError):
+            CPUTraceConfig(ar1_phi=1.5)
+        with pytest.raises(ValueError):
+            NetworkTraceConfig(latency_base_s=0.0)
+        with pytest.raises(ValueError):
+            TraceLibrary(n_cpu_series=0)
+
+
+class TestAssignment:
+    def test_vm_key_assignment_deterministic(self):
+        lib = small_library()
+        s1, o1 = lib.cpu_series_for("vm-abc")
+        s2, o2 = lib.cpu_series_for("vm-abc")
+        assert o1 == o2 and np.array_equal(s1, s2)
+
+    def test_network_pair_symmetric(self):
+        lib = small_library()
+        a = lib.network_series_for("vm-1", "vm-2")
+        b = lib.network_series_for("vm-2", "vm-1")
+        assert a[2] == b[2]
+        assert np.array_equal(a[0], b[0])
+
+
+class TestReplay:
+    def test_coefficient_positive_and_bounded(self):
+        perf = TraceReplayPerformance(small_library())
+        lo, hi = FAST_CPU.clip
+        for t in (0.0, 100.0, 3600.0, 90000.0):
+            c = perf.cpu_coefficient("vm-x", t)
+            assert lo <= c <= hi
+
+    def test_wraps_around_duration(self):
+        perf = TraceReplayPerformance(small_library())
+        c0 = perf.cpu_coefficient("vm-x", 0.0)
+        c_wrap = perf.cpu_coefficient("vm-x", FAST_CPU.duration_s)
+        assert c0 == pytest.approx(c_wrap)
+
+    def test_disabled_cpu_returns_rated(self):
+        perf = TraceReplayPerformance(small_library(), cpu_enabled=False)
+        assert perf.cpu_coefficient("vm-x", 123.0) == 1.0
+        assert perf.cpu_series_view("vm-x") is None
+
+    def test_disabled_network_returns_base(self):
+        perf = TraceReplayPerformance(small_library(), network_enabled=False)
+        assert perf.bandwidth_mbps("a", "b", 0.0) == FAST_NET.bandwidth_base_mbps
+        assert perf.latency_s("a", "b", 0.0) == FAST_NET.latency_base_s
+
+    def test_same_vm_is_local(self):
+        perf = TraceReplayPerformance(small_library())
+        assert perf.latency_s("a", "a", 0.0) == 0.0
+        assert perf.bandwidth_mbps("a", "a", 0.0) == float("inf")
+
+    def test_series_view_matches_scalar_lookup(self):
+        perf = TraceReplayPerformance(small_library())
+        series, offset, res = perf.cpu_series_view("vm-q")
+        t = 500.0
+        expected = series[(offset + int(t / res)) % series.shape[0]]
+        assert perf.cpu_coefficient("vm-q", t) == pytest.approx(expected)
+
+
+class TestStatistics:
+    def test_stats_fields(self):
+        stats = trace_statistics(np.array([1.0, 0.9, 1.1, 1.0]))
+        assert stats["mean"] == pytest.approx(1.0)
+        assert stats["min"] == 0.9 and stats["max"] == 1.1
+        assert stats["cv"] == pytest.approx(stats["std"] / stats["mean"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_statistics(np.array([]))
+
+    def test_relative_deviation_symmetric_range(self):
+        stats = trace_statistics(np.array([0.5, 1.5]))
+        assert stats["rel_dev_p05"] < 0 < stats["rel_dev_p95"]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        import numpy as np
+
+        from repro.cloud import load_trace_library
+
+        lib = small_library(seed=11)
+        path = tmp_path / "traces.npz"
+        lib.save(path)
+        loaded = load_trace_library(path)
+        assert np.array_equal(lib.cpu_series, loaded.cpu_series)
+        assert np.array_equal(lib.latency_series, loaded.latency_series)
+        assert np.array_equal(lib.bandwidth_series, loaded.bandwidth_series)
+        assert loaded.cpu_config.resolution_s == lib.cpu_config.resolution_s
+
+    def test_assignments_survive_roundtrip(self, tmp_path):
+        import numpy as np
+
+        from repro.cloud import load_trace_library
+
+        lib = small_library(seed=11)
+        path = tmp_path / "traces.npz"
+        lib.save(path)
+        loaded = load_trace_library(path)
+        s1, o1 = lib.cpu_series_for("vm-42")
+        s2, o2 = loaded.cpu_series_for("vm-42")
+        assert o1 == o2 and np.array_equal(s1, s2)
+        n1 = lib.network_series_for("a", "b")
+        n2 = loaded.network_series_for("a", "b")
+        assert n1[2] == n2[2]
+
+    def test_replay_from_loaded_library(self, tmp_path):
+        from repro.cloud import TraceReplayPerformance, load_trace_library
+
+        lib = small_library(seed=11)
+        path = tmp_path / "traces.npz"
+        lib.save(path)
+        a = TraceReplayPerformance(lib)
+        b = TraceReplayPerformance(load_trace_library(path))
+        for t in (0.0, 1000.0, 5000.0):
+            assert a.cpu_coefficient("vm-x", t) == b.cpu_coefficient("vm-x", t)

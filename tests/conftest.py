@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.dataflow import Alternate, DynamicDataflow, ProcessingElement
+from repro.experiments import fig1_dataflow
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def catalog():
+    return aws_2013_catalog()
+
+
+@pytest.fixture
+def fig1() -> DynamicDataflow:
+    return fig1_dataflow()
+
+
+@pytest.fixture
+def provider(catalog) -> CloudProvider:
+    return CloudProvider(catalog, performance=ConstantPerformance())
+
+
+@pytest.fixture
+def chain3() -> DynamicDataflow:
+    """A minimal 3-PE chain: src → mid → out with one alternate each."""
+    return DynamicDataflow(
+        [
+            ProcessingElement("src", [Alternate("s", value=1.0, cost=0.5)]),
+            ProcessingElement("mid", [Alternate("m", value=1.0, cost=1.0)]),
+            ProcessingElement("out", [Alternate("o", value=1.0, cost=0.5)]),
+        ],
+        [("src", "mid"), ("mid", "out")],
+    )

@@ -1,0 +1,319 @@
+"""Unit tests for the runtime adaptation heuristics (Alg. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import aws_2013_catalog
+from repro.core import AdaptationConfig, ClusterView, RuntimeAdaptation, Snapshot, VMView
+
+
+def make_cluster(catalog, allocations, coefficient=1.0, paid=1800.0):
+    """One live xlarge VM per allocation dict entry list."""
+    cluster = ClusterView()
+    for i, alloc in enumerate(allocations):
+        cluster.add(
+            VMView(
+                vm_class=catalog[-1],
+                instance_id=f"xl-{i}",
+                coefficient=coefficient,
+                allocations=dict(alloc),
+                paid_seconds_remaining=paid,
+            )
+        )
+    return cluster
+
+
+def make_snapshot(
+    fig1,
+    cluster,
+    rate=5.0,
+    omega_last=0.7,
+    omega_average=0.7,
+    selection=None,
+    backlogs=None,
+):
+    selection = selection or {
+        "E1": "e1",
+        "E2": "e2.2",
+        "E3": "e3.2",
+        "E4": "e4",
+    }
+    arrivals = {
+        "E1": rate,
+        "E2": rate,
+        "E3": rate,
+        "E4": rate * 1.5,
+    }
+    return Snapshot(
+        time=600.0,
+        selection=selection,
+        cluster=cluster,
+        input_rates={"E1": rate},
+        arrival_rates=arrivals,
+        omega_last=omega_last,
+        omega_average=omega_average,
+        backlogs=backlogs or {n: 0.0 for n in fig1.pe_names},
+        cumulative_cost=1.0,
+    )
+
+
+@pytest.fixture
+def catalog():
+    return aws_2013_catalog()
+
+
+def adapter(fig1, catalog, **kwargs):
+    defaults = dict(strategy="local", omega_min=0.7, epsilon=0.05)
+    defaults.update(kwargs)
+    return RuntimeAdaptation(fig1, catalog, AdaptationConfig(**defaults))
+
+
+class TestScaleOut:
+    def test_underprovisioned_gets_more_cores(self, fig1, catalog):
+        # A single xlarge with 1 core per PE cannot sustain 10 msg/s.
+        cluster = make_cluster(
+            catalog, [{"E1": 1, "E2": 1, "E3": 1, "E4": 1}]
+        )
+        snap = make_snapshot(
+            fig1, cluster, rate=10.0, omega_last=0.4, omega_average=0.4
+        )
+        plan = adapter(fig1, catalog).adapt(snap, interval_index=1)
+        before = 4
+        after = sum(vm.used_cores for vm in plan.cluster.vms)
+        assert after > before
+
+    def test_scale_out_prefers_free_cores(self, fig1, catalog):
+        cluster = make_cluster(
+            catalog, [{"E1": 1, "E2": 1, "E3": 1, "E4": 1}]
+        )  # 0 free on xl-0? xlarge has 4 cores, all used.
+        cluster.add(
+            VMView(
+                vm_class=catalog[-1],
+                instance_id="xl-free",
+                allocations={},
+                paid_seconds_remaining=1000.0,
+            )
+        )
+        snap = make_snapshot(
+            fig1, cluster, rate=6.0, omega_last=0.5, omega_average=0.5
+        )
+        plan = adapter(fig1, catalog).adapt(snap, interval_index=1)
+        # The already-paid free VM is used before any new one is provisioned.
+        assert plan.cluster["xl-free"].used_cores > 0
+
+    def test_local_provisions_largest_class(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 2, "E2": 2}, {"E3": 2, "E4": 2}])
+        snap = make_snapshot(
+            fig1, cluster, rate=25.0, omega_last=0.3, omega_average=0.3
+        )
+        plan = adapter(fig1, catalog, strategy="local").adapt(snap, 1)
+        new = [vm for vm in plan.cluster.vms if vm.is_new]
+        assert new and all(vm.vm_class.name == "m1.xlarge" for vm in new)
+
+    def test_global_provision_class_best_fits_deficit(self, fig1, catalog):
+        """Global picks the cheapest class covering the remaining deficit
+        (Table 1's best-fit repacking at runtime); local always takes the
+        largest class."""
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 3}, {"E3": 3, "E4": 1}])
+        # E1 deficit at 2 msg/s: 2 × 0.5 = 1 unit needed, 2 held → covered
+        # by the smallest class.
+        snap = make_snapshot(
+            fig1, cluster, rate=2.0, omega_last=0.6, omega_average=0.6
+        )
+        g = adapter(fig1, catalog, strategy="global")
+        l = adapter(fig1, catalog, strategy="local")
+        g_class = g._provision_class(cluster, "E1", snap, snap.selection)
+        l_class = l._provision_class(cluster, "E1", snap, snap.selection)
+        assert g_class.name == "m1.small"
+        assert l_class.name == "m1.xlarge"
+
+    def test_backlog_inflates_demand(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}] )
+        lazy = make_snapshot(
+            fig1, cluster, rate=3.0, omega_last=0.69, omega_average=0.69
+        )
+        backlogged = make_snapshot(
+            fig1,
+            cluster,
+            rate=3.0,
+            omega_last=0.69,
+            omega_average=0.69,
+            backlogs={"E2": 5000.0, "E1": 0.0, "E3": 0.0, "E4": 0.0},
+        )
+        a = adapter(fig1, catalog)
+        cores_lazy = sum(
+            vm.used_cores for vm in a.adapt(lazy, 1).cluster.vms
+        )
+        cores_backlog = sum(
+            vm.used_cores for vm in a.adapt(backlogged, 1).cluster.vms
+        )
+        assert cores_backlog > cores_lazy
+
+
+class TestScaleIn:
+    def test_overprovisioned_releases_cores(self, fig1, catalog):
+        # Far more capacity than 1 msg/s needs.
+        cluster = make_cluster(
+            catalog,
+            [
+                {"E1": 2, "E2": 2},
+                {"E2": 2, "E3": 2},
+                {"E3": 2, "E4": 2},
+            ],
+        )
+        snap = make_snapshot(
+            fig1, cluster, rate=1.0, omega_last=1.0, omega_average=0.95
+        )
+        plan = adapter(fig1, catalog).adapt(snap, 1)
+        assert sum(vm.used_cores for vm in plan.cluster.vms) < 12
+
+    def test_every_pe_keeps_one_core(self, fig1, catalog):
+        cluster = make_cluster(
+            catalog, [{"E1": 1, "E2": 1, "E3": 1, "E4": 1}, {"E2": 1, "E3": 1}]
+        )
+        snap = make_snapshot(
+            fig1, cluster, rate=0.1, omega_last=1.0, omega_average=1.0
+        )
+        plan = adapter(fig1, catalog).adapt(snap, 1)
+        for name in fig1.pe_names:
+            assert plan.cluster.pe_cores(name) >= 1
+
+    def test_within_band_no_change(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}])
+        snap = make_snapshot(
+            fig1, cluster, rate=3.0, omega_last=0.72, omega_average=0.72
+        )
+        plan = adapter(fig1, catalog).adapt(snap, 1)
+        assert {
+            vm.key: vm.allocations for vm in plan.cluster.vms
+        } == {"xl-0": {"E1": 1, "E2": 2}, "xl-1": {"E3": 2, "E4": 2}}
+
+
+class TestIdleVMRetirement:
+    def idle_cluster(self, catalog, paid):
+        cluster = make_cluster(
+            catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}], paid=paid
+        )
+        cluster.add(
+            VMView(
+                vm_class=catalog[0],
+                instance_id="sm-idle",
+                allocations={},
+                paid_seconds_remaining=paid,
+            )
+        )
+        return cluster
+
+    def test_local_retires_idle_immediately(self, fig1, catalog):
+        cluster = self.idle_cluster(catalog, paid=3000.0)
+        snap = make_snapshot(fig1, cluster, rate=3.0, omega_last=0.72,
+                             omega_average=0.72)
+        plan = adapter(fig1, catalog, strategy="local").adapt(snap, 1)
+        assert "sm-idle" not in plan.cluster
+
+    def test_global_parks_idle_with_paid_time(self, fig1, catalog):
+        cluster = self.idle_cluster(catalog, paid=3000.0)
+        snap = make_snapshot(fig1, cluster, rate=3.0, omega_last=0.72,
+                             omega_average=0.72)
+        plan = adapter(fig1, catalog, strategy="global").adapt(snap, 1)
+        assert "sm-idle" in plan.cluster
+
+    def test_global_retires_idle_when_hour_nearly_over(self, fig1, catalog):
+        cluster = self.idle_cluster(catalog, paid=30.0)
+        snap = make_snapshot(fig1, cluster, rate=3.0, omega_last=0.72,
+                             omega_average=0.72)
+        plan = adapter(fig1, catalog, strategy="global").adapt(snap, 1)
+        assert "sm-idle" not in plan.cluster
+
+
+class TestAlternateStage:
+    def test_underprovisioned_downgrades(self, fig1, catalog):
+        """When Ω trails the target, a cheaper alternate is selected."""
+        cluster = make_cluster(
+            catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}]
+        )
+        selection = {"E1": "e1", "E2": "e2.1", "E3": "e3.1", "E4": "e4"}
+        snap = make_snapshot(
+            fig1, cluster, rate=4.0, omega_last=0.5, omega_average=0.5,
+            selection=selection,
+        )
+        plan = adapter(fig1, catalog, alternate_period=1).adapt(snap, 1)
+        assert plan.selection["E2"] == "e2.2"
+
+    def test_overprovisioned_upgrades_if_it_fits(self, fig1, catalog):
+        """With slack, the value-maximizing alternate that fits wins."""
+        cluster = make_cluster(
+            catalog,
+            [{"E2": 4}, {"E2": 4}, {"E1": 1, "E3": 2}, {"E4": 2}],
+        )
+        snap = make_snapshot(
+            fig1, cluster, rate=3.0, omega_last=0.9, omega_average=0.9
+        )
+        plan = adapter(fig1, catalog, alternate_period=1).adapt(snap, 1)
+        # E2 has 16 units for a 3 msg/s load: e2.1 (needs 6) fits.
+        assert plan.selection["E2"] == "e2.1"
+
+    def test_upgrade_blocked_without_slack(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 1, "E3": 1, "E4": 1}])
+        snap = make_snapshot(
+            fig1, cluster, rate=5.0, omega_last=0.9, omega_average=0.9
+        )
+        plan = adapter(fig1, catalog, alternate_period=1).adapt(snap, 1)
+        # 2 units cannot host e2.1 at 5 msg/s (needs 10): stay put.
+        assert plan.selection["E2"] == "e2.2"
+
+    def test_within_band_keeps_selection(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}])
+        snap = make_snapshot(
+            fig1, cluster, rate=3.0, omega_last=0.71, omega_average=0.71
+        )
+        plan = adapter(fig1, catalog, alternate_period=1).adapt(snap, 1)
+        assert dict(plan.selection) == dict(snap.selection)
+
+    def test_dynamism_off_never_switches(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}])
+        selection = {"E1": "e1", "E2": "e2.1", "E3": "e3.1", "E4": "e4"}
+        snap = make_snapshot(
+            fig1, cluster, rate=5.0, omega_last=0.4, omega_average=0.4,
+            selection=selection,
+        )
+        plan = adapter(
+            fig1, catalog, dynamism=False, alternate_period=1
+        ).adapt(snap, 1)
+        assert dict(plan.selection) == selection
+
+    def test_alternate_period_gates_stage(self, fig1, catalog):
+        cluster = make_cluster(catalog, [{"E1": 1, "E2": 2}, {"E3": 2, "E4": 2}])
+        selection = {"E1": "e1", "E2": "e2.1", "E3": "e3.1", "E4": "e4"}
+        snap = make_snapshot(
+            fig1, cluster, rate=4.0, omega_last=0.5, omega_average=0.5,
+            selection=selection,
+        )
+        a = adapter(fig1, catalog, alternate_period=2)
+        # Interval 1: alternate stage skipped (1 % 2 != 0).
+        assert a.adapt(snap, 1).selection["E2"] == "e2.1"
+        # Interval 2: stage runs.
+        assert a.adapt(snap, 2).selection["E2"] == "e2.2"
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(strategy="weird"),
+            dict(omega_min=0.0),
+            dict(epsilon=-0.1),
+            dict(alternate_period=0),
+            dict(resource_period=0),
+            dict(interval=0.0),
+            dict(drain_intervals=0.0),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptationConfig(**kwargs)
+
+    def test_empty_catalog_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            RuntimeAdaptation(fig1, [])

@@ -1,0 +1,178 @@
+"""Unit and property tests for variable-sized bin packing."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Bin,
+    BinClass,
+    cheapest_class_for,
+    first_fit_decreasing,
+    greedy_cover,
+    iterative_repack,
+    packing_cost,
+)
+
+SMALL = BinClass("small", capacity=1.0, price=0.06)
+MEDIUM = BinClass("medium", capacity=2.0, price=0.12)
+LARGE = BinClass("large", capacity=4.0, price=0.24)
+XLARGE = BinClass("xlarge", capacity=8.0, price=0.48)
+CLASSES = [SMALL, MEDIUM, LARGE, XLARGE]
+
+
+class TestBinClass:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            BinClass("x", capacity=0.0, price=1.0)
+        with pytest.raises(ValueError):
+            BinClass("x", capacity=1.0, price=-1.0)
+
+
+class TestBin:
+    def test_add_and_free(self):
+        b = Bin(MEDIUM)
+        b.add("a", 1.5)
+        assert b.used == 1.5
+        assert b.free == pytest.approx(0.5)
+        assert b.fits(0.5) and not b.fits(0.6)
+
+    def test_overfill_rejected(self):
+        b = Bin(SMALL)
+        with pytest.raises(ValueError):
+            b.add("a", 1.5)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bin(SMALL).add("a", -0.1)
+
+
+class TestCheapestClassFor:
+    def test_picks_smallest_sufficient(self):
+        assert cheapest_class_for(1.5, CLASSES) is MEDIUM
+        assert cheapest_class_for(0.5, CLASSES) is SMALL
+        assert cheapest_class_for(8.0, CLASSES) is XLARGE
+
+    def test_none_when_too_big(self):
+        assert cheapest_class_for(9.0, CLASSES) is None
+
+    def test_price_wins_over_capacity(self):
+        cheap_big = BinClass("promo", capacity=10.0, price=0.01)
+        assert cheapest_class_for(0.5, CLASSES + [cheap_big]) is cheap_big
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cheapest_class_for(-1.0, CLASSES)
+
+
+class TestGreedyCover:
+    def test_small_demand_single_bin(self):
+        cover = greedy_cover(1.5, CLASSES)
+        assert [c.name for c in cover] == ["medium"]
+
+    def test_large_demand_multiple_bins(self):
+        cover = greedy_cover(20.0, CLASSES)
+        assert sum(c.capacity for c in cover) >= 20.0
+
+    def test_zero_demand_empty(self):
+        assert greedy_cover(0.0, CLASSES) == []
+
+    def test_no_classes_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_cover(1.0, [])
+
+
+class TestFirstFitDecreasing:
+    def test_packs_everything(self):
+        items = [("a", 3.0), ("b", 3.0), ("c", 2.0), ("d", 2.0)]
+        bins = first_fit_decreasing(items, LARGE)
+        packed = sorted(label for b in bins for label, _ in b.items)
+        assert packed == ["a", "b", "c", "d"]
+        assert all(b.used <= b.bin_class.capacity + 1e-9 for b in bins)
+
+    def test_ffd_uses_few_bins(self):
+        # Classic case where FFD is optimal: 3+2+2+1 into capacity-4 bins.
+        items = [("a", 3.0), ("b", 2.0), ("c", 2.0), ("d", 1.0)]
+        bins = first_fit_decreasing(items, LARGE)
+        assert len(bins) == 2
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([("big", 5.0)], LARGE)
+
+
+class TestIterativeRepack:
+    def test_evacuates_underfilled_bin(self):
+        bins = [Bin(XLARGE, [("a", 1.0)]), Bin(XLARGE, [("b", 1.0)])]
+        repacked = iterative_repack(bins, CLASSES)
+        assert packing_cost(repacked) < packing_cost(bins)
+        labels = sorted(l for b in repacked for l, _ in b.items)
+        assert labels == ["a", "b"]
+
+    def test_downsizes_to_cheapest_class(self):
+        bins = [Bin(XLARGE, [("a", 0.8)])]
+        repacked = iterative_repack(bins, CLASSES)
+        assert len(repacked) == 1
+        assert repacked[0].bin_class is SMALL
+
+    def test_never_increases_cost(self):
+        bins = [
+            Bin(XLARGE, [("a", 7.0)]),
+            Bin(LARGE, [("b", 3.5)]),
+            Bin(MEDIUM, [("c", 1.9)]),
+        ]
+        repacked = iterative_repack(bins, CLASSES)
+        assert packing_cost(repacked) <= packing_cost(bins)
+
+    def test_drops_empty_bins(self):
+        bins = [Bin(XLARGE, [("a", 1.0)]), Bin(XLARGE, [])]
+        repacked = iterative_repack(bins, CLASSES)
+        assert all(b.items for b in repacked)
+
+    def test_input_not_mutated(self):
+        bins = [Bin(XLARGE, [("a", 1.0)])]
+        iterative_repack(bins, CLASSES)
+        assert bins[0].bin_class is XLARGE
+        assert bins[0].items == [("a", 1.0)]
+
+
+# -- property-based ----------------------------------------------------------
+
+item_lists = st.lists(
+    st.tuples(
+        st.text(min_size=1, max_size=4),
+        st.floats(min_value=0.05, max_value=4.0),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(item_lists)
+@settings(max_examples=80, deadline=None)
+def test_ffd_preserves_items_and_respects_capacity(items):
+    bins = first_fit_decreasing(items, XLARGE)
+    packed = sorted(size for b in bins for _, size in b.items)
+    assert packed == sorted(size for _, size in items)
+    assert all(b.used <= b.bin_class.capacity + 1e-9 for b in bins)
+
+
+@given(item_lists)
+@settings(max_examples=80, deadline=None)
+def test_repack_preserves_items_and_cannot_cost_more(items):
+    bins = first_fit_decreasing(items, XLARGE)
+    repacked = iterative_repack(bins, CLASSES)
+    before = sorted(size for b in bins for _, size in b.items)
+    after = sorted(size for b in repacked for _, size in b.items)
+    assert before == pytest.approx(after)
+    assert packing_cost(repacked) <= packing_cost(bins) + 1e-9
+    assert all(b.used <= b.bin_class.capacity + 1e-9 for b in repacked)
+
+
+@given(st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=80, deadline=None)
+def test_greedy_cover_always_sufficient(size):
+    cover = greedy_cover(size, CLASSES)
+    assert sum(c.capacity for c in cover) >= size - 1e-9

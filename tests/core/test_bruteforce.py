@@ -1,0 +1,89 @@
+"""Unit tests for the brute-force static baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BruteForceConfig,
+    BruteForceDeployment,
+    DeploymentConfig,
+    InitialDeployment,
+    SearchBudgetExceeded,
+)
+from repro.dataflow import constrained_rates, relative_application_throughput
+
+
+def plan_omega(df, plan, rates):
+    flow = constrained_rates(df, plan.selection, rates, plan.capacities(df))
+    return relative_application_throughput(df, flow)
+
+
+class TestBruteForce:
+    def test_meets_constraint(self, fig1, catalog):
+        bf = BruteForceDeployment(
+            fig1, catalog, BruteForceConfig(omega_min=0.7, sigma=0.01)
+        )
+        plan = bf.plan({"E1": 5.0})
+        assert plan_omega(fig1, plan, {"E1": 5.0}) >= 0.7 - 1e-9
+
+    def test_no_cheaper_than_heuristics_on_theta(self, fig1, catalog):
+        """The brute force is Θ-optimal under its assumptions, so no
+        heuristic static plan can beat it at the same rate."""
+        rate = {"E1": 5.0}
+        sigma, hours = 0.01, 6.0
+        bf_plan = BruteForceDeployment(
+            fig1,
+            catalog,
+            BruteForceConfig(omega_min=0.7, sigma=sigma, period_hours=hours),
+        ).plan(rate)
+        bf_theta = fig1.application_value(bf_plan.selection) - sigma * (
+            bf_plan.cluster.total_hourly_price() * hours
+        )
+        for strategy in ("local", "global"):
+            h_plan = InitialDeployment(
+                fig1, catalog, DeploymentConfig(strategy=strategy, omega_min=0.7)
+            ).plan(rate)
+            h_theta = fig1.application_value(h_plan.selection) - sigma * (
+                h_plan.cluster.total_hourly_price() * hours
+            )
+            assert bf_theta >= h_theta - 1e-9
+
+    def test_each_pe_has_capacity(self, fig1, catalog):
+        bf = BruteForceDeployment(fig1, catalog)
+        plan = bf.plan({"E1": 3.0})
+        for name in fig1.pe_names:
+            assert plan.cluster.pe_units(name) > 0
+
+    def test_search_budget_guard(self, fig1, catalog):
+        bf = BruteForceDeployment(
+            fig1, catalog, BruteForceConfig(max_configurations=10)
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            bf.plan({"E1": 40.0})
+
+    def test_examined_counter(self, fig1, catalog):
+        bf = BruteForceDeployment(fig1, catalog)
+        bf.plan({"E1": 2.0})
+        assert bf.examined_configurations > 0
+
+    def test_higher_sigma_prefers_cheaper_selection(self, fig1, catalog):
+        """With cost weighted heavily, the cheap alternates win; with cost
+        nearly free, the max-value selection wins."""
+        rate = {"E1": 5.0}
+        costly = BruteForceDeployment(
+            fig1, catalog, BruteForceConfig(sigma=0.5, period_hours=6.0)
+        ).plan(rate)
+        free = BruteForceDeployment(
+            fig1, catalog, BruteForceConfig(sigma=1e-6, period_hours=6.0)
+        ).plan(rate)
+        assert costly.selection["E2"] == "e2.2"
+        assert free.selection["E2"] == "e2.1"
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BruteForceConfig(omega_min=0.0)
+        with pytest.raises(ValueError):
+            BruteForceConfig(sigma=-1.0)
+        with pytest.raises(ValueError):
+            BruteForceConfig(period_hours=0.0)

@@ -1,0 +1,127 @@
+"""Property-based tests for the deployment heuristics.
+
+Over random layered DAGs and rates, Algorithm 1 must always produce a
+plan that (a) meets the throughput constraint under its own flow model,
+(b) never overfills a VM, and (c) gives every PE at least one core.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cloud import aws_2013_catalog
+from repro.core import DeploymentConfig, InitialDeployment, select_alternates
+from repro.dataflow import (
+    Alternate,
+    DynamicDataflow,
+    ProcessingElement,
+    constrained_rates,
+    relative_application_throughput,
+)
+
+
+@st.composite
+def small_dataflows(draw):
+    """Random 2–3 layer chains/diamonds with 1–3 alternates per PE."""
+    n_mid = draw(st.integers(min_value=1, max_value=3))
+    pes = [
+        ProcessingElement(
+            "in",
+            [Alternate("in", value=1.0,
+                       cost=draw(st.floats(min_value=0.2, max_value=2.0)))],
+        )
+    ]
+    edges = []
+    for i in range(n_mid):
+        name = f"m{i}"
+        n_alts = draw(st.integers(min_value=1, max_value=3))
+        alts = [
+            Alternate(
+                f"{name}a{j}",
+                value=draw(st.floats(min_value=0.3, max_value=1.0)),
+                cost=draw(st.floats(min_value=0.3, max_value=4.0)),
+                selectivity=draw(st.floats(min_value=0.5, max_value=1.5)),
+            )
+            for j in range(n_alts)
+        ]
+        pes.append(ProcessingElement(name, alts))
+        edges.append(("in", name))
+    pes.append(
+        ProcessingElement("out", [Alternate("out", value=1.0, cost=0.5)])
+    )
+    edges += [(f"m{i}", "out") for i in range(n_mid)]
+    return DynamicDataflow(pes, edges)
+
+
+@given(
+    small_dataflows(),
+    st.sampled_from(["local", "global"]),
+    st.floats(min_value=0.5, max_value=25.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_plan_meets_constraint_and_respects_capacity(df, strategy, rate):
+    catalog = aws_2013_catalog()
+    dep = InitialDeployment(
+        df, catalog, DeploymentConfig(strategy=strategy, omega_min=0.7)
+    )
+    plan = dep.plan({"in": rate})
+
+    # (a) throughput constraint under the deployment's own flow model.
+    flow = constrained_rates(df, plan.selection, {"in": rate}, plan.capacities(df))
+    omega = relative_application_throughput(df, flow)
+    assert omega >= 0.7 - 1e-9
+
+    # (b) no VM is overfull.
+    for vm in plan.cluster.vms:
+        assert 0 <= vm.used_cores <= vm.vm_class.cores
+
+    # (c) every PE holds at least one core.
+    for name in df.pe_names:
+        assert plan.cluster.pe_cores(name) >= 1
+
+
+@given(small_dataflows(), st.sampled_from(["local", "global"]))
+@settings(max_examples=40, deadline=None)
+def test_selected_alternates_valid(df, strategy):
+    selection = select_alternates(df, strategy)
+    df.validate_selection(selection)  # raises on any invalid choice
+
+
+@given(small_dataflows(), st.floats(min_value=0.5, max_value=20.0))
+@settings(max_examples=30, deadline=None)
+def test_global_repack_never_costs_more(df, rate):
+    """With alternates fixed, the global repacking must not exceed the
+    cost of the unrepacked (largest-class) packing."""
+    catalog = aws_2013_catalog()
+    packed = InitialDeployment(
+        df, catalog, DeploymentConfig(strategy="global", repack=True)
+    ).plan({"in": rate})
+    unpacked = InitialDeployment(
+        df, catalog, DeploymentConfig(strategy="global", repack=False)
+    ).plan({"in": rate})
+    assert (
+        packed.cluster.total_hourly_price()
+        <= unpacked.cluster.total_hourly_price() + 1e-9
+    )
+
+
+@given(small_dataflows(), st.floats(min_value=1.0, max_value=15.0))
+@settings(max_examples=30, deadline=None)
+def test_dynamism_never_needs_more_than_nodyn(df, rate):
+    """Pinning max-value alternates can only increase the fleet price."""
+    catalog = aws_2013_catalog()
+    dyn = InitialDeployment(
+        df, catalog, DeploymentConfig(strategy="local", dynamism=True)
+    ).plan({"in": rate})
+    nodyn = InitialDeployment(
+        df, catalog, DeploymentConfig(strategy="local", dynamism=False)
+    ).plan({"in": rate})
+    # Max-value alternates cost at least as much per message as the
+    # density-chosen ones only when density favours cheaper options; in
+    # the worst case both coincide, so allow equality.
+    assert (
+        dyn.cluster.total_hourly_price()
+        <= nodyn.cluster.total_hourly_price() + 0.49  # one largest VM slack
+    )

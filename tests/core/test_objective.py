@@ -1,0 +1,100 @@
+"""Unit tests for the optimization objective (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EvaluationOutcome, ObjectiveSpec, sigma_from_expectations
+from repro.dataflow import IntervalMetrics, MetricsTimeline
+
+
+class TestSigma:
+    def test_paper_formula(self, fig1):
+        # value span: 1.0 − (1 + 0.88 + 0.85 + 1)/4 = 0.0675
+        sigma = sigma_from_expectations(fig1, 100.0, 40.0)
+        assert sigma == pytest.approx(0.0675 / 60.0)
+
+    def test_single_alternate_fallback(self, chain3):
+        # chain3 has no alternates: value span is 0 → fallback ratio.
+        sigma = sigma_from_expectations(chain3, 50.0, 10.0)
+        assert sigma == pytest.approx(1.0 / 50.0)
+
+    def test_invalid_costs(self, fig1):
+        with pytest.raises(ValueError):
+            sigma_from_expectations(fig1, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            sigma_from_expectations(fig1, 10.0, -1.0)
+        with pytest.raises(ValueError):
+            sigma_from_expectations(fig1, 10.0, 20.0)
+
+
+class TestObjectiveSpec:
+    def test_defaults_match_paper(self):
+        spec = ObjectiveSpec()
+        assert spec.omega_min == 0.7
+        assert spec.epsilon == 0.05
+
+    def test_theta(self):
+        spec = ObjectiveSpec(sigma=0.01)
+        assert spec.theta(0.9, 10.0) == pytest.approx(0.8)
+
+    def test_satisfied_with_tolerance(self):
+        spec = ObjectiveSpec(omega_min=0.7, epsilon=0.05)
+        assert spec.satisfied(0.66)
+        assert not spec.satisfied(0.64)
+
+    def test_n_intervals(self):
+        spec = ObjectiveSpec(period=3600.0, interval=60.0)
+        assert spec.n_intervals == 60
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(omega_min=0.0),
+            dict(omega_min=1.5),
+            dict(epsilon=-0.1),
+            dict(epsilon=0.9),
+            dict(sigma=-1.0),
+            dict(period=-1.0),
+            dict(interval=0.0),
+            dict(period=10.0, interval=60.0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ObjectiveSpec(**kwargs)
+
+
+class TestEvaluationOutcome:
+    def make_timeline(self, omega: float, cost: float) -> MetricsTimeline:
+        tl = MetricsTimeline()
+        tl.record(
+            IntervalMetrics(t=0, value=0.9, throughput=omega, cumulative_cost=cost)
+        )
+        return tl
+
+    def test_from_timeline(self):
+        spec = ObjectiveSpec(sigma=0.02)
+        outcome = EvaluationOutcome.from_timeline(self.make_timeline(0.8, 5.0), spec)
+        assert outcome.theta == pytest.approx(0.9 - 0.1)
+        assert outcome.constraint_met
+
+    def test_constraint_first_comparison(self):
+        """Paper §8.2: constraint satisfaction dominates Θ comparison."""
+        spec = ObjectiveSpec(sigma=0.0)
+        good = EvaluationOutcome.from_timeline(self.make_timeline(0.7, 0.0), spec)
+        violator = EvaluationOutcome.from_timeline(self.make_timeline(0.3, 0.0), spec)
+        # violator has the same Θ but fails the constraint.
+        assert good.better_than(violator)
+        assert not violator.better_than(good)
+
+    def test_theta_breaks_ties(self):
+        spec = ObjectiveSpec(sigma=0.01)
+        cheap = EvaluationOutcome.from_timeline(self.make_timeline(0.8, 1.0), spec)
+        costly = EvaluationOutcome.from_timeline(self.make_timeline(0.8, 9.0), spec)
+        assert cheap.better_than(costly)
+
+    def test_str_contains_key_metrics(self):
+        spec = ObjectiveSpec()
+        s = str(EvaluationOutcome.from_timeline(self.make_timeline(0.8, 5.0), spec))
+        assert "Θ=" in s and "Ω̄=" in s

@@ -1,0 +1,154 @@
+"""Unit tests for the dynamic-paths extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ObjectiveSpec
+from repro.core.paths import (
+    DynamicPathSet,
+    PathSelector,
+    PathVariant,
+)
+from repro.dataflow import Alternate, DynamicDataflow, ProcessingElement
+
+
+def full_path() -> DynamicDataflow:
+    """ingest → enrich → classify → sink (expensive, full value)."""
+    return DynamicDataflow(
+        [
+            ProcessingElement("ingest", [Alternate("i", value=1.0, cost=0.5)]),
+            ProcessingElement("enrich", [Alternate("e", value=1.0, cost=3.0)]),
+            ProcessingElement(
+                "classify",
+                [
+                    Alternate("deep", value=1.0, cost=2.0),
+                    Alternate("fast", value=0.8, cost=1.0),
+                ],
+            ),
+            ProcessingElement("sink", [Alternate("s", value=1.0, cost=0.3)]),
+        ],
+        [("ingest", "enrich"), ("enrich", "classify"), ("classify", "sink")],
+    )
+
+
+def shortcut_path() -> DynamicDataflow:
+    """ingest → classify → sink (skips enrichment; cheaper)."""
+    return DynamicDataflow(
+        [
+            ProcessingElement("ingest", [Alternate("i", value=1.0, cost=0.5)]),
+            ProcessingElement(
+                "classify",
+                [
+                    Alternate("deep", value=1.0, cost=2.0),
+                    Alternate("fast", value=0.8, cost=1.0),
+                ],
+            ),
+            ProcessingElement("sink", [Alternate("s", value=1.0, cost=0.3)]),
+        ],
+        [("ingest", "classify"), ("classify", "sink")],
+    )
+
+
+@pytest.fixture
+def path_set():
+    return DynamicPathSet(
+        [
+            PathVariant("full", full_path(), value=1.0),
+            PathVariant("shortcut", shortcut_path(), value=0.8),
+        ]
+    )
+
+
+@pytest.fixture
+def selector(path_set, catalog):
+    spec = ObjectiveSpec(omega_min=0.7, sigma=0.02, period=6 * 3600.0)
+    return PathSelector(path_set, catalog, spec)
+
+
+class TestPathSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DynamicPathSet(
+                [
+                    PathVariant("a", full_path()),
+                    PathVariant("a", shortcut_path()),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicPathSet([])
+
+    def test_input_arity_must_match(self, chain3):
+        two_in = DynamicDataflow(
+            [
+                ProcessingElement("a", [Alternate("a", value=1.0, cost=1.0)]),
+                ProcessingElement("b", [Alternate("b", value=1.0, cost=1.0)]),
+                ProcessingElement("c", [Alternate("c", value=1.0, cost=1.0)]),
+            ],
+            [("a", "c"), ("b", "c")],
+        )
+        with pytest.raises(ValueError, match="inputs"):
+            DynamicPathSet(
+                [PathVariant("one", chain3), PathVariant("two", two_in)]
+            )
+
+    def test_lookup(self, path_set):
+        assert path_set["full"].value == 1.0
+        with pytest.raises(KeyError):
+            path_set["ghost"]
+
+    def test_rate_mapping_positional(self, path_set):
+        rates = path_set.map_rates(path_set["shortcut"], {"ingest": 5.0})
+        assert rates == {"ingest": 5.0}
+
+    def test_variant_value_bounds(self):
+        with pytest.raises(ValueError):
+            PathVariant("x", full_path(), value=0.0)
+        with pytest.raises(ValueError):
+            PathVariant("x", full_path(), value=1.5)
+
+
+class TestPathSelector:
+    def test_every_variant_planned(self, selector):
+        choices = selector.rank({"ingest": 5.0})
+        assert {c.variant.name for c in choices} == {"full", "shortcut"}
+        assert choices[0].predicted_theta >= choices[1].predicted_theta
+
+    def test_plans_meet_constraint(self, selector):
+        from repro.dataflow import (
+            constrained_rates,
+            relative_application_throughput,
+        )
+
+        for choice in selector.rank({"ingest": 5.0}):
+            df = choice.variant.dataflow
+            flow = constrained_rates(
+                df,
+                choice.plan.selection,
+                {"ingest": 5.0},
+                choice.plan.capacities(df),
+            )
+            assert relative_application_throughput(df, flow) >= 0.7 - 1e-9
+
+    def test_value_scaled_by_path(self, selector, path_set):
+        choice = selector.evaluate(path_set["shortcut"], {"ingest": 5.0})
+        df = path_set["shortcut"].dataflow
+        assert choice.predicted_value == pytest.approx(
+            0.8 * df.application_value(choice.plan.selection)
+        )
+
+    def test_crossover_with_rate(self, path_set, catalog):
+        """At low rates the full path's value wins; as the rate grows the
+        enrichment stage's cost dominates and the shortcut takes over."""
+        spec = ObjectiveSpec(omega_min=0.7, sigma=0.02, period=6 * 3600.0)
+        selector = PathSelector(path_set, catalog, spec)
+        low = selector.select({"ingest": 1.0}).variant.name
+        high = selector.select({"ingest": 40.0}).variant.name
+        assert low == "full"
+        assert high == "shortcut"
+
+    def test_plan_entry_point(self, selector):
+        plan = selector.plan({"ingest": 5.0})
+        assert plan.cluster.vms

@@ -1,0 +1,67 @@
+"""Unit tests for the policy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import POLICY_NAMES, ObjectiveSpec, make_policy
+
+
+@pytest.fixture
+def spec():
+    return ObjectiveSpec(omega_min=0.7, epsilon=0.05, sigma=0.01)
+
+
+class TestRegistry:
+    def test_unknown_name_rejected(self, fig1, catalog, spec):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("mystery", fig1, catalog, spec)
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_all_names_constructible(self, fig1, catalog, spec, name):
+        policy = make_policy(name, fig1, catalog, spec)
+        assert policy.name == name
+
+    @pytest.mark.parametrize(
+        "name", ["static-bruteforce", "static-local", "static-global"]
+    )
+    def test_static_policies_not_adaptive(self, fig1, catalog, spec, name):
+        assert not make_policy(name, fig1, catalog, spec).adaptive
+
+    @pytest.mark.parametrize(
+        "name", ["local", "global", "local-nodyn", "global-nodyn"]
+    )
+    def test_runtime_policies_adaptive(self, fig1, catalog, spec, name):
+        assert make_policy(name, fig1, catalog, spec).adaptive
+
+    def test_nodyn_disables_alternate_stage(self, fig1, catalog, spec):
+        policy = make_policy("global-nodyn", fig1, catalog, spec)
+        assert policy.adapter is not None
+        assert not policy.adapter.config.dynamism
+        assert policy.adapter.config.strategy == "global"
+
+    def test_strategy_wiring(self, fig1, catalog, spec):
+        policy = make_policy("local", fig1, catalog, spec)
+        assert policy.adapter.config.strategy == "local"
+        assert policy.deployer.config.strategy == "local"
+
+    def test_spec_propagates(self, fig1, catalog, spec):
+        policy = make_policy("global", fig1, catalog, spec)
+        assert policy.adapter.config.omega_min == spec.omega_min
+        assert policy.adapter.config.epsilon == spec.epsilon
+        assert policy.adapter.config.interval == spec.interval
+
+    def test_initial_plan_callable(self, fig1, catalog, spec):
+        policy = make_policy("static-local", fig1, catalog, spec)
+        plan = policy.initial_plan({"E1": 3.0})
+        assert len(plan.cluster.vms) >= 1
+
+    def test_static_adapt_returns_none(self, fig1, catalog, spec):
+        policy = make_policy("static-local", fig1, catalog, spec)
+        assert policy.adapt(None, 1) is None
+
+    def test_nodyn_initial_plan_pins_best_value(self, fig1, catalog, spec):
+        policy = make_policy("local-nodyn", fig1, catalog, spec)
+        plan = policy.initial_plan({"E1": 3.0})
+        assert plan.selection["E2"] == "e2.1"
+        assert plan.selection["E3"] == "e3.1"

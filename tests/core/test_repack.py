@@ -1,0 +1,135 @@
+"""Direct unit tests for the global strategy's repacking passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import aws_2013_catalog
+from repro.core import ClusterView, repack_cluster
+from repro.core.deployment import _cores_for_units, _downsize_pass, _evacuate_pass
+
+
+@pytest.fixture
+def catalog():
+    return aws_2013_catalog()
+
+
+def xlarge(catalog):
+    return catalog[-1]
+
+
+class TestCoresForUnits:
+    def test_exact_fit(self, catalog):
+        assert _cores_for_units(4.0, xlarge(catalog)) == 2  # 2.0/core
+
+    def test_rounds_up(self, catalog):
+        assert _cores_for_units(4.1, xlarge(catalog)) == 3
+
+    def test_minimum_one_core(self, catalog):
+        assert _cores_for_units(0.001, xlarge(catalog)) == 1
+
+
+class TestDownsizePass:
+    def test_single_small_load_moves_to_small_class(self, catalog):
+        cluster = ClusterView()
+        vm = cluster.new_vm(xlarge(catalog))
+        vm.allocate("pe", 1)  # 2 units on a $0.48 VM
+        changed = _downsize_pass(cluster, catalog)
+        assert changed
+        assert len(cluster.vms) == 1
+        new = cluster.vms[0]
+        # 2 units fit an m1.medium (1 × 2.0) at $0.12.
+        assert new.vm_class.name == "m1.medium"
+
+    def test_full_vm_untouched(self, catalog):
+        cluster = ClusterView()
+        vm = cluster.new_vm(xlarge(catalog))
+        vm.allocate("pe", 4)
+        assert not _downsize_pass(cluster, catalog)
+        assert cluster.vms[0].vm_class.name == "m1.xlarge"
+
+    def test_idle_vm_dropped(self, catalog):
+        cluster = ClusterView()
+        cluster.new_vm(xlarge(catalog))
+        assert _downsize_pass(cluster, catalog)
+        assert len(cluster) == 0
+
+    def test_live_vm_never_resized(self, catalog):
+        from repro.core import VMView
+
+        cluster = ClusterView()
+        cluster.add(
+            VMView(
+                vm_class=xlarge(catalog),
+                instance_id="live-1",
+                allocations={"pe": 1},
+            )
+        )
+        assert not _downsize_pass(cluster, catalog)
+
+
+class TestEvacuatePass:
+    def test_merges_two_half_empty_vms(self, catalog):
+        cluster = ClusterView()
+        a = cluster.new_vm(xlarge(catalog))
+        a.allocate("p1", 2)
+        b = cluster.new_vm(xlarge(catalog))
+        b.allocate("p2", 1)
+        assert _evacuate_pass(cluster)
+        assert len(cluster) == 1
+        survivor = cluster.vms[0]
+        assert survivor.cores_for("p1") == 2 and survivor.cores_for("p2") == 1
+
+    def test_no_room_no_change(self, catalog):
+        cluster = ClusterView()
+        a = cluster.new_vm(xlarge(catalog))
+        a.allocate("p1", 4)
+        b = cluster.new_vm(xlarge(catalog))
+        b.allocate("p2", 3)
+        assert not _evacuate_pass(cluster)
+        assert len(cluster) == 2
+
+    def test_single_vm_noop(self, catalog):
+        cluster = ClusterView()
+        cluster.new_vm(xlarge(catalog)).allocate("p", 1)
+        assert not _evacuate_pass(cluster)
+
+
+class TestRepackCluster:
+    def test_preserves_unit_supply(self, fig1, catalog):
+        cluster = ClusterView()
+        vm1 = cluster.new_vm(xlarge(catalog))
+        vm1.allocate("E1", 1)
+        vm1.allocate("E2", 2)
+        vm2 = cluster.new_vm(xlarge(catalog))
+        vm2.allocate("E3", 2)
+        vm2.allocate("E4", 1)
+        demands = {n: cluster.pe_units(n) for n in fig1.pe_names}
+        repacked = repack_cluster(cluster, demands, catalog, fig1)
+        for name, demand in demands.items():
+            assert repacked.pe_units(name) >= demand - 1e-9
+
+    def test_never_more_expensive(self, fig1, catalog):
+        cluster = ClusterView()
+        for alloc in ({"E1": 1}, {"E2": 1}, {"E3": 1}, {"E4": 1}):
+            vm = cluster.new_vm(xlarge(catalog))
+            for pe, cores in alloc.items():
+                vm.allocate(pe, cores)
+        demands = {n: cluster.pe_units(n) for n in fig1.pe_names}
+        repacked = repack_cluster(cluster, demands, catalog, fig1)
+        assert (
+            repacked.total_hourly_price()
+            <= cluster.total_hourly_price() + 1e-9
+        )
+        # Four 2-unit loads consolidate onto one xlarge (8 units).
+        assert repacked.total_hourly_price() <= 0.48 + 1e-9
+
+    def test_zero_demand_keeps_minimum_core(self, fig1, catalog):
+        cluster = ClusterView()
+        vm = cluster.new_vm(xlarge(catalog))
+        for pe in fig1.pe_names:
+            vm.allocate(pe, 1)
+        demands = {n: 0.0 for n in fig1.pe_names}
+        repacked = repack_cluster(cluster, demands, catalog, fig1)
+        for name in fig1.pe_names:
+            assert repacked.pe_cores(name) >= 1

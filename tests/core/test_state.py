@@ -1,0 +1,145 @@
+"""Unit tests for the planning state objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import VMClass
+from repro.core import ClusterView, DeploymentPlan, VMView
+
+XLARGE = VMClass(name="xl", cores=4, core_speed=2.0, hourly_price=0.48)
+SMALL = VMClass(name="sm", cores=1, core_speed=1.0, hourly_price=0.06)
+
+
+class TestVMView:
+    def test_planned_vm_has_plan_key(self):
+        vm = VMView(vm_class=XLARGE)
+        assert vm.is_new
+        assert vm.key.startswith("planned-")
+
+    def test_live_vm_uses_instance_id(self):
+        vm = VMView(vm_class=XLARGE, instance_id="xl-3")
+        assert not vm.is_new and vm.key == "xl-3"
+
+    def test_core_units_scale_with_coefficient(self):
+        vm = VMView(vm_class=XLARGE, coefficient=0.5)
+        assert vm.core_units() == 1.0  # 2.0 rated × 0.5
+
+    def test_units_for_pe(self):
+        vm = VMView(vm_class=XLARGE)
+        vm.allocate("A", 3)
+        assert vm.units_for("A") == 6.0
+        assert vm.units_for("B") == 0.0
+
+    def test_allocate_respects_cores(self):
+        vm = VMView(vm_class=SMALL)
+        vm.allocate("A", 1)
+        with pytest.raises(ValueError):
+            vm.allocate("B", 1)
+
+    def test_release_partial_and_full(self):
+        vm = VMView(vm_class=XLARGE)
+        vm.allocate("A", 3)
+        assert vm.release("A", 1) == 1
+        assert vm.release("A") == 2
+        assert vm.idle
+
+    def test_overfull_constructor_rejected(self):
+        with pytest.raises(ValueError):
+            VMView(vm_class=SMALL, allocations={"A": 2})
+
+    def test_clone_independent(self):
+        vm = VMView(vm_class=XLARGE, allocations={"A": 1})
+        c = vm.clone()
+        c.allocate("A", 1)
+        assert vm.allocations == {"A": 1}
+        assert c.allocations == {"A": 2}
+        assert c.key == vm.key  # identity preserved for reconciliation
+
+
+class TestClusterView:
+    def make(self):
+        cluster = ClusterView()
+        a = cluster.new_vm(XLARGE)
+        a.allocate("P1", 2)
+        a.allocate("P2", 1)
+        b = cluster.new_vm(SMALL)
+        b.allocate("P2", 1)
+        return cluster, a, b
+
+    def test_membership(self):
+        cluster, a, _ = self.make()
+        assert a.key in cluster
+        assert len(cluster) == 2
+
+    def test_duplicate_key_rejected(self):
+        cluster, a, _ = self.make()
+        with pytest.raises(ValueError):
+            cluster.add(a)
+
+    def test_remove(self):
+        cluster, a, _ = self.make()
+        cluster.remove(a.key)
+        assert a.key not in cluster
+        with pytest.raises(KeyError):
+            cluster.remove(a.key)
+
+    def test_vms_hosting(self):
+        cluster, a, b = self.make()
+        assert {vm.key for vm in cluster.vms_hosting("P2")} == {a.key, b.key}
+        assert [vm.key for vm in cluster.vms_hosting("P1")] == [a.key]
+
+    def test_pe_units_and_cores(self):
+        cluster, _, _ = self.make()
+        assert cluster.pe_units("P1") == 4.0  # 2 cores × 2.0
+        assert cluster.pe_units("P2") == 3.0  # 1×2.0 + 1×1.0
+        assert cluster.pe_cores("P2") == 2
+
+    def test_capacities_divide_by_alt_cost(self, chain3):
+        cluster = ClusterView()
+        vm = cluster.new_vm(XLARGE)
+        vm.allocate("src", 1)
+        vm.allocate("mid", 2)
+        vm.allocate("out", 1)
+        caps = cluster.capacities(chain3, chain3.default_selection())
+        assert caps["src"] == pytest.approx(2.0 / 0.5)
+        assert caps["mid"] == pytest.approx(4.0 / 1.0)
+
+    def test_idle_and_free(self):
+        cluster, a, b = self.make()
+        assert cluster.idle_vms() == []
+        b.release("P2")
+        assert cluster.idle_vms() == [b]
+        assert a in cluster.with_free_cores()
+
+    def test_prices(self):
+        cluster, _, _ = self.make()
+        assert cluster.total_hourly_price() == pytest.approx(0.54)
+        assert cluster.marginal_hourly_price() == pytest.approx(0.54)
+
+    def test_marginal_price_ignores_live_vms(self):
+        cluster = ClusterView()
+        cluster.add(VMView(vm_class=XLARGE, instance_id="live-1"))
+        cluster.new_vm(SMALL)
+        assert cluster.marginal_hourly_price() == pytest.approx(0.06)
+
+    def test_clone_deep(self):
+        cluster, a, _ = self.make()
+        c = cluster.clone()
+        c[a.key].release("P1")
+        assert cluster[a.key].cores_for("P1") == 2
+
+
+class TestDeploymentPlan:
+    def test_capacities_and_describe(self, chain3):
+        cluster = ClusterView()
+        vm = cluster.new_vm(XLARGE)
+        for pe_name in chain3.pe_names:
+            vm.allocate(pe_name, 1)
+        plan = DeploymentPlan(
+            selection=chain3.default_selection(), cluster=cluster
+        )
+        caps = plan.capacities(chain3)
+        assert caps["mid"] == pytest.approx(2.0)
+        text = plan.describe()
+        assert "NEW" in text and "xl" in text

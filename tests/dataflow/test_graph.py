@@ -1,0 +1,204 @@
+"""Unit tests for the dynamic dataflow DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import (
+    Alternate,
+    CycleError,
+    DynamicDataflow,
+    Edge,
+    ProcessingElement,
+    pe,
+)
+
+
+def simple(name: str, cost: float = 1.0, selectivity: float = 1.0):
+    return pe(name, cost=cost, selectivity=selectivity)
+
+
+class TestConstruction:
+    def test_fig1_shape(self, fig1):
+        assert len(fig1) == 4
+        assert fig1.inputs == ("E1",)
+        assert fig1.outputs == ("E4",)
+        assert set(fig1.successors("E1")) == {"E2", "E3"}
+        assert set(fig1.predecessors("E4")) == {"E2", "E3"}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            DynamicDataflow(
+                [simple("a"), simple("b")],
+                [("a", "b"), ("b", "a")],
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Edge("a", "a")
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(ValueError, match="unknown PE"):
+            DynamicDataflow([simple("a")], [("a", "ghost")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate edge"):
+            DynamicDataflow(
+                [simple("a"), simple("b")], [("a", "b"), ("a", "b")]
+            )
+
+    def test_duplicate_pe_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DynamicDataflow([simple("a"), simple("a")], [])
+
+    def test_isolated_pe_unreachable(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            DynamicDataflow(
+                [simple("a"), simple("b"), simple("c")],
+                [("a", "b")],
+                inputs=["a"],
+                outputs=["b", "c"],
+            )
+
+    def test_single_pe_is_input_and_output(self):
+        df = DynamicDataflow([simple("solo")], [])
+        assert df.inputs == ("solo",) and df.outputs == ("solo",)
+
+    def test_explicit_io_designation(self):
+        df = DynamicDataflow(
+            [simple("a"), simple("b"), simple("c")],
+            [("a", "b"), ("b", "c")],
+            inputs=["a"],
+            outputs=["b", "c"],
+        )
+        assert df.outputs == ("b", "c")
+
+    def test_unknown_io_designation_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicDataflow([simple("a")], [], inputs=["ghost"])
+
+    def test_getitem_unknown_raises(self, fig1):
+        with pytest.raises(KeyError, match="E1"):
+            fig1["nope"]
+
+    def test_contains(self, fig1):
+        assert "E2" in fig1 and "nope" not in fig1
+
+
+class TestTraversals:
+    def test_topological_order_respects_edges(self, fig1):
+        order = fig1.topological_order()
+        for e in fig1.edges:
+            assert order.index(e.source) < order.index(e.sink)
+
+    def test_forward_bfs_starts_at_inputs(self, fig1):
+        order = fig1.forward_bfs_order()
+        assert order[0] == "E1"
+        assert set(order) == set(fig1.pe_names)
+        assert order[-1] == "E4"
+
+    def test_reverse_bfs_starts_at_outputs(self, fig1):
+        order = fig1.reverse_bfs_order()
+        assert order[0] == "E4"
+        assert order[-1] == "E1"
+
+    def test_chain_orders(self, chain3):
+        assert chain3.topological_order() == ["src", "mid", "out"]
+        assert chain3.forward_bfs_order() == ["src", "mid", "out"]
+        assert chain3.reverse_bfs_order() == ["out", "mid", "src"]
+
+
+class TestSelections:
+    def test_default_selection_max_value(self, fig1):
+        sel = fig1.default_selection()
+        assert sel["E2"] == "e2.1" and sel["E3"] == "e3.1"
+        assert fig1.application_value(sel) == 1.0
+
+    def test_cheapest_selection(self, fig1):
+        sel = fig1.cheapest_selection()
+        assert sel["E2"] == "e2.2" and sel["E3"] == "e3.2"
+
+    def test_validate_rejects_missing_pe(self, fig1):
+        with pytest.raises(ValueError, match="missing"):
+            fig1.validate_selection({"E1": "e1"})
+
+    def test_validate_rejects_unknown_alternate(self, fig1):
+        sel = fig1.default_selection()
+        sel["E2"] = "ghost"
+        with pytest.raises(KeyError):
+            fig1.validate_selection(sel)
+
+    def test_all_selections_cross_product(self, fig1):
+        sels = list(fig1.all_selections())
+        assert len(sels) == 4  # 1 × 2 × 2 × 1
+        assert len({tuple(sorted(s.items())) for s in sels}) == 4
+
+    def test_application_value_averages_relative_values(self, fig1):
+        sel = fig1.cheapest_selection()
+        expected = (1.0 + 0.88 + 0.85 + 1.0) / 4
+        assert fig1.application_value(sel) == pytest.approx(expected)
+
+    def test_value_bounds(self, fig1):
+        lo, hi = fig1.value_bounds()
+        assert hi == 1.0
+        assert lo == pytest.approx((1.0 + 0.88 + 0.85 + 1.0) / 4)
+        assert 0 < lo <= hi
+
+
+class TestIdealRates:
+    def test_chain_propagation(self, chain3):
+        sel = chain3.default_selection()
+        rates = chain3.ideal_rates(sel, {"src": 10.0})
+        assert rates["src"] == (10.0, 10.0)
+        assert rates["mid"] == (10.0, 10.0)
+        assert rates["out"] == (10.0, 10.0)
+
+    def test_selectivity_scales_downstream(self):
+        df = DynamicDataflow(
+            [simple("a", selectivity=0.5), simple("b")], [("a", "b")]
+        )
+        rates = df.ideal_rates(df.default_selection(), {"a": 8.0})
+        assert rates["a"] == (8.0, 4.0)
+        assert rates["b"] == (4.0, 4.0)
+
+    def test_and_split_duplicates(self, fig1):
+        sel = fig1.default_selection()
+        rates = fig1.ideal_rates(sel, {"E1": 6.0})
+        assert rates["E2"][0] == 6.0
+        assert rates["E3"][0] == 6.0
+        # E3 halves (selectivity 0.5); E4 merges 6 + 3.
+        assert rates["E4"][0] == pytest.approx(9.0)
+
+    def test_missing_input_rate_rejected(self, fig1):
+        with pytest.raises(ValueError, match="missing input rate"):
+            fig1.ideal_rates(fig1.default_selection(), {})
+
+    def test_zero_input_rate(self, fig1):
+        rates = fig1.ideal_rates(fig1.default_selection(), {"E1": 0.0})
+        assert all(a == 0 and o == 0 for a, o in rates.values())
+
+
+class TestDownstreamCosts:
+    def test_sink_cost_is_own_cost(self, fig1):
+        dc = fig1.downstream_costs(fig1.default_selection())
+        assert dc["E4"] == pytest.approx(0.8)
+
+    def test_chain_accumulates(self, chain3):
+        dc = chain3.downstream_costs(chain3.default_selection())
+        assert dc["out"] == pytest.approx(0.5)
+        assert dc["mid"] == pytest.approx(1.0 + 0.5)
+        assert dc["src"] == pytest.approx(0.5 + 1.5)
+
+    def test_selectivity_weights_tail(self, fig1):
+        dc = fig1.downstream_costs(fig1.default_selection())
+        # E3 (sel 0.5): 3.0 + 0.5 × 0.8
+        assert dc["E3"] == pytest.approx(3.0 + 0.5 * 0.8)
+        # E2 (sel 1.0): 2.0 + 0.8
+        assert dc["E2"] == pytest.approx(2.8)
+
+    def test_downstream_cost_of_probe(self, fig1):
+        sel = fig1.default_selection()
+        probed = fig1.downstream_cost_of(sel, "E2", "e2.2")
+        assert probed == pytest.approx(1.6 + 0.8)
+        # The original selection is not mutated.
+        assert sel["E2"] == "e2.1"

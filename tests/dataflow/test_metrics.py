@@ -1,0 +1,138 @@
+"""Unit tests for QoS metrics (Γ, Ω, timelines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import (
+    IntervalMetrics,
+    MetricsTimeline,
+    constrained_rates,
+    relative_application_throughput,
+    relative_pe_throughputs,
+)
+
+
+class TestConstrainedRates:
+    def test_unconstrained_matches_ideal(self, fig1):
+        sel = fig1.default_selection()
+        big = {n: 1e9 for n in fig1.pe_names}
+        flow = constrained_rates(fig1, sel, {"E1": 10.0}, big)
+        for n in fig1.pe_names:
+            assert flow.outputs[n] == pytest.approx(flow.ideal_outputs[n])
+
+    def test_bottleneck_throttles_downstream(self, chain3):
+        sel = chain3.default_selection()
+        caps = {"src": 100.0, "mid": 4.0, "out": 100.0}
+        flow = constrained_rates(chain3, sel, {"src": 10.0}, caps)
+        assert flow.processed["mid"] == pytest.approx(4.0)
+        assert flow.arrivals["out"] == pytest.approx(4.0)
+        assert flow.outputs["out"] == pytest.approx(4.0)
+
+    def test_missing_capacity_means_zero(self, chain3):
+        sel = chain3.default_selection()
+        flow = constrained_rates(chain3, sel, {"src": 10.0}, {"src": 100.0})
+        assert flow.processed["mid"] == 0.0
+        assert flow.outputs["out"] == 0.0
+
+    def test_input_pe_can_throttle(self, chain3):
+        sel = chain3.default_selection()
+        caps = {"src": 5.0, "mid": 100.0, "out": 100.0}
+        flow = constrained_rates(chain3, sel, {"src": 10.0}, caps)
+        assert flow.processed["src"] == pytest.approx(5.0)
+        assert flow.outputs["out"] == pytest.approx(5.0)
+
+
+class TestRelativeThroughput:
+    def test_full_service_is_one(self, chain3):
+        sel = chain3.default_selection()
+        caps = {n: 100.0 for n in chain3.pe_names}
+        flow = constrained_rates(chain3, sel, {"src": 10.0}, caps)
+        assert relative_application_throughput(chain3, flow) == pytest.approx(1.0)
+
+    def test_half_capacity_is_half(self, chain3):
+        sel = chain3.default_selection()
+        caps = {"src": 5.0, "mid": 100.0, "out": 100.0}
+        flow = constrained_rates(chain3, sel, {"src": 10.0}, caps)
+        assert relative_application_throughput(chain3, flow) == pytest.approx(0.5)
+
+    def test_per_pe_throughputs_identify_bottleneck(self, chain3):
+        sel = chain3.default_selection()
+        caps = {"src": 100.0, "mid": 2.0, "out": 100.0}
+        flow = constrained_rates(chain3, sel, {"src": 10.0}, caps)
+        per = relative_pe_throughputs(flow)
+        assert per["src"] == pytest.approx(1.0)
+        assert per["mid"] == pytest.approx(0.2)
+        # Downstream of the bottleneck serves everything it receives.
+        assert per["out"] == pytest.approx(0.2)
+
+    def test_idle_pe_counts_as_served(self, chain3):
+        sel = chain3.default_selection()
+        flow = constrained_rates(
+            chain3, sel, {"src": 0.0}, {n: 1.0 for n in chain3.pe_names}
+        )
+        assert relative_application_throughput(chain3, flow) == 1.0
+
+    def test_bounded_zero_one(self, fig1):
+        sel = fig1.default_selection()
+        caps = {n: 0.5 for n in fig1.pe_names}
+        flow = constrained_rates(fig1, sel, {"E1": 50.0}, caps)
+        omega = relative_application_throughput(fig1, flow)
+        assert 0.0 <= omega <= 1.0
+
+
+class TestIntervalMetrics:
+    def test_valid(self):
+        m = IntervalMetrics(t=0, value=0.9, throughput=0.8, cumulative_cost=2.0)
+        assert m.throughput == 0.8
+
+    def test_throughput_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalMetrics(t=0, value=1, throughput=1.5, cumulative_cost=0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalMetrics(t=0, value=1, throughput=1, cumulative_cost=-1)
+
+
+class TestMetricsTimeline:
+    def make(self):
+        tl = MetricsTimeline()
+        tl.record(IntervalMetrics(t=0, value=1.0, throughput=0.9, cumulative_cost=1.0))
+        tl.record(IntervalMetrics(t=60, value=0.8, throughput=0.7, cumulative_cost=2.0))
+        tl.record(IntervalMetrics(t=120, value=0.6, throughput=0.5, cumulative_cost=2.5))
+        return tl
+
+    def test_means(self):
+        tl = self.make()
+        assert tl.mean_value == pytest.approx(0.8)
+        assert tl.mean_throughput == pytest.approx(0.7)
+
+    def test_total_cost_is_last_cumulative(self):
+        assert self.make().total_cost == 2.5
+
+    def test_objective(self):
+        tl = self.make()
+        assert tl.objective(sigma=0.1) == pytest.approx(0.8 - 0.25)
+
+    def test_constraint_check(self):
+        tl = self.make()
+        assert tl.meets_constraint(0.7)
+        assert not tl.meets_constraint(0.75)
+        assert tl.meets_constraint(0.75, epsilon=0.05)
+
+    def test_time_must_be_nondecreasing(self):
+        tl = self.make()
+        with pytest.raises(ValueError):
+            tl.record(
+                IntervalMetrics(t=10, value=1, throughput=1, cumulative_cost=3)
+            )
+
+    def test_empty_timeline_raises(self):
+        with pytest.raises(ValueError):
+            _ = MetricsTimeline().mean_value
+
+    def test_len_and_iter(self):
+        tl = self.make()
+        assert len(tl) == 3
+        assert len(list(tl)) == 3

@@ -1,0 +1,46 @@
+"""Unit tests for edge split/merge semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import MergePattern, SplitPattern, merge_rate, split_rates
+
+
+class TestSplit:
+    def test_and_split_duplicates(self):
+        assert split_rates(SplitPattern.AND_SPLIT, 10.0, 3) == [10.0] * 3
+
+    def test_round_robin_divides(self):
+        assert split_rates(SplitPattern.ROUND_ROBIN, 9.0, 3) == [3.0] * 3
+
+    def test_choice_divides(self):
+        assert split_rates(SplitPattern.CHOICE, 8.0, 2) == [4.0, 4.0]
+
+    def test_single_edge_identity(self):
+        for pat in SplitPattern:
+            assert split_rates(pat, 5.0, 1) == [5.0]
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            split_rates(SplitPattern.AND_SPLIT, -1.0, 2)
+
+    def test_zero_edges_rejected(self):
+        with pytest.raises(ValueError):
+            split_rates(SplitPattern.AND_SPLIT, 1.0, 0)
+
+
+class TestMerge:
+    def test_multi_merge_sums(self):
+        assert merge_rate(MergePattern.MULTI_MERGE, [1.0, 2.0, 3.0]) == 6.0
+
+    def test_synchronize_takes_min(self):
+        assert merge_rate(MergePattern.SYNCHRONIZE, [5.0, 2.0, 7.0]) == 2.0
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            merge_rate(MergePattern.MULTI_MERGE, [])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            merge_rate(MergePattern.MULTI_MERGE, [1.0, -0.5])

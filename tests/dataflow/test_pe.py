@@ -1,0 +1,130 @@
+"""Unit tests for processing elements and alternates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import Alternate, ProcessingElement, pe
+
+
+class TestAlternate:
+    def test_valid_construction(self):
+        a = Alternate("a", value=0.9, cost=2.0, selectivity=0.5)
+        assert a.name == "a" and a.selectivity == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(value=0.0, cost=1.0),
+            dict(value=-1.0, cost=1.0),
+            dict(value=1.0, cost=0.0),
+            dict(value=1.0, cost=-2.0),
+            dict(value=1.0, cost=1.0, selectivity=0.0),
+        ],
+    )
+    def test_invalid_metrics_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Alternate("a", **kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Alternate("", value=1.0, cost=1.0)
+
+    def test_scaled_cost(self):
+        a = Alternate("a", value=1.0, cost=2.0)
+        assert a.scaled_cost(2.0) == 1.0  # paper §4: c' = c / π
+        assert a.scaled_cost(0.5) == 4.0
+
+    def test_scaled_cost_rejects_nonpositive_power(self):
+        a = Alternate("a", value=1.0, cost=2.0)
+        with pytest.raises(ValueError):
+            a.scaled_cost(0.0)
+
+    def test_frozen(self):
+        a = Alternate("a", value=1.0, cost=1.0)
+        with pytest.raises(AttributeError):
+            a.cost = 5.0  # type: ignore[misc]
+
+
+class TestProcessingElement:
+    def make(self):
+        return ProcessingElement(
+            "P",
+            [
+                Alternate("hi", value=1.0, cost=4.0),
+                Alternate("mid", value=0.8, cost=2.0),
+                Alternate("lo", value=0.4, cost=1.0),
+            ],
+        )
+
+    def test_needs_at_least_one_alternate(self):
+        with pytest.raises(ValueError):
+            ProcessingElement("P", [])
+
+    def test_duplicate_alternate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(
+                "P",
+                [
+                    Alternate("a", value=1.0, cost=1.0),
+                    Alternate("a", value=0.5, cost=0.5),
+                ],
+            )
+
+    def test_empty_pe_name_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessingElement("", [Alternate("a", value=1.0, cost=1.0)])
+
+    def test_lookup_by_name(self):
+        p = self.make()
+        assert p.alternate("mid").cost == 2.0
+
+    def test_lookup_unknown_raises_keyerror_with_candidates(self):
+        p = self.make()
+        with pytest.raises(KeyError, match="hi"):
+            p.alternate("nope")
+
+    def test_contains(self):
+        p = self.make()
+        assert "hi" in p and "nope" not in p
+
+    def test_relative_value_normalized_to_best(self):
+        p = self.make()
+        assert p.relative_value("hi") == 1.0
+        assert p.relative_value("mid") == pytest.approx(0.8)
+        assert p.relative_value("lo") == pytest.approx(0.4)
+
+    def test_relative_value_accepts_alternate_object(self):
+        p = self.make()
+        assert p.relative_value(p.alternate("lo")) == pytest.approx(0.4)
+
+    def test_best_worst_cheapest(self):
+        p = self.make()
+        assert p.best_alternate.name == "hi"
+        assert p.worst_alternate.name == "lo"
+        assert p.cheapest_alternate.name == "lo"
+
+    def test_value_density_ranking(self):
+        p = self.make()
+        names = [a.name for a in p.ranked_by_value_density()]
+        # densities: hi 0.25, mid 0.4, lo 0.4 — ties keep stable order.
+        assert names[0] in ("mid", "lo")
+        assert names[-1] == "hi"
+
+    def test_iteration_and_len(self):
+        p = self.make()
+        assert len(p) == 3
+        assert [a.name for a in p] == ["hi", "mid", "lo"]
+
+
+class TestPeHelper:
+    def test_single_alternate_defaults(self):
+        p = pe("X", cost=2.0, selectivity=0.5)
+        assert len(p) == 1
+        alt = p.alternates[0]
+        assert alt.name == "X.default"
+        assert alt.cost == 2.0 and alt.selectivity == 0.5
+
+    def test_explicit_alternates(self):
+        p = pe("X", alternates=[Alternate("a", value=1.0, cost=1.0)])
+        assert [a.name for a in p] == ["a"]

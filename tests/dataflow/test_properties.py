@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for dataflow invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dataflow import (
+    Alternate,
+    DynamicDataflow,
+    ProcessingElement,
+    constrained_rates,
+    relative_application_throughput,
+    relative_pe_throughputs,
+)
+
+# -- strategies -------------------------------------------------------------
+
+_alt_values = st.floats(min_value=0.1, max_value=1.0)
+_alt_costs = st.floats(min_value=0.1, max_value=5.0)
+_selectivities = st.floats(min_value=0.25, max_value=2.0)
+
+
+@st.composite
+def layered_dags(draw):
+    """Random layered DAGs: every PE in layer k feeds ≥1 PE in layer k+1.
+
+    Layered construction guarantees acyclicity and full reachability from
+    the inputs, matching DynamicDataflow's validation contract.
+    """
+    n_layers = draw(st.integers(min_value=2, max_value=4))
+    widths = [draw(st.integers(min_value=1, max_value=3)) for _ in range(n_layers)]
+
+    pes = []
+    names: list[list[str]] = []
+    for layer, width in enumerate(widths):
+        row = []
+        for i in range(width):
+            name = f"L{layer}N{i}"
+            n_alts = draw(st.integers(min_value=1, max_value=3))
+            alts = [
+                Alternate(
+                    f"{name}a{j}",
+                    value=draw(_alt_values),
+                    cost=draw(_alt_costs),
+                    selectivity=draw(_selectivities),
+                )
+                for j in range(n_alts)
+            ]
+            pes.append(ProcessingElement(name, alts))
+            row.append(name)
+        names.append(row)
+
+    edges = []
+    for layer in range(n_layers - 1):
+        for src in names[layer]:
+            targets = draw(
+                st.lists(
+                    st.sampled_from(names[layer + 1]),
+                    min_size=1,
+                    max_size=len(names[layer + 1]),
+                    unique=True,
+                )
+            )
+            for dst in targets:
+                edges.append((src, dst))
+        # Every next-layer PE needs at least one predecessor to be
+        # reachable: connect strays to the first PE of this layer.
+        covered = {dst for src, dst in edges if src in names[layer]}
+        for dst in names[layer + 1]:
+            if dst not in covered:
+                edges.append((names[layer][0], dst))
+
+    return DynamicDataflow(pes, edges)
+
+
+# -- properties -------------------------------------------------------------
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_is_valid(df):
+    order = df.topological_order()
+    assert sorted(order) == sorted(df.pe_names)
+    pos = {n: i for i, n in enumerate(order)}
+    for e in df.edges:
+        assert pos[e.source] < pos[e.sink]
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None)
+def test_bfs_orders_cover_all_pes(df):
+    assert set(df.forward_bfs_order()) == set(df.pe_names)
+    assert set(df.reverse_bfs_order()) == set(df.pe_names)
+
+
+@given(layered_dags(), st.floats(min_value=0.1, max_value=50.0))
+@settings(max_examples=40, deadline=None)
+def test_ideal_rates_nonnegative_and_linear(df, rate):
+    sel = df.default_selection()
+    inputs = {n: rate for n in df.inputs}
+    rates = df.ideal_rates(sel, inputs)
+    assert all(a >= 0 and o >= 0 for a, o in rates.values())
+    # Linearity: doubling inputs doubles every rate.
+    doubled = df.ideal_rates(sel, {n: 2 * rate for n in df.inputs})
+    for n in df.pe_names:
+        assert doubled[n][0] == pytest.approx(2 * rates[n][0], rel=1e-9)
+        assert doubled[n][1] == pytest.approx(2 * rates[n][1], rel=1e-9)
+
+
+@given(layered_dags(), st.floats(min_value=0.1, max_value=20.0))
+@settings(max_examples=40, deadline=None)
+def test_omega_bounded_and_monotone_in_capacity(df, rate):
+    sel = df.default_selection()
+    inputs = {n: rate for n in df.inputs}
+    small = {n: 0.5 for n in df.pe_names}
+    large = {n: 1e6 for n in df.pe_names}
+    f_small = constrained_rates(df, sel, inputs, small)
+    f_large = constrained_rates(df, sel, inputs, large)
+    o_small = relative_application_throughput(df, f_small)
+    o_large = relative_application_throughput(df, f_large)
+    assert 0.0 <= o_small <= 1.0 + 1e-9
+    assert o_large == pytest.approx(1.0)
+    assert o_small <= o_large + 1e-9
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None)
+def test_per_pe_throughput_in_unit_interval(df):
+    sel = df.cheapest_selection()
+    inputs = {n: 5.0 for n in df.inputs}
+    caps = {n: 2.0 for n in df.pe_names}
+    per = relative_pe_throughputs(constrained_rates(df, sel, inputs, caps))
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in per.values())
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None)
+def test_application_value_bounds_hold(df):
+    lo, hi = df.value_bounds()
+    assert 0 < lo <= hi == 1.0
+    for sel in (df.default_selection(), df.cheapest_selection()):
+        v = df.application_value(sel)
+        assert lo - 1e-9 <= v <= hi + 1e-9
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None)
+def test_downstream_costs_exceed_own_cost(df):
+    sel = df.default_selection()
+    dc = df.downstream_costs(sel)
+    for n in df.pe_names:
+        own = df.active_alternate(sel, n).cost
+        assert dc[n] >= own - 1e-9
+        # Sinks have exactly their own cost.
+        if not df.successors(n):
+            assert dc[n] == pytest.approx(own)

@@ -1,0 +1,105 @@
+"""Accounting-consistency tests across the engine.
+
+These pin down the bookkeeping identities the evaluation relies on:
+delivered ≤ deliverable at steady state, Ω consistency between interval
+stats and Def. 4, and cost consistency between the provider and the
+recorded timeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import FluidExecutor, RunManager
+from repro.core import ObjectiveSpec, make_policy
+from repro.sim import Environment
+from repro.workloads import ConstantRate, PeriodicWave
+
+
+class TestOmegaAccounting:
+    def make(self, chain3, rate, mid_cores):
+        env = Environment()
+        provider = CloudProvider(
+            aws_2013_catalog(), performance=ConstantPerformance()
+        )
+        vm = provider.provision("m1.xlarge", now=0.0)
+        vm.allocate("src", 1)
+        vm.allocate("mid", mid_cores)
+        vm.allocate("out", 1)
+        ex = FluidExecutor(
+            env,
+            chain3,
+            provider,
+            {"src": ConstantRate(rate)},
+            selection=chain3.default_selection(),
+        )
+        ex.sync()
+        ex.start()
+        env.run(until=600.0)
+        return ex.roll_interval()
+
+    def test_delivered_never_exceeds_deliverable_at_steady_state(self, chain3):
+        stats = self.make(chain3, rate=3.0, mid_cores=2)
+        for out, ideal in stats.deliverable.items():
+            assert stats.delivered.get(out, 0.0) <= ideal + 3.0  # ramp slack
+
+    def test_omega_matches_ratio(self, chain3):
+        stats = self.make(chain3, rate=8.0, mid_cores=1)
+        expected = min(
+            1.0, stats.delivered["out"] / stats.deliverable["out"]
+        )
+        assert stats.omega(chain3.outputs) == pytest.approx(expected)
+
+    def test_deliverable_scales_with_rate(self, chain3):
+        low = self.make(chain3, rate=2.0, mid_cores=2)
+        high = self.make(chain3, rate=4.0, mid_cores=2)
+        assert high.deliverable["out"] == pytest.approx(
+            2 * low.deliverable["out"], rel=0.01
+        )
+
+
+class TestCostAccounting:
+    def run(self, policy_name="static-local"):
+        from repro.experiments import fig1_dataflow
+
+        df = fig1_dataflow()
+        spec = ObjectiveSpec(
+            omega_min=0.7, sigma=0.01, period=1200.0, interval=60.0
+        )
+        provider = CloudProvider(
+            aws_2013_catalog(), performance=ConstantPerformance()
+        )
+        policy = make_policy(policy_name, df, aws_2013_catalog(), spec)
+        return (
+            RunManager(
+                dataflow=df,
+                profiles={"E1": PeriodicWave(5.0)},
+                policy=policy,
+                provider=provider,
+                spec=spec,
+            ).run(),
+            provider,
+        )
+
+    def test_timeline_cost_matches_provider(self):
+        result, provider = self.run()
+        assert result.total_cost == pytest.approx(
+            provider.cost_at(result.spec.period)
+        )
+
+    def test_cost_equals_sum_of_instances(self):
+        from repro.cloud import instance_cost
+
+        result, provider = self.run("local")
+        direct = sum(
+            instance_cost(r, result.spec.period)
+            for r in provider.all_instances()
+        )
+        assert result.total_cost == pytest.approx(direct)
+
+    def test_no_free_lunch(self):
+        """Any run that delivered messages must have paid for VMs."""
+        result, _ = self.run()
+        assert result.timeline.records[-1].delivered > 0
+        assert result.total_cost > 0

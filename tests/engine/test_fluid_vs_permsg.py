@@ -1,0 +1,81 @@
+"""Validation: fluid approximation vs per-message discrete-event engine.
+
+The fluid executor drives all large experiments; these tests check it
+against the exact per-message engine on small fixed deployments.  We
+require the steady-state relative throughput of the two engines to agree
+within a tolerance that accounts for the per-message engine's stochastic
+routing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.core import DeploymentConfig, InitialDeployment
+from repro.engine import FluidExecutor, PerMessageExecutor
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+HORIZON = 900.0
+
+
+def provision(provider, plan):
+    for view in plan.cluster.vms:
+        vm = provider.provision(view.vm_class, now=0.0)
+        for pe, cores in view.allocations.items():
+            vm.allocate(pe, cores)
+
+
+def run_fluid(df, plan, profiles):
+    env = Environment()
+    provider = CloudProvider(aws_2013_catalog(), performance=ConstantPerformance())
+    provision(provider, plan)
+    ex = FluidExecutor(env, df, provider, profiles, selection=plan.selection)
+    ex.sync()
+    ex.start()
+    env.run(until=HORIZON)
+    return ex.roll_interval().omega(df.outputs)
+
+def run_permsg(df, plan, profiles):
+    env = Environment()
+    provider = CloudProvider(aws_2013_catalog(), performance=ConstantPerformance())
+    provision(provider, plan)
+    ex = PerMessageExecutor(env, df, provider, profiles, selection=plan.selection)
+    ex.start()
+    env.run(until=HORIZON)
+    return ex.roll_interval().omega(df.outputs)
+
+
+@pytest.mark.parametrize("rate", [2.0, 5.0])
+def test_engines_agree_on_fig1(fig1, catalog, rate):
+    plan = InitialDeployment(
+        fig1, catalog, DeploymentConfig(strategy="local", omega_min=0.7)
+    ).plan({"E1": rate})
+    profiles = {"E1": ConstantRate(rate)}
+    omega_fluid = run_fluid(fig1, plan, profiles)
+    omega_permsg = run_permsg(fig1, plan, profiles)
+    assert omega_fluid == pytest.approx(omega_permsg, abs=0.10)
+
+
+def test_engines_agree_on_overload(chain3, catalog):
+    """Under 4× overload both engines should report ~25% throughput."""
+    plan = InitialDeployment(
+        chain3, catalog, DeploymentConfig(strategy="local", omega_min=0.7)
+    ).plan({"src": 2.0})
+    profiles = {"src": ConstantRate(8.0)}  # deployed for 2, fed 8
+    omega_fluid = run_fluid(chain3, plan, profiles)
+    omega_permsg = run_permsg(chain3, plan, profiles)
+    assert omega_fluid == pytest.approx(omega_permsg, abs=0.10)
+    assert omega_fluid < 0.6
+
+
+def test_engines_agree_at_full_capacity(chain3, catalog):
+    plan = InitialDeployment(
+        chain3, catalog, DeploymentConfig(strategy="local", omega_min=1.0)
+    ).plan({"src": 3.0})
+    profiles = {"src": ConstantRate(3.0)}
+    omega_fluid = run_fluid(chain3, plan, profiles)
+    omega_permsg = run_permsg(chain3, plan, profiles)
+    assert omega_fluid == pytest.approx(1.0, abs=0.05)
+    assert omega_permsg == pytest.approx(1.0, abs=0.05)

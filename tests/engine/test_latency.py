@@ -1,0 +1,132 @@
+"""Unit and behavioural tests for latency metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import LatencyTracker, PerMessageExecutor, fluid_latency_estimate
+from repro.engine.latency import LatencySummary
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+
+class TestLatencyTracker:
+    def test_records_and_summarizes(self):
+        tracker = LatencyTracker()
+        for latency in (0.1, 0.2, 0.3):
+            tracker.record(0.0, latency)
+        s = tracker.summary()
+        assert s.count == 3
+        assert s.mean == pytest.approx(0.2)
+        assert s.max == pytest.approx(0.3)
+        assert s.p50 == pytest.approx(0.2)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record(5.0, 4.0)
+
+    def test_capacity_drops_extras(self):
+        tracker = LatencyTracker(capacity=2)
+        for _ in range(5):
+            tracker.record(0.0, 1.0)
+        assert len(tracker) == 2
+        assert tracker.dropped == 3
+
+    def test_reset(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 1.0)
+        samples = tracker.reset()
+        assert samples == [1.0]
+        assert len(tracker) == 0
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().summary()
+
+    def test_summary_from_samples(self):
+        s = LatencySummary.from_samples(np.array([1.0, 2.0]))
+        assert s.count == 2 and "p95" in str(s)
+
+
+class TestFluidEstimate:
+    def test_empty_queues_service_only(self, chain3):
+        est = fluid_latency_estimate(
+            chain3,
+            backlogs={n: 0.0 for n in chain3.pe_names},
+            capacities={n: 10.0 for n in chain3.pe_names},
+        )
+        # Each PE contributes 1/10 s service; the chain sums to 0.3 s.
+        assert est["__total__"] == pytest.approx(0.3)
+
+    def test_backlog_adds_wait(self, chain3):
+        est = fluid_latency_estimate(
+            chain3,
+            backlogs={"src": 0.0, "mid": 50.0, "out": 0.0},
+            capacities={n: 10.0 for n in chain3.pe_names},
+        )
+        assert est["mid"] == pytest.approx(5.0 + 0.1)
+        assert est["__total__"] == pytest.approx(5.3)
+
+    def test_zero_capacity_with_queue_is_infinite(self, chain3):
+        est = fluid_latency_estimate(
+            chain3,
+            backlogs={"src": 0.0, "mid": 10.0, "out": 0.0},
+            capacities={"src": 10.0, "mid": 0.0, "out": 10.0},
+        )
+        assert est["mid"] == float("inf")
+        assert est["__total__"] == float("inf")
+
+    def test_critical_path_takes_max(self, fig1):
+        # Give E3 a big queue: the E1→E3→E4 path dominates.
+        est = fluid_latency_estimate(
+            fig1,
+            backlogs={"E1": 0.0, "E2": 0.0, "E3": 100.0, "E4": 0.0},
+            capacities={n: 10.0 for n in fig1.pe_names},
+        )
+        assert est["__total__"] == pytest.approx(0.1 + 10.1 + 0.1)
+
+    def test_explicit_processing_costs(self, chain3):
+        est = fluid_latency_estimate(
+            chain3,
+            backlogs={n: 0.0 for n in chain3.pe_names},
+            capacities={n: 10.0 for n in chain3.pe_names},
+            processing_costs={n: 1.0 for n in chain3.pe_names},
+        )
+        assert est["__total__"] == pytest.approx(3.0)
+
+
+class TestEndToEndLatency:
+    def run(self, chain3, rate):
+        env = Environment()
+        provider = CloudProvider(
+            aws_2013_catalog(), performance=ConstantPerformance()
+        )
+        vm = provider.provision("m1.xlarge", now=0.0)
+        for pe, cores in (("src", 1), ("mid", 2), ("out", 1)):
+            vm.allocate(pe, cores)
+        tracker = LatencyTracker()
+        ex = PerMessageExecutor(
+            env,
+            chain3,
+            provider,
+            {"src": ConstantRate(rate)},
+            selection=chain3.default_selection(),
+            latency_tracker=tracker,
+        )
+        ex.start()
+        env.run(until=600.0)
+        return tracker.summary()
+
+    def test_latency_positive_and_bounded_at_light_load(self, chain3):
+        s = self.run(chain3, rate=1.0)
+        # Service times: 0.25 + 0.5 + 0.25 s on 2.0-speed cores.
+        assert 0.9 <= s.p50 <= 1.5 or s.p50 >= 0.9  # ≥ total service time
+        assert s.p99 < 5.0
+
+    def test_latency_explodes_under_overload(self, chain3):
+        """The hockey stick: overload grows queues, latency diverges."""
+        light = self.run(chain3, rate=1.0)
+        heavy = self.run(chain3, rate=8.0)  # mid sustains only 4 msg/s
+        assert heavy.p50 > 10 * light.p50

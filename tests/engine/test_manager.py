@@ -1,0 +1,79 @@
+"""Unit tests for the run manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.core import ObjectiveSpec, make_policy
+from repro.engine import RunManager
+from repro.workloads import ConstantRate
+
+
+def make_manager(fig1, policy_name, rate=5.0, period=600.0, interval=60.0):
+    spec = ObjectiveSpec(
+        omega_min=0.7, epsilon=0.05, sigma=0.01, period=period, interval=interval
+    )
+    catalog = aws_2013_catalog()
+    policy = make_policy(policy_name, fig1, catalog, spec)
+    provider = CloudProvider(catalog, performance=ConstantPerformance())
+    return RunManager(
+        dataflow=fig1,
+        profiles={"E1": ConstantRate(rate)},
+        policy=policy,
+        provider=provider,
+        spec=spec,
+    )
+
+
+class TestRunManager:
+    def test_records_every_interval(self, fig1):
+        result = make_manager(fig1, "static-local", period=600.0).run()
+        assert len(result.timeline) == 10
+
+    def test_static_policy_never_adapts(self, fig1):
+        result = make_manager(fig1, "static-local").run()
+        assert result.adaptations == 0
+        assert len(result.reports) == 1  # initial deployment only
+
+    def test_meets_constraint_on_constant_load(self, fig1):
+        result = make_manager(fig1, "local", period=1200.0).run()
+        assert result.outcome.constraint_met
+
+    def test_cost_accumulates(self, fig1):
+        result = make_manager(fig1, "static-local").run()
+        assert result.total_cost > 0
+        costs = [m.cumulative_cost for m in result.timeline]
+        assert costs == sorted(costs)
+
+    def test_outcome_consistent_with_timeline(self, fig1):
+        result = make_manager(fig1, "static-local").run()
+        assert result.outcome.mean_throughput == pytest.approx(
+            result.timeline.mean_throughput
+        )
+        assert result.theta == pytest.approx(
+            result.spec.theta(
+                result.timeline.mean_value, result.timeline.total_cost
+            )
+        )
+
+    def test_estimated_rates_default_to_profile_mean(self, fig1):
+        mgr = make_manager(fig1, "static-local", rate=7.0)
+        assert mgr.estimated_rates == {"E1": 7.0}
+
+    def test_final_selection_reported(self, fig1):
+        result = make_manager(fig1, "global", period=600.0).run()
+        fig1.validate_selection(result.final_selection)
+
+    def test_vm_accounting(self, fig1):
+        result = make_manager(fig1, "local", period=600.0).run()
+        assert result.vms_provisioned >= result.vms_peak >= 1
+
+    def test_deterministic_runs(self, fig1):
+        a = make_manager(fig1, "global", period=600.0).run()
+        b = make_manager(fig1, "global", period=600.0).run()
+        assert a.outcome.theta == b.outcome.theta
+        assert a.total_cost == b.total_cost
+        assert [m.throughput for m in a.timeline] == [
+            m.throughput for m in b.timeline
+        ]

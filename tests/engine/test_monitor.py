@@ -1,0 +1,128 @@
+"""Unit tests for the monitoring framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import FluidExecutor, Monitor
+from repro.engine.messages import IntervalStats
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+
+@pytest.fixture
+def rig(chain3):
+    env = Environment()
+    provider = CloudProvider(
+        aws_2013_catalog(), performance=ConstantPerformance(cpu=0.8)
+    )
+    vm = provider.provision("m1.xlarge", now=0.0)
+    for pe, cores in (("src", 1), ("mid", 2), ("out", 1)):
+        vm.allocate(pe, cores)
+    executor = FluidExecutor(
+        env,
+        chain3,
+        provider,
+        {"src": ConstantRate(2.0)},
+        selection=chain3.default_selection(),
+    )
+    executor.sync()
+    executor.start()
+    monitor = Monitor(chain3, provider, executor)
+    return env, provider, executor, monitor
+
+
+class TestClusterView:
+    def test_reflects_fleet_and_coefficients(self, rig):
+        env, provider, executor, monitor = rig
+        view = monitor.cluster_view(now=0.0)
+        assert len(view) == 1
+        vm = view.vms[0]
+        assert vm.coefficient == pytest.approx(0.8)  # monitored, not rated
+        assert vm.allocations == {"src": 1, "mid": 2, "out": 1}
+        assert vm.paid_seconds_remaining == pytest.approx(3600.0)
+
+    def test_includes_idle_vms(self, rig):
+        env, provider, executor, monitor = rig
+        provider.provision("m1.small", now=0.0)
+        view = monitor.cluster_view(now=0.0)
+        assert len(view) == 2
+        assert len(view.idle_vms()) == 1
+
+    def test_excludes_terminated(self, rig):
+        env, provider, executor, monitor = rig
+        extra = provider.provision("m1.small", now=0.0)
+        provider.terminate(extra, now=10.0)
+        assert len(monitor.cluster_view(now=20.0)) == 1
+
+
+class TestSnapshot:
+    def test_rates_derived_from_counters(self, rig):
+        env, provider, executor, monitor = rig
+        env.run(until=60.0)
+        stats = executor.roll_interval()
+        snap = monitor.snapshot(
+            stats, executor.selection, omega_average=0.9, now=60.0
+        )
+        assert snap.input_rates["src"] == pytest.approx(2.0, rel=0.05)
+        assert snap.arrival_rates["mid"] > 0
+        assert snap.omega_average == 0.9
+        assert snap.cumulative_cost == pytest.approx(0.48)
+
+    def test_empty_interval_zero_rates(self, rig):
+        env, provider, executor, monitor = rig
+        stats = IntervalStats(start=0.0, end=0.0)
+        snap = monitor.snapshot(stats, executor.selection, 1.0, now=0.0)
+        assert snap.input_rates["src"] == 0.0
+        assert all(v == 0.0 for v in snap.arrival_rates.values())
+
+    def test_backlogs_propagated(self, rig):
+        env, provider, executor, monitor = rig
+        env.run(until=60.0)
+        stats = executor.roll_interval()
+        snap = monitor.snapshot(stats, executor.selection, 1.0, now=60.0)
+        assert set(snap.backlogs) == set(executor.backlogs())
+
+
+class TestMonitorNoise:
+    def test_zero_noise_is_exact(self, rig):
+        env, provider, executor, monitor = rig
+        from repro.engine import Monitor
+
+        noisy = Monitor(
+            monitor.dataflow, provider, executor, noise_std=0.0, seed=1
+        )
+        vm = noisy.cluster_view(0.0).vms[0]
+        assert vm.coefficient == pytest.approx(0.8)
+
+    def test_noise_perturbs_coefficient(self, rig):
+        env, provider, executor, monitor = rig
+        from repro.engine import Monitor
+
+        noisy = Monitor(
+            monitor.dataflow, provider, executor, noise_std=0.3, seed=1
+        )
+        coeffs = {
+            noisy.cluster_view(0.0).vms[0].coefficient for _ in range(8)
+        }
+        assert len(coeffs) > 1  # samples differ
+        assert all(c > 0 for c in coeffs)  # floor keeps them positive
+
+    def test_noise_deterministic_per_seed(self, rig):
+        env, provider, executor, monitor = rig
+        from repro.engine import Monitor
+
+        a = Monitor(monitor.dataflow, provider, executor, noise_std=0.2, seed=5)
+        b = Monitor(monitor.dataflow, provider, executor, noise_std=0.2, seed=5)
+        assert (
+            a.cluster_view(0.0).vms[0].coefficient
+            == b.cluster_view(0.0).vms[0].coefficient
+        )
+
+    def test_negative_noise_rejected(self, rig):
+        env, provider, executor, monitor = rig
+        from repro.engine import Monitor
+
+        with pytest.raises(ValueError):
+            Monitor(monitor.dataflow, provider, executor, noise_std=-0.1)

@@ -1,0 +1,89 @@
+"""Unit tests for the per-message discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import PerMessageExecutor
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+
+def rig(chain3, allocations, rate=2.0, performance=None):
+    env = Environment()
+    provider = CloudProvider(
+        aws_2013_catalog(), performance=performance or ConstantPerformance()
+    )
+    for alloc in allocations:
+        vm = provider.provision("m1.xlarge", now=0.0)
+        for pe, cores in alloc.items():
+            vm.allocate(pe, cores)
+    ex = PerMessageExecutor(
+        env,
+        chain3,
+        provider,
+        {"src": ConstantRate(rate)},
+        selection=chain3.default_selection(),
+    )
+    ex.start()
+    return env, ex
+
+
+class TestPerMessage:
+    def test_counts_messages_end_to_end(self, chain3):
+        env, ex = rig(chain3, [{"src": 1, "mid": 2, "out": 1}], rate=2.0)
+        env.run(until=300.0)
+        stats = ex.roll_interval()
+        assert stats.external_in["src"] == pytest.approx(600, abs=2)
+        assert stats.delivered["out"] == pytest.approx(600, rel=0.05)
+
+    def test_bottleneck_queues_messages(self, chain3):
+        env, ex = rig(chain3, [{"src": 2, "mid": 1, "out": 1}], rate=8.0)
+        env.run(until=300.0)
+        assert ex.queue_depth("mid") > 100
+
+    def test_slow_cpu_reduces_service(self, chain3):
+        env, ex = rig(
+            chain3,
+            [{"src": 1, "mid": 2, "out": 1}],
+            rate=4.0,
+            performance=ConstantPerformance(cpu=0.25),
+        )
+        env.run(until=300.0)
+        stats = ex.roll_interval()
+        assert stats.omega(chain3.outputs) < 0.5
+
+    def test_stop_halts_sources(self, chain3):
+        env, ex = rig(chain3, [{"src": 1, "mid": 2, "out": 1}], rate=5.0)
+        env.run(until=10.0)
+        ex.stop()
+        before = ex.roll_interval().external_in.get("src", 0.0)
+        env.run(until=60.0)
+        after = ex.roll_interval().external_in.get("src", 0.0)
+        assert before > 0 and after <= 1
+
+    def test_selectivity_below_one(self, fig1):
+        env = Environment()
+        provider = CloudProvider(aws_2013_catalog())
+        vm1 = provider.provision("m1.xlarge", 0.0)
+        vm1.allocate("E1", 1)
+        vm1.allocate("E2", 2)
+        vm1.allocate("E3", 1)
+        vm2 = provider.provision("m1.xlarge", 0.0)
+        vm2.allocate("E3", 2)
+        vm2.allocate("E4", 2)
+        ex = PerMessageExecutor(
+            env,
+            fig1,
+            provider,
+            {"E1": ConstantRate(2.0)},
+            selection=fig1.default_selection(),
+        )
+        ex.start()
+        env.run(until=600.0)
+        stats = ex.roll_interval()
+        # E3 halves its input: E4 sees 2 + 1 = 3 msg/s.
+        assert stats.delivered["E4"] / stats.duration == pytest.approx(
+            3.0, rel=0.1
+        )

@@ -1,0 +1,166 @@
+"""Unit tests for plan reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+from repro.core import ClusterView, DeploymentPlan, VMView
+from repro.engine import FluidExecutor, apply_plan
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+
+@pytest.fixture
+def setup(chain3):
+    env = Environment()
+    provider = CloudProvider(aws_2013_catalog())
+    executor = FluidExecutor(
+        env,
+        chain3,
+        provider,
+        {"src": ConstantRate(2.0)},
+        selection=chain3.default_selection(),
+    )
+    return env, provider, executor
+
+
+def fresh_plan(chain3, allocations, vm_class_name="m1.xlarge"):
+    from repro.cloud import aws_2013_catalog
+
+    catalog = {c.name: c for c in aws_2013_catalog()}
+    cluster = ClusterView()
+    for alloc in allocations:
+        vm = cluster.new_vm(catalog[vm_class_name])
+        for pe, cores in alloc.items():
+            vm.allocate(pe, cores)
+    return DeploymentPlan(selection=chain3.default_selection(), cluster=cluster)
+
+
+class TestApplyPlan:
+    def test_provisions_new_vms(self, chain3, setup):
+        env, provider, executor = setup
+        plan = fresh_plan(chain3, [{"src": 1, "mid": 2, "out": 1}])
+        report = apply_plan(provider, executor, plan, 0.0)
+        assert len(report.provisioned) == 1
+        assert report.cores_allocated == 4
+        vm = provider.active_instances()[0]
+        assert vm.allocations == {"src": 1, "mid": 2, "out": 1}
+
+    def test_idempotent(self, chain3, setup):
+        env, provider, executor = setup
+        plan = fresh_plan(chain3, [{"src": 1, "mid": 2, "out": 1}])
+        apply_plan(provider, executor, plan, 0.0)
+
+        # Re-apply an equivalent plan referencing the live instance.
+        live = provider.active_instances()[0]
+        cluster = ClusterView()
+        cluster.add(
+            VMView(
+                vm_class=live.vm_class,
+                instance_id=live.instance_id,
+                allocations=live.allocations,
+            )
+        )
+        same = DeploymentPlan(
+            selection=chain3.default_selection(), cluster=cluster
+        )
+        report = apply_plan(provider, executor, same, 10.0)
+        assert not report.changed
+
+    def test_grows_and_shrinks_allocations(self, chain3, setup):
+        env, provider, executor = setup
+        apply_plan(
+            provider, executor, fresh_plan(chain3, [{"src": 1, "mid": 2, "out": 1}]), 0.0
+        )
+        live = provider.active_instances()[0]
+        cluster = ClusterView()
+        cluster.add(
+            VMView(
+                vm_class=live.vm_class,
+                instance_id=live.instance_id,
+                allocations={"src": 2, "mid": 1, "out": 1},
+            )
+        )
+        report = apply_plan(
+            provider,
+            executor,
+            DeploymentPlan(selection=chain3.default_selection(), cluster=cluster),
+            60.0,
+        )
+        assert report.cores_released == 1
+        assert report.cores_allocated == 1
+        assert live.allocations == {"src": 2, "mid": 1, "out": 1}
+
+    def test_terminates_vms_missing_from_plan(self, chain3, setup):
+        env, provider, executor = setup
+        apply_plan(
+            provider,
+            executor,
+            fresh_plan(chain3, [{"src": 1, "mid": 2, "out": 1}, {"mid": 4}]),
+            0.0,
+        )
+        keep = [
+            r
+            for r in provider.active_instances()
+            if set(r.allocations) == {"src", "mid", "out"}
+        ][0]
+        cluster = ClusterView()
+        cluster.add(
+            VMView(
+                vm_class=keep.vm_class,
+                instance_id=keep.instance_id,
+                allocations=keep.allocations,
+            )
+        )
+        report = apply_plan(
+            provider,
+            executor,
+            DeploymentPlan(selection=chain3.default_selection(), cluster=cluster),
+            120.0,
+        )
+        assert len(report.terminated) == 1
+        assert len(provider.active_instances()) == 1
+
+    def test_unknown_instance_in_plan_rejected(self, chain3, setup):
+        env, provider, executor = setup
+        cluster = ClusterView()
+        cluster.add(
+            VMView(
+                vm_class=aws_2013_catalog()[0],
+                instance_id="ghost-7",
+                allocations={"src": 1},
+            )
+        )
+        with pytest.raises(ValueError, match="non-active"):
+            apply_plan(
+                provider,
+                executor,
+                DeploymentPlan(
+                    selection=chain3.default_selection(), cluster=cluster
+                ),
+                0.0,
+            )
+
+    def test_selection_applied_to_executor(self, fig1):
+        env = Environment()
+        provider = CloudProvider(aws_2013_catalog())
+        executor = FluidExecutor(
+            env,
+            fig1,
+            provider,
+            {"E1": ConstantRate(1.0)},
+            selection=fig1.default_selection(),
+        )
+        cluster = ClusterView()
+        vm = cluster.new_vm(aws_2013_catalog()[-1])
+        for pe in fig1.pe_names:
+            vm.allocate(pe, 1)
+        cheap = fig1.cheapest_selection()
+        apply_plan(
+            provider,
+            executor,
+            DeploymentPlan(selection=cheap, cluster=cluster),
+            0.0,
+        )
+        assert executor.selection == cheap

@@ -1,0 +1,142 @@
+"""Shape tests for the per-figure reproduction drivers (fast mode).
+
+These assert the *qualitative* claims of each figure, on shortened runs
+(small periods, few rates).  The full-scale reproductions live in
+``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure8,
+    figure9,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return figure8(fast=True)
+
+
+class TestFigure2:
+    def test_traces_vary_and_differ(self):
+        result = figure2(fast=True)
+        cvs = [row[2] for row in result.rows]
+        means = [row[1] for row in result.rows]
+        assert all(cv > 0.01 for cv in cvs)  # temporal variability
+        assert max(means) - min(means) > 0.005  # spatial heterogeneity
+
+    def test_relative_deviation_reported(self):
+        result = figure2(fast=True)
+        for row in result.rows:
+            assert row[5] < 0 < row[6]  # p05 < 0 < p95
+
+
+class TestFigure3:
+    def test_latency_spikes_and_bandwidth_dips(self):
+        result = figure3(fast=True)
+        for row in result.rows:
+            _pair, lat_mean, lat_max, _lat_cv, bw_mean, bw_min, _bw_cv = row
+            assert lat_max > 3 * lat_mean  # spikes
+            assert bw_min < bw_mean  # dips below the running mean
+            assert bw_mean < 105.0  # near or below the rated 100 Mbps
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4(fast=True, include_bruteforce=False)
+
+    def test_no_variability_meets_constraint(self, result):
+        rows = [r for r in result.sweep_rows if r.variability == "none"]
+        assert rows and all(r.constraint_met for r in rows)
+
+    def test_variability_degrades_static_omega(self, result):
+        by = {(r.variability, r.policy): r.omega for r in result.sweep_rows}
+        for policy in ("static-local", "static-global"):
+            assert by[("both", policy)] < by[("none", policy)]
+            assert by[("data", policy)] < by[("none", policy)]
+
+    def test_theta_unaffected_by_variability(self, result):
+        """Static deployments keep paying the same (fleet never changes),
+        so Θ stays flat while Ω degrades — the paper's point."""
+        by = {(r.variability, r.policy): r.cost for r in result.sweep_rows}
+        for policy in ("static-local", "static-global"):
+            assert by[("both", policy)] == pytest.approx(
+                by[("none", policy)], rel=0.01
+            )
+
+
+class TestFigure5:
+    def test_static_omega_declines_with_rate(self):
+        result = figure5(fast=True, rates=(2.0, 20.0))
+        by = {(r.rate, r.policy): r.omega for r in result.sweep_rows}
+        for policy in ("static-local", "static-global"):
+            assert by[(20.0, policy)] <= by[(2.0, policy)] + 0.02
+
+
+class TestFigure8:
+    def test_dynamism_always_cheaper_or_equal(self, fig8_result):
+        by = {(r.rate, r.policy): r.cost for r in fig8_result.sweep_rows}
+        rates = sorted({r.rate for r in fig8_result.sweep_rows})
+        for rate in rates:
+            assert by[(rate, "global")] <= by[(rate, "global-nodyn")] + 1e-9
+            assert by[(rate, "local")] <= by[(rate, "local-nodyn")] + 1e-9
+
+    def test_adaptive_policies_meet_constraint(self, fig8_result):
+        assert all(r.constraint_met for r in fig8_result.sweep_rows)
+
+
+class TestFigure9:
+    def test_mean_global_savings_positive(self, fig8_result):
+        result = figure9(fig8=fig8_result)
+        mean_row = result.rows[-1]
+        assert mean_row[0] == "mean"
+        assert mean_row[1] > 5.0  # global saves meaningfully (paper ~15%)
+
+    def test_savings_vs_local_nodyn_larger(self, fig8_result):
+        result = figure9(fig8=fig8_result)
+        mean_row = result.rows[-1]
+        assert mean_row[3] >= mean_row[1] - 15.0
+
+
+class TestFigure6:
+    def test_fast_mode_constraint_and_adaptations(self):
+        from repro.experiments import figure6
+
+        result = figure6(fast=True, rates=(2.0, 5.0))
+        assert len(result.sweep_rows) == 4
+        assert all(r.variability == "infra" for r in result.sweep_rows)
+        assert all(r.constraint_met for r in result.sweep_rows)
+
+
+class TestFigure7:
+    def test_fast_mode_constraint(self):
+        from repro.experiments import figure7
+
+        result = figure7(fast=True, rates=(2.0, 5.0))
+        assert len(result.sweep_rows) == 4
+        assert all(r.rate_kind == "wave" for r in result.sweep_rows)
+        assert all(r.constraint_met for r in result.sweep_rows)
+
+
+class TestRender:
+    def test_every_figure_renders_with_expectation(self):
+        from repro.experiments import figure2, figure3
+
+        for result in (figure2(fast=True), figure3(fast=True)):
+            text = result.render()
+            assert result.figure in text
+            assert "paper expectation:" in text
+
+    def test_multi_seed_fig8_aggregates(self):
+        from repro.experiments import figure8
+
+        result = figure8(fast=True, rates=(2.0,), n_seeds=2)
+        assert all(r.seed == -1 for r in result.sweep_rows)

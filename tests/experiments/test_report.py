@@ -1,0 +1,29 @@
+"""Unit tests for the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import generate_report, write_report
+
+
+class TestReport:
+    def test_subset_report(self):
+        text = generate_report(fast=True, figures=["fig2", "fig3"])
+        assert "# Reproduction report" in text
+        assert "Figure 2" in text and "Figure 3" in text
+        assert "Figure 8" not in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(figures=["fig42"])
+
+    def test_write_report(self, tmp_path):
+        out = write_report(tmp_path / "r.md", fast=True, figures=["fig2"])
+        content = out.read_text(encoding="utf-8")
+        assert content.startswith("# Reproduction report")
+        assert "fast mode" in content
+
+    def test_fig9_reuses_fig8_sweep(self):
+        text = generate_report(fast=True, figures=["fig8", "fig9"])
+        assert "Figure 8" in text and "Figure 9" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scenario, sweep
+from repro.experiments.runner import SweepRow
+
+
+class TestSweep:
+    def test_grid_cardinality(self):
+        scenarios = [
+            Scenario(rate=2.0, period=300.0),
+            Scenario(rate=4.0, period=300.0),
+        ]
+        rows = sweep(scenarios, ["static-local", "static-global"])
+        assert len(rows) == 4
+        assert {(r.rate, r.policy) for r in rows} == {
+            (2.0, "static-local"),
+            (2.0, "static-global"),
+            (4.0, "static-local"),
+            (4.0, "static-global"),
+        }
+
+    def test_row_fields_populated(self):
+        rows = sweep([Scenario(rate=3.0, period=300.0)], ["static-local"])
+        row = rows[0]
+        assert isinstance(row, SweepRow)
+        assert 0.0 <= row.omega <= 1.0
+        assert 0.0 < row.gamma <= 1.0
+        assert row.cost > 0
+        assert row.variability == "none"
+        assert row.vms_peak >= 1
+
+    def test_as_tuple_stable_shape(self):
+        rows = sweep([Scenario(rate=3.0, period=300.0)], ["static-local"])
+        assert len(rows[0].as_tuple()) == 8
+
+    def test_deterministic(self):
+        make = lambda: [Scenario(rate=3.0, seed=5, period=300.0,
+                                 variability="both")]
+        a = sweep(make(), ["local"])
+        b = sweep(make(), ["local"])
+        assert a[0].theta == b[0].theta
+        assert a[0].cost == b[0].cost
+
+
+class TestAverageRows:
+    def rows(self, seed):
+        return sweep(
+            [Scenario(rate=3.0, seed=seed, period=300.0, variability="both")],
+            ["local"],
+        )
+
+    def test_averages_numeric_fields(self):
+        from repro.experiments.runner import average_rows
+
+        a, b = self.rows(1), self.rows(2)
+        avg = average_rows([a, b])
+        assert len(avg) == 1
+        assert avg[0].seed == -1
+        assert avg[0].cost == pytest.approx((a[0].cost + b[0].cost) / 2)
+        assert avg[0].omega == pytest.approx((a[0].omega + b[0].omega) / 2)
+
+    def test_single_replica_identity_values(self):
+        from repro.experiments.runner import average_rows
+
+        a = self.rows(1)
+        avg = average_rows([a])
+        assert avg[0].cost == a[0].cost
+
+    def test_mismatched_grids_rejected(self):
+        from repro.experiments.runner import average_rows
+
+        a = self.rows(1)
+        b = sweep(
+            [Scenario(rate=4.0, seed=2, period=300.0, variability="both")],
+            ["local"],
+        )
+        with pytest.raises(ValueError, match="grids"):
+            average_rows([a, b])
+
+    def test_empty_rejected(self):
+        from repro.experiments.runner import average_rows
+
+        with pytest.raises(ValueError):
+            average_rows([])

@@ -1,0 +1,159 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test runs full managed executions (deployment → fluid engine →
+monitoring → adaptation → billing) and asserts the paper's system-level
+properties on shortened horizons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scenario, run_policy
+
+PERIOD = 1800.0  # 30 simulated minutes keeps each run ≲ 0.5 s
+
+
+class TestConstraintSatisfaction:
+    @pytest.mark.parametrize("policy", ["local", "global"])
+    @pytest.mark.parametrize("rate", [2.0, 10.0])
+    def test_adaptive_policies_meet_omega_constant_load(self, policy, rate):
+        result = run_policy(
+            Scenario(rate=rate, variability="none", period=PERIOD), policy
+        )
+        assert result.outcome.constraint_met, result.summary()
+
+    @pytest.mark.parametrize("policy", ["local", "global"])
+    def test_adaptive_policies_meet_omega_under_variability(self, policy):
+        result = run_policy(
+            Scenario(rate=5.0, variability="both", seed=11, period=PERIOD),
+            policy,
+        )
+        assert result.outcome.constraint_met, result.summary()
+
+    def test_static_underperforms_adaptive_under_variability(self):
+        sc = lambda: Scenario(
+            rate=8.0, rate_kind="wave", variability="both", seed=3, period=PERIOD
+        )
+        static = run_policy(sc(), "static-local")
+        adaptive = run_policy(sc(), "local")
+        assert adaptive.outcome.mean_throughput >= (
+            static.outcome.mean_throughput - 0.02
+        )
+
+
+class TestDynamismValue:
+    def test_dynamism_no_more_expensive(self):
+        for policy, twin in (("global", "global-nodyn"), ("local", "local-nodyn")):
+            sc = lambda: Scenario(
+                rate=10.0, rate_kind="wave", variability="both", seed=7,
+                period=PERIOD,
+            )
+            dyn = run_policy(sc(), policy)
+            nodyn = run_policy(sc(), twin)
+            assert dyn.total_cost <= nodyn.total_cost + 1e-9
+
+    def test_nodyn_keeps_max_value(self):
+        result = run_policy(
+            Scenario(rate=5.0, variability="none", period=PERIOD),
+            "global-nodyn",
+        )
+        assert result.outcome.mean_value == pytest.approx(1.0)
+
+    def test_dynamism_trades_value_for_cost(self):
+        sc = lambda: Scenario(rate=10.0, variability="none", period=PERIOD)
+        dyn = run_policy(sc(), "global")
+        nodyn = run_policy(sc(), "global-nodyn")
+        assert dyn.outcome.mean_value < nodyn.outcome.mean_value
+        assert dyn.total_cost <= nodyn.total_cost
+
+
+class TestElasticity:
+    def test_wave_load_triggers_adaptations(self):
+        result = run_policy(
+            Scenario(
+                rate=10.0, rate_kind="wave", variability="data", period=PERIOD
+            ),
+            "local",
+        )
+        assert result.adaptations > 0
+
+    def test_cost_scales_with_rate(self):
+        low = run_policy(
+            Scenario(rate=2.0, variability="none", period=PERIOD), "global"
+        )
+        high = run_policy(
+            Scenario(rate=40.0, variability="none", period=PERIOD), "global"
+        )
+        assert high.total_cost > low.total_cost
+
+    def test_fleet_grows_with_rate(self):
+        low = run_policy(
+            Scenario(rate=2.0, variability="none", period=PERIOD), "local"
+        )
+        high = run_policy(
+            Scenario(rate=40.0, variability="none", period=PERIOD), "local"
+        )
+        assert high.vms_peak > low.vms_peak
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal(self):
+        make = lambda: Scenario(
+            rate=7.0, rate_kind="walk", variability="both", seed=13,
+            period=PERIOD,
+        )
+        a = run_policy(make(), "global")
+        b = run_policy(make(), "global")
+        assert a.total_cost == b.total_cost
+        assert a.outcome.theta == b.outcome.theta
+        assert [m.throughput for m in a.timeline] == [
+            m.throughput for m in b.timeline
+        ]
+
+    def test_different_seeds_differ(self):
+        a = run_policy(
+            Scenario(rate=7.0, variability="both", seed=1, period=PERIOD),
+            "global",
+        )
+        b = run_policy(
+            Scenario(rate=7.0, variability="both", seed=2, period=PERIOD),
+            "global",
+        )
+        assert [m.throughput for m in a.timeline] != [
+            m.throughput for m in b.timeline
+        ]
+
+
+class TestScaledDataflow:
+    def test_bigger_graph_end_to_end(self):
+        from repro.experiments import scaled_dataflow
+
+        sc = Scenario(
+            rate=5.0,
+            variability="none",
+            period=900.0,
+            dataflow=scaled_dataflow(stages=2, alternates=3),
+        )
+        result = run_policy(sc, "global")
+        assert result.outcome.constraint_met
+        assert result.outcome.mean_value > 0
+
+
+class TestStartupDelay:
+    def test_startup_delay_slows_ramp(self):
+        fast = run_policy(
+            Scenario(rate=10.0, variability="none", period=PERIOD), "local"
+        )
+        slow = run_policy(
+            Scenario(
+                rate=10.0, variability="none", period=PERIOD,
+                startup_delay=300.0,
+            ),
+            "local",
+        )
+        # The delayed fleet misses throughput during boot.
+        assert (
+            slow.timeline.records[0].throughput
+            <= fast.timeline.records[0].throughput
+        )

@@ -1,0 +1,103 @@
+"""Integration tests combining the future-work extensions with the
+managed engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import aws_2013_catalog
+from repro.core import ObjectiveSpec, Policy
+from repro.core.paths import DynamicPathSet, PathSelector, PathVariant
+from repro.dataflow import Alternate, DynamicDataflow, ProcessingElement
+from repro.engine import RunManager
+from repro.experiments import Scenario
+from repro.experiments.scenarios import MESSAGE_SIZE_MB
+from repro.workloads import ConstantRate
+
+
+def make_paths() -> DynamicPathSet:
+    full = DynamicDataflow(
+        [
+            ProcessingElement("in", [Alternate("i", value=1.0, cost=0.4)]),
+            ProcessingElement("heavy", [Alternate("h", value=1.0, cost=3.0)]),
+            ProcessingElement("out", [Alternate("o", value=1.0, cost=0.4)]),
+        ],
+        [("in", "heavy"), ("heavy", "out")],
+    )
+    lite = DynamicDataflow(
+        [
+            ProcessingElement("in", [Alternate("i", value=1.0, cost=0.4)]),
+            ProcessingElement("out", [Alternate("o", value=1.0, cost=0.4)]),
+        ],
+        [("in", "out")],
+    )
+    return DynamicPathSet(
+        [PathVariant("full", full, value=1.0), PathVariant("lite", lite, value=0.75)]
+    )
+
+
+class TestPathSelectionEndToEnd:
+    def test_selected_variant_runs_under_manager(self):
+        """The chosen variant's plan executes end to end and meets Ω̂."""
+        paths = make_paths()
+        catalog = aws_2013_catalog()
+        spec = ObjectiveSpec(
+            omega_min=0.7, sigma=0.02, period=900.0, interval=60.0
+        )
+        selector = PathSelector(paths, catalog, spec)
+        rate = 6.0
+        choice = selector.select({"in": rate})
+
+        scenario = Scenario(
+            rate=rate,
+            variability="none",
+            period=900.0,
+            dataflow=choice.variant.dataflow,
+        )
+        policy = Policy(
+            name=f"path:{choice.variant.name}",
+            deployer=type(
+                "FixedPlan", (), {"plan": lambda self, rates: choice.plan}
+            )(),
+            adapter=None,
+        )
+        result = RunManager(
+            dataflow=choice.variant.dataflow,
+            profiles={"in": ConstantRate(rate)},
+            policy=policy,
+            provider=scenario.provider(),
+            spec=spec,
+            message_size_mb=MESSAGE_SIZE_MB,
+        ).run()
+        assert result.outcome.constraint_met
+
+    def test_rate_drives_variant_choice(self):
+        paths = make_paths()
+        catalog = aws_2013_catalog()
+        spec = ObjectiveSpec(omega_min=0.7, sigma=0.02, period=6 * 3600.0)
+        selector = PathSelector(paths, catalog, spec)
+        assert selector.select({"in": 0.5}).variant.name == "full"
+        assert selector.select({"in": 50.0}).variant.name == "lite"
+
+
+class TestFailuresWithVariability:
+    @pytest.mark.parametrize("policy", ["local", "global"])
+    def test_recovery_under_combined_stress(self, policy):
+        """Crashes + data/infra variability together: the adaptive loop
+        still holds the constraint."""
+        result = None
+        from repro.experiments import run_policy
+
+        result = run_policy(
+            Scenario(
+                rate=8.0,
+                rate_kind="wave",
+                variability="both",
+                seed=5,
+                period=1800.0,
+                mtbf_hours=0.5,
+            ),
+            policy,
+        )
+        assert result.crashes, "failures should occur at 30 min MTBF"
+        assert result.outcome.constraint_met, result.summary()

@@ -1,0 +1,94 @@
+"""Property-based tests for the simulation kernel.
+
+Invariants: events fire in non-decreasing time order regardless of
+scheduling order; FIFO among equal timestamps; the clock never moves
+backwards; processes compose associatively with timeouts.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Environment
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_time_order(delay_list):
+    env = Environment()
+    fired: list[float] = []
+    for d in delay_list:
+        env.timeout(d).callbacks.append(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_equal_timestamps_fifo(delay_list):
+    env = Environment()
+    order: list[int] = []
+    # All events at the same time: creation order must be preserved.
+    for i in range(len(delay_list)):
+        env.timeout(5.0).callbacks.append(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == list(range(len(delay_list)))
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_clock_monotone_under_stepping(delay_list):
+    env = Environment()
+    for d in delay_list:
+        env.timeout(d)
+    last = env.now
+    while env.peek() != float("inf"):
+        env.step()
+        assert env.now >= last
+        last = env.now
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_sequential_timeouts_sum(delay_list):
+    env = Environment()
+
+    def proc():
+        for d in delay_list:
+            yield env.timeout(d)
+        return env.now
+
+    end = env.run(until=env.process(proc()))
+    assert abs(end - sum(delay_list)) < 1e-6
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.1, max_value=5.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_n_parallel_processes_all_complete(n, delay):
+    env = Environment()
+    done: list[int] = []
+
+    def worker(i):
+        yield env.timeout(delay * (i + 1))
+        done.append(i)
+
+    for i in range(n):
+        env.process(worker(i))
+    env.run()
+    assert sorted(done) == list(range(n))
+    assert done == sorted(done)  # staggered delays → index order

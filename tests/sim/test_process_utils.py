@@ -1,0 +1,102 @@
+"""Unit tests for the process helper utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Ticker, after, at_times, every
+
+
+class TestEvery:
+    def test_fires_at_interval(self, env):
+        times = []
+        every(env, 2.0, lambda now: times.append(now))
+        env.run(until=7.0)
+        assert times == [0.0, 2.0, 4.0, 6.0]
+
+    def test_start_offset(self, env):
+        times = []
+        every(env, 2.0, lambda now: times.append(now), start_offset=1.0)
+        env.run(until=6.0)
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_until_bound(self, env):
+        times = []
+        every(env, 1.0, lambda now: times.append(now), until=2.5)
+        env.run(until=10.0)
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_rejects_nonpositive_interval(self, env):
+        with pytest.raises(ValueError):
+            every(env, 0.0, lambda now: None)
+
+
+class TestAfter:
+    def test_fires_once(self, env):
+        times = []
+        after(env, 3.0, lambda now: times.append(now))
+        env.run()
+        assert times == [3.0]
+
+    def test_zero_delay(self, env):
+        times = []
+        after(env, 0.0, lambda now: times.append(now))
+        env.run()
+        assert times == [0.0]
+
+    def test_rejects_negative(self, env):
+        with pytest.raises(ValueError):
+            after(env, -1.0, lambda now: None)
+
+
+class TestAtTimes:
+    def test_fires_at_each_time(self, env):
+        times = []
+        at_times(env, [4.0, 1.0, 2.5], lambda now: times.append(now))
+        env.run()
+        assert times == [1.0, 2.5, 4.0]
+
+    def test_duplicate_times_fire_twice(self, env):
+        times = []
+        at_times(env, [1.0, 1.0], lambda now: times.append(now))
+        env.run()
+        assert times == [1.0, 1.0]
+
+
+class TestTicker:
+    def test_tick_indices(self, env):
+        ticks = []
+        Ticker(env, 1.5, lambda k, now: ticks.append((k, now)))
+        env.run(until=5.0)
+        assert ticks == [(0, 0.0), (1, 1.5), (2, 3.0), (3, 4.5)]
+
+    def test_cancel_stops_ticking(self, env):
+        ticks = []
+        ticker = Ticker(env, 1.0, lambda k, now: ticks.append(k))
+
+        def canceller():
+            yield env.timeout(2.5)
+            ticker.cancel()
+
+        env.process(canceller())
+        env.run(until=10.0)
+        assert ticks == [0, 1, 2]
+        assert ticker.cancelled
+
+    def test_drift_free_anchoring(self, env):
+        """A slow callback must not delay subsequent tick times."""
+        ticks = []
+
+        def slow_action(k, now):
+            ticks.append(now)
+            # Simulate work by scheduling noise; the ticker itself must
+            # stay anchored to k * interval.
+            env.timeout(0.7)
+
+        Ticker(env, 1.0, slow_action)
+        env.run(until=4.5)
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_rejects_nonpositive_interval(self, env):
+        with pytest.raises(ValueError):
+            Ticker(env, -1.0, lambda k, now: None)

@@ -1,0 +1,214 @@
+"""Unit tests for stores and containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityStore, Store
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(consumer())
+        store.put("hello")
+        env.run()
+        assert got == ["hello"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer():
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=2)
+        done = []
+
+        def producer():
+            for i in range(4):
+                yield store.put(i)
+                done.append(i)
+
+        env.process(producer())
+        env.run()
+        assert done == [0, 1]  # third put blocks
+        assert len(store) == 2
+
+    def test_capacity_put_resumes_after_get(self, env):
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            done.append("produced-b")
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert done == ["produced-b"]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_try_get_nonblocking(self, env):
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("x")
+        env.run()
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_drain_returns_everything(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        env.run()
+        assert store.drain() == [0, 1, 2]
+        assert len(store) == 0
+
+    def test_level_property(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert store.level == 2
+
+
+class TestPriorityStore:
+    def test_smallest_first(self, env):
+        store = PriorityStore(env)
+        for v in (5, 1, 3):
+            store.put(v)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == [1, 3, 5]
+
+    def test_tuples_order_by_priority(self, env):
+        store = PriorityStore(env)
+        store.put((2, "low"))
+        store.put((1, "high"))
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == [(1, "high")]
+
+    def test_len_tracks_heap(self, env):
+        store = PriorityStore(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+
+
+class TestContainer:
+    def test_initial_level(self, env):
+        c = Container(env, capacity=10, init=4)
+        assert c.level == 4
+
+    def test_put_get_amounts(self, env):
+        c = Container(env, capacity=10)
+        done = []
+
+        def proc():
+            yield c.put(6)
+            yield c.get(2.5)
+            done.append(c.level)
+
+        env.process(proc())
+        env.run()
+        assert done == [3.5]
+
+    def test_get_blocks_until_available(self, env):
+        c = Container(env, capacity=10)
+        got = []
+
+        def consumer():
+            yield c.get(5)
+            got.append(env.now)
+
+        def producer():
+            yield env.timeout(2.0)
+            yield c.put(3)
+            yield env.timeout(2.0)
+            yield c.put(3)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [4.0]
+
+    def test_put_blocks_at_capacity(self, env):
+        c = Container(env, capacity=5, init=4)
+        done = []
+
+        def producer():
+            yield c.put(3)
+            done.append(env.now)
+
+        def consumer():
+            yield env.timeout(1.0)
+            yield c.get(2.5)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert done == [1.0]
+
+    def test_rejects_nonpositive_amounts(self, env):
+        c = Container(env, capacity=5)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+    def test_rejects_bad_init(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)

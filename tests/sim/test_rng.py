@@ -1,0 +1,79 @@
+"""Unit tests for named random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).get("x").random(10)
+        b = RandomStreams(7).get("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(10)
+        b = RandomStreams(2).get("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        s = RandomStreams(7)
+        a = s.get("x").random(10)
+        b = s.get("y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_independent_of_other_consumption(self):
+        """Consuming stream A must not perturb stream B."""
+        s1 = RandomStreams(7)
+        s1.get("a").random(100)  # burn stream a
+        b1 = s1.get("b").random(5)
+
+        s2 = RandomStreams(7)
+        b2 = s2.get("b").random(5)
+        assert np.array_equal(b1, b2)
+
+    def test_multi_part_keys(self):
+        s = RandomStreams(0)
+        a = s.get("traces", "vm-1", "cpu")
+        b = s.get("traces", "vm-2", "cpu")
+        assert a is not b
+
+    def test_same_key_returns_same_generator(self):
+        s = RandomStreams(0)
+        assert s.get("k") is s.get("k")
+
+    def test_fresh_resets_state(self):
+        s = RandomStreams(3)
+        first = s.get("k").random(4)
+        again = s.fresh("k").random(4)
+        assert np.array_equal(first, again)
+
+    def test_spawn_namespacing(self):
+        parent = RandomStreams(5)
+        child_a = parent.spawn("vm-a")
+        child_b = parent.spawn("vm-b")
+        assert not np.array_equal(
+            child_a.get("x").random(5), child_b.get("x").random(5)
+        )
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(5).spawn("vm").get("x").random(5)
+        b = RandomStreams(5).spawn("vm").get("x").random(5)
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).get()
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("seed")  # type: ignore[arg-type]
+
+    def test_int_keys_allowed(self):
+        s = RandomStreams(0)
+        assert s.get("cpu", 3) is s.get("cpu", 3)

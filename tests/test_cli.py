@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "global"])
+        assert args.policy == "global"
+        assert args.rate == 5.0
+        assert args.variability == "none"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mystery"])
+
+
+class TestCommands:
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "global" in out and "static-bruteforce" in out
+
+    def test_run(self, capsys):
+        code = main(["run", "static-local", "--rate", "3", "--period", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Θ=" in out and "final selection" in out
+
+    def test_run_with_timeline(self, capsys):
+        code = main(
+            ["run", "static-local", "--rate", "3", "--period", "300",
+             "--timeline"]
+        )
+        assert code == 0
+        assert "Ω(t)" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "static-local", "static-global",
+             "--rate", "3", "--period", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static-local" in out and "static-global" in out
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err

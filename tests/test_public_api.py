@@ -1,0 +1,78 @@
+"""Public API surface tests: the README's imports must keep working."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_readme_quickstart_names(self):
+        # The exact imports shown in README.md.
+        from repro import Scenario, run_policy  # noqa: F401
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.dataflow",
+            "repro.cloud",
+            "repro.workloads",
+            "repro.engine",
+            "repro.core",
+            "repro.experiments",
+            "repro.util",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__") or module == "repro.cli"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.dataflow",
+            "repro.cloud",
+            "repro.workloads",
+            "repro.engine",
+            "repro.core",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_policy_names_stable(self):
+        assert repro.POLICY_NAMES == (
+            "static-bruteforce",
+            "static-local",
+            "static-global",
+            "local",
+            "global",
+            "local-nodyn",
+            "global-nodyn",
+        )
+
+    def test_every_public_class_has_docstring(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__"
+            and isinstance(getattr(repro, name), type)
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,49 @@
+"""Unit tests for table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import format_table, format_value
+
+
+class TestFormatValue:
+    def test_bools(self):
+        assert format_value(True) == "✓"
+        assert format_value(False) == "✗"
+
+    def test_float_trimming(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_large_and_tiny_floats(self):
+        assert "e" in format_value(1.23e-9) or format_value(1.23e-9) != "0"
+        assert format_value(123456.0) == "1.235e+05"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_strings_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "x"], [["a", 1.0], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out

@@ -1,0 +1,84 @@
+"""Unit tests for message sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.workloads import ConstantRate, MessageSource, PeriodicWave, interval_arrivals
+
+
+class TestIntervalArrivals:
+    def test_constant_rate_exact(self):
+        assert interval_arrivals(ConstantRate(5.0), 0, 60) == pytest.approx(300.0)
+
+    def test_wave_integrates(self):
+        p = PeriodicWave(mean=10.0, amplitude=5.0, period=100.0)
+        # Over a full period the wave integrates to the mean.
+        assert interval_arrivals(p, 0, 100, samples=500) == pytest.approx(
+            1000.0, rel=0.01
+        )
+
+
+class TestMessageSourceRegular:
+    def test_emits_at_rate(self, env):
+        got = []
+        MessageSource(env, ConstantRate(2.0), sink=lambda t, s: got.append(t))
+        env.run(until=10.0)
+        assert len(got) == pytest.approx(20, abs=1)
+
+    def test_sequence_numbers_monotone(self, env):
+        seqs = []
+        MessageSource(env, ConstantRate(5.0), sink=lambda t, s: seqs.append(s))
+        env.run(until=4.0)
+        assert seqs == list(range(len(seqs)))
+
+    def test_stop_halts_emission(self, env):
+        got = []
+        src = MessageSource(env, ConstantRate(10.0), sink=lambda t, s: got.append(t))
+
+        def stopper():
+            yield env.timeout(1.0)
+            src.stop()
+
+        env.process(stopper())
+        env.run(until=10.0)
+        assert len(got) <= 11
+
+    def test_zero_rate_emits_nothing(self, env):
+        got = []
+        MessageSource(env, ConstantRate(0.0), sink=lambda t, s: got.append(t))
+        env.run(until=5.0)
+        assert got == []
+
+
+class TestMessageSourcePoisson:
+    def test_mean_rate_approximates_profile(self, env):
+        got = []
+        MessageSource(
+            env,
+            ConstantRate(20.0),
+            sink=lambda t, s: got.append(t),
+            jitter="poisson",
+            rng=np.random.default_rng(1),
+        )
+        env.run(until=100.0)
+        assert len(got) == pytest.approx(2000, rel=0.1)
+
+    def test_gaps_are_irregular(self, env):
+        got = []
+        MessageSource(
+            env,
+            ConstantRate(10.0),
+            sink=lambda t, s: got.append(t),
+            jitter="poisson",
+            rng=np.random.default_rng(2),
+        )
+        env.run(until=50.0)
+        gaps = np.diff(got)
+        assert gaps.std() > 0.01
+
+    def test_unknown_jitter_rejected(self, env):
+        with pytest.raises(ValueError):
+            MessageSource(env, ConstantRate(1.0), sink=lambda t, s: None, jitter="x")

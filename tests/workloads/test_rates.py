@@ -1,0 +1,204 @@
+"""Unit tests for data-rate profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    ConstantRate,
+    PeriodicWave,
+    RandomWalkRate,
+    ScaledRate,
+    SteppedRate,
+    average_rate,
+)
+
+
+class TestConstantRate:
+    def test_constant(self):
+        p = ConstantRate(7.0)
+        assert p.rate_at(0) == 7.0
+        assert p.rate_at(1e6) == 7.0
+        assert p.mean_rate == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+    def test_zero_allowed(self):
+        assert ConstantRate(0.0).rate_at(5.0) == 0.0
+
+
+class TestPeriodicWave:
+    def test_peaks_and_troughs(self):
+        p = PeriodicWave(mean=10.0, amplitude=5.0, period=100.0)
+        assert p.rate_at(0) == pytest.approx(10.0)
+        assert p.rate_at(25) == pytest.approx(15.0)
+        assert p.rate_at(75) == pytest.approx(5.0)
+
+    def test_default_amplitude_half_mean(self):
+        assert PeriodicWave(10.0).amplitude == 5.0
+
+    def test_never_negative(self):
+        p = PeriodicWave(mean=1.0, amplitude=5.0, period=10.0)
+        assert all(p.rate_at(t) >= 0 for t in range(0, 20))
+
+    def test_periodicity(self):
+        p = PeriodicWave(mean=10.0, amplitude=3.0, period=60.0)
+        assert p.rate_at(17.0) == pytest.approx(p.rate_at(17.0 + 60.0))
+
+    def test_mean_over_period_matches(self):
+        p = PeriodicWave(mean=10.0, amplitude=4.0, period=100.0)
+        assert average_rate(p, 0, 100, samples=1000) == pytest.approx(
+            10.0, rel=0.01
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PeriodicWave(-1.0)
+        with pytest.raises(ValueError):
+            PeriodicWave(1.0, period=0.0)
+        with pytest.raises(ValueError):
+            PeriodicWave(1.0, amplitude=-0.5)
+
+
+class TestRandomWalkRate:
+    def test_deterministic_given_seed(self):
+        a = RandomWalkRate(10.0, seed=4)
+        b = RandomWalkRate(10.0, seed=4)
+        assert all(a.rate_at(t) == b.rate_at(t) for t in range(0, 5000, 37))
+
+    def test_seeds_differ(self):
+        a = RandomWalkRate(10.0, seed=1)
+        b = RandomWalkRate(10.0, seed=2)
+        assert any(a.rate_at(t) != b.rate_at(t) for t in range(0, 5000, 37))
+
+    def test_stays_within_bounds(self):
+        p = RandomWalkRate(10.0, step_sigma=0.5, bounds=(0.5, 1.5), seed=0)
+        assert all(5.0 <= p.rate_at(t) <= 15.0 for t in range(0, 50000, 61))
+
+    def test_reverts_to_mean(self):
+        p = RandomWalkRate(10.0, step_sigma=0.05, reversion=0.2, seed=9)
+        assert average_rate(p, 0, 12 * 3600.0, samples=2000) == pytest.approx(
+            10.0, rel=0.15
+        )
+
+    def test_path_read_only(self):
+        p = RandomWalkRate(10.0, seed=0)
+        with pytest.raises(ValueError):
+            p.path[0] = 99.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomWalkRate(0.0)
+        with pytest.raises(ValueError):
+            RandomWalkRate(1.0, reversion=0.0)
+        with pytest.raises(ValueError):
+            RandomWalkRate(1.0, bounds=(2.0, 1.0))
+
+
+class TestSteppedRate:
+    def test_steps(self):
+        p = SteppedRate([(0.0, 5.0), (100.0, 10.0), (200.0, 2.0)])
+        assert p.rate_at(50) == 5.0
+        assert p.rate_at(100) == 10.0
+        assert p.rate_at(150) == 10.0
+        assert p.rate_at(500) == 2.0
+
+    def test_before_first_step(self):
+        p = SteppedRate([(10.0, 5.0)])
+        assert p.rate_at(0.0) == 5.0
+
+    def test_mean_rate_time_weighted(self):
+        p = SteppedRate([(0.0, 4.0), (50.0, 8.0), (100.0, 0.0)])
+        assert p.mean_rate == pytest.approx(6.0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedRate([(10.0, 1.0), (0.0, 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SteppedRate([])
+
+
+class TestScaledRate:
+    def test_scales(self):
+        p = ScaledRate(ConstantRate(10.0), 0.25)
+        assert p.rate_at(0) == 2.5
+        assert p.mean_rate == 2.5
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledRate(ConstantRate(1.0), -1.0)
+
+
+class TestAverageRate:
+    def test_constant_exact(self):
+        assert average_rate(ConstantRate(3.0), 0, 100) == pytest.approx(3.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            average_rate(ConstantRate(1.0), 10, 10)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            average_rate(ConstantRate(1.0), 0, 10, samples=0)
+
+
+class TestBurstRate:
+    def make(self, **kw):
+        from repro.workloads import BurstRate
+
+        defaults = dict(base=5.0, factor=4.0, bursts_per_hour=4.0,
+                        duration=300.0, seed=7)
+        defaults.update(kw)
+        return BurstRate(**defaults)
+
+    def test_base_rate_outside_bursts(self):
+        p = self.make()
+        quiet = [t for t in range(0, 40000, 13) if not p.in_burst(t)]
+        assert quiet, "expected some quiet periods"
+        assert all(p.rate_at(t) == 5.0 for t in quiet[:50])
+
+    def test_burst_rate_inside_bursts(self):
+        p = self.make()
+        start = float(p.burst_starts[0])
+        assert p.in_burst(start + 1.0)
+        assert p.rate_at(start + 1.0) == 20.0
+
+    def test_burst_ends_after_duration(self):
+        p = self.make(bursts_per_hour=0.5)
+        start = float(p.burst_starts[0])
+        assert not p.in_burst(start + 301.0) or p.in_burst(start + 301.0) == (
+            # a second overlapping burst may have started; verify only when
+            # the next start is far away
+            any(abs(s - start) < 600 and s != start for s in p.burst_starts)
+        )
+
+    def test_deterministic(self):
+        a, b = self.make(seed=3), self.make(seed=3)
+        assert all(a.rate_at(t) == b.rate_at(t) for t in range(0, 20000, 37))
+
+    def test_mean_rate_accounts_for_bursts(self):
+        p = self.make()
+        assert p.mean_rate > 5.0
+
+    def test_schedule_read_only(self):
+        import pytest as _pytest
+
+        p = self.make()
+        with _pytest.raises(ValueError):
+            p.burst_starts[0] = 0.0
+
+    def test_invalid_params(self):
+        from repro.workloads import BurstRate
+
+        with pytest.raises(ValueError):
+            BurstRate(base=-1.0)
+        with pytest.raises(ValueError):
+            BurstRate(base=1.0, factor=1.0)
+        with pytest.raises(ValueError):
+            BurstRate(base=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            BurstRate(base=1.0, horizon=10.0, duration=20.0)
