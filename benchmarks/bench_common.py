@@ -1,0 +1,82 @@
+"""Shared helpers for the ``BENCH_*.json`` perf-trajectory files.
+
+Each tracked benchmark appends one entry per run to a JSON file at the
+repository root (``BENCH_engine.json``, ``BENCH_sweep.json``).  The files
+are the machine-readable perf history future PRs regress against; their
+schema is validated by ``benchmarks/check_bench_json.py``:
+
+.. code-block:: json
+
+    {
+      "benchmark": "engine",
+      "schema": 1,
+      "history": [
+        {
+          "timestamp": "2026-08-05T12:00:00+00:00",
+          "meta": {"host_cpus": 8, "quick": false, "seed": 7},
+          "metrics": {"fluid_large_ticks_per_s": 11000.0}
+        }
+      ]
+    }
+
+``history`` is append-only and timestamp-ordered, so plotting any metric
+over the file gives the perf trajectory of the repo.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import pathlib
+from typing import Mapping, Optional, Union
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def bench_path(name: str) -> pathlib.Path:
+    """Canonical location of one benchmark's history file."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def load_history(path: PathLike) -> dict:
+    """Load a BENCH file, returning an empty skeleton if it is absent."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"benchmark": "", "schema": SCHEMA_VERSION, "history": []}
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def append_entry(
+    path: PathLike,
+    benchmark: str,
+    metrics: Mapping[str, float],
+    meta: Optional[Mapping] = None,
+) -> dict:
+    """Append one run's metrics to a BENCH file and rewrite it.
+
+    Returns the entry that was appended.  ``metrics`` values must be
+    finite numbers; ``meta`` carries run context (seed, worker count,
+    quick/full mode) needed to reproduce the measurement.
+    """
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or value != value:
+            raise ValueError(f"metric {key!r} is not a finite number: {value!r}")
+    data = load_history(path)
+    data["benchmark"] = benchmark
+    data["schema"] = SCHEMA_VERSION
+    entry = {
+        "timestamp": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "meta": dict(meta or {}),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+    data["history"].append(entry)
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return entry

@@ -1,0 +1,122 @@
+"""Bench driver: substrate throughput → ``BENCH_engine.json``.
+
+Measures the raw speed of the layers every experiment rests on — the DES
+kernel's event loop and the fluid executor's tick rate at two fleet
+sizes — and appends the numbers to the repo-root ``BENCH_engine.json``
+perf trajectory.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--no-write]
+
+The pytest microbenchmarks in ``test_bench_engine_throughput.py`` measure
+the same rigs interactively; this driver is the one that *records*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.engine import FluidExecutor
+from repro.experiments import fig1_dataflow
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+import bench_common
+
+#: Fleet sizes mirroring test_bench_engine_throughput.py.
+SMALL_FLEET = 4
+LARGE_FLEET = 80
+
+
+def _kernel_events_per_s(n_events: int) -> float:
+    env = Environment()
+
+    def chain():
+        for _ in range(n_events):
+            yield env.timeout(1.0)
+
+    env.process(chain())
+    t0 = time.perf_counter()
+    env.run()
+    return n_events / (time.perf_counter() - t0)
+
+
+def _fluid_ticks_per_s(rate: float, n_vms: int, horizon: float) -> float:
+    env = Environment()
+    provider = CloudProvider(
+        aws_2013_catalog(), performance=ConstantPerformance()
+    )
+    df = fig1_dataflow()
+    pes = list(df.pe_names)
+    for i in range(n_vms):
+        vm = provider.provision("m1.xlarge", now=0.0)
+        vm.allocate(pes[i % len(pes)], 4)
+    ex = FluidExecutor(
+        env, df, provider, {"E1": ConstantRate(rate)},
+        selection=df.default_selection(),
+    )
+    ex.sync()
+    ex.start()
+    t0 = time.perf_counter()
+    env.run(until=horizon)
+    elapsed = time.perf_counter() - t0
+    stats = ex.roll_interval()
+    assert stats.external_in["E1"] > 0, "engine processed no traffic"
+    return horizon / elapsed
+
+
+def run_engine_bench(
+    quick: bool = False, output: Optional[os.PathLike] = None, write: bool = True
+) -> dict:
+    """Measure and (optionally) record engine throughput metrics."""
+    n_events = 10_000 if quick else 100_000
+    horizon = 300.0 if quick else 3600.0
+    metrics = {
+        "kernel_events_per_s": _kernel_events_per_s(n_events),
+        "fluid_small_ticks_per_s": _fluid_ticks_per_s(
+            5.0, SMALL_FLEET, horizon
+        ),
+        "fluid_large_ticks_per_s": _fluid_ticks_per_s(
+            50.0, LARGE_FLEET, horizon
+        ),
+    }
+    meta = {
+        "quick": quick,
+        "host_cpus": os.cpu_count() or 1,
+        "small_fleet": SMALL_FLEET,
+        "large_fleet": LARGE_FLEET,
+        "horizon_s": horizon,
+    }
+    if write:
+        path = output or bench_common.bench_path("engine")
+        bench_common.append_entry(path, "engine", metrics, meta)
+    return {"metrics": metrics, "meta": meta}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short horizons (smoke test)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure only; do not append to BENCH_engine.json")
+    parser.add_argument("--output", default=None,
+                        help="override the BENCH json path")
+    args = parser.parse_args(argv)
+    result = run_engine_bench(
+        quick=args.quick, output=args.output, write=not args.no_write
+    )
+    for key, value in result["metrics"].items():
+        print(f"{key:>28}: {value:12.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

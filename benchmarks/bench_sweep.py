@@ -1,0 +1,120 @@
+"""Bench driver: sweep-grid throughput → ``BENCH_sweep.json``.
+
+Times the fig8-style (policy × rate) grid — the shape behind every cost
+figure — serially and with the process-parallel harness, verifies the
+parallel rows are bit-identical to the serial ones, and appends cells/s
+plus the measured speedup to the repo-root ``BENCH_sweep.json``.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--quick] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import Scenario, resolve_jobs
+from repro.experiments import parallel as parallel_mod
+from repro.experiments import runner
+
+import bench_common
+
+FIG8_POLICIES = ("global", "global-nodyn", "local", "local-nodyn")
+SEED = 7
+
+
+def _grid(quick: bool) -> tuple[list[Scenario], list[str]]:
+    if quick:
+        rates, period = (2.0,), 600.0
+        policies = ["static-local", "local"]
+    else:
+        rates, period = (2.0, 5.0, 10.0), 1800.0
+        policies = list(FIG8_POLICIES)
+    scenarios = [
+        Scenario(
+            rate=r, rate_kind="wave", variability="both", seed=SEED,
+            period=period,
+        )
+        for r in rates
+    ]
+    return scenarios, policies
+
+
+def run_sweep_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    output: Optional[os.PathLike] = None,
+    write: bool = True,
+) -> dict:
+    """Measure serial vs parallel sweep throughput and (optionally) record."""
+    scenarios, policies = _grid(quick)
+    n_cells = len(scenarios) * len(policies)
+    jobs = jobs if jobs is not None else max(2, min(4, os.cpu_count() or 1))
+
+    t0 = time.perf_counter()
+    serial_rows = runner.sweep(scenarios, policies, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_rows = parallel_mod.sweep(scenarios, policies, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    identical = parallel_rows == serial_rows
+    assert identical, "parallel sweep diverged from serial rows"
+
+    metrics = {
+        "cells": float(n_cells),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "cells_per_s_serial": n_cells / serial_s,
+        "cells_per_s_parallel": n_cells / parallel_s,
+        "speedup": serial_s / parallel_s,
+    }
+    meta = {
+        "quick": quick,
+        "jobs": jobs,
+        "seed": SEED,
+        "host_cpus": os.cpu_count() or 1,
+        "policies": list(policies),
+        "rates": [s.rate for s in scenarios],
+        "rows_identical": identical,
+    }
+    if write:
+        path = output or bench_common.bench_path("sweep")
+        bench_common.append_entry(path, "sweep", metrics, meta)
+    return {"metrics": metrics, "meta": meta}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny grid (smoke test)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: min(4, CPUs), "
+                             "at least 2)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure only; do not append to BENCH_sweep.json")
+    parser.add_argument("--output", default=None,
+                        help="override the BENCH json path")
+    args = parser.parse_args(argv)
+    result = run_sweep_bench(
+        quick=args.quick, jobs=args.jobs, output=args.output,
+        write=not args.no_write,
+    )
+    for key, value in result["metrics"].items():
+        print(f"{key:>22}: {value:10.3f}")
+    print(f"{'jobs':>22}: {result['meta']['jobs']:10d} "
+          f"(host cpus {result['meta']['host_cpus']}, "
+          f"resolve_jobs default {resolve_jobs(None)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

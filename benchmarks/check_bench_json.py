@@ -1,0 +1,110 @@
+"""Validator for the ``BENCH_*.json`` perf-trajectory files.
+
+Checks schema shape and the append-only invariant (timestamps must be
+monotonically non-decreasing) so a bad merge or a hand-edit can't
+silently corrupt the perf history future PRs regress against.
+
+Usage::
+
+    python benchmarks/check_bench_json.py [paths...]
+
+With no paths, validates every ``BENCH_*.json`` at the repository root
+(succeeding vacuously when none exist yet).  Exits non-zero on the first
+invalid file.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import math
+import pathlib
+import sys
+from typing import Union
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXPECTED_SCHEMA = 1
+
+
+class BenchValidationError(ValueError):
+    """A BENCH file violates the schema or history invariants."""
+
+
+def _fail(path, msg: str) -> None:
+    raise BenchValidationError(f"{path}: {msg}")
+
+
+def validate_file(path: Union[str, pathlib.Path]) -> dict:
+    """Validate one BENCH file, returning the parsed payload."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        _fail(path, f"unreadable: {exc}")
+
+    if not isinstance(data, dict):
+        _fail(path, "top level must be an object")
+    for key in ("benchmark", "schema", "history"):
+        if key not in data:
+            _fail(path, f"missing top-level key {key!r}")
+    if not isinstance(data["benchmark"], str) or not data["benchmark"]:
+        _fail(path, "'benchmark' must be a non-empty string")
+    if data["schema"] != EXPECTED_SCHEMA:
+        _fail(path, f"unknown schema version {data['schema']!r}")
+    history = data["history"]
+    if not isinstance(history, list) or not history:
+        _fail(path, "'history' must be a non-empty list")
+
+    last_ts = None
+    for idx, entry in enumerate(history):
+        where = f"history[{idx}]"
+        if not isinstance(entry, dict):
+            _fail(path, f"{where} must be an object")
+        for key in ("timestamp", "meta", "metrics"):
+            if key not in entry:
+                _fail(path, f"{where} missing {key!r}")
+        try:
+            ts = _dt.datetime.fromisoformat(entry["timestamp"])
+        except (TypeError, ValueError):
+            _fail(path, f"{where} timestamp is not ISO-8601: "
+                        f"{entry['timestamp']!r}")
+        if last_ts is not None and ts < last_ts:
+            _fail(path, f"{where} timestamp moves backwards "
+                        f"({ts.isoformat()} < {last_ts.isoformat()}); "
+                        "history must be append-only")
+        last_ts = ts
+        if not isinstance(entry["meta"], dict):
+            _fail(path, f"{where} meta must be an object")
+        metrics = entry["metrics"]
+        if not isinstance(metrics, dict) or not metrics:
+            _fail(path, f"{where} metrics must be a non-empty object")
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                _fail(path, f"{where} metric {name!r} is not a number: "
+                            f"{value!r}")
+            if not math.isfinite(value):
+                _fail(path, f"{where} metric {name!r} is not finite: {value!r}")
+    return data
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    paths = [pathlib.Path(p) for p in argv] or sorted(
+        REPO_ROOT.glob("BENCH_*.json")
+    )
+    if not paths:
+        print("no BENCH_*.json files to validate")
+        return 0
+    for path in paths:
+        try:
+            data = validate_file(path)
+        except BenchValidationError as exc:
+            print(f"INVALID  {exc}", file=sys.stderr)
+            return 1
+        print(f"ok  {path} ({data['benchmark']}, "
+              f"{len(data['history'])} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,19 +8,50 @@ full-scale configuration (6 h periods, 10 h for the cost figures,
 2–50 msg/s sweeps).
 
 Rendered tables are also written to ``benchmarks/results/`` so the
-EXPERIMENTS.md paper-vs-measured record can reference them.
+EXPERIMENTS.md paper-vs-measured record can reference them.  Each bench
+header (and each recorded table) states the resolved sweep worker count
+and the default scenario seed so a recorded number can always be traced
+back to the exact configuration that produced it.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.parallel import resolve_jobs
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Default scenario seed shared by the figure drivers (figures 4–9).
+DEFAULT_SEED = 7
+
+
+def bench_header() -> str:
+    """One-line run context: worker count, seed, host CPUs, scale mode."""
+    return (
+        f"bench config: jobs={resolve_jobs(None)} seed={DEFAULT_SEED} "
+        f"host_cpus={os.cpu_count() or 1} "
+        f"scale={'full' if FULL else 'fast'}"
+    )
+
+
+def pytest_report_header(config):
+    return bench_header()
+
+
+@pytest.fixture(autouse=True)
+def _print_bench_header(request):
+    """Lead every benchmark's captured output with the run context."""
+    print(f"\n[{request.node.name}] {bench_header()}")
+    yield
 
 
 @pytest.fixture(scope="session")
@@ -36,6 +67,8 @@ def record_figure():
 
     def _record(name: str, rendered: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(rendered + "\n", encoding="utf-8")
+        path.write_text(
+            f"# {bench_header()}\n{rendered}\n", encoding="utf-8"
+        )
 
     return _record

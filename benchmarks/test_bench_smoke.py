@@ -1,0 +1,84 @@
+"""Tier-2 smoke tests for the recording bench drivers.
+
+Marked ``bench_smoke`` (registered in pyproject.toml) so CI can run just
+
+    pytest -m bench_smoke benchmarks/
+
+to prove the drivers, the JSON schema, and the validator still agree —
+one tiny cell per driver, written to a tmp path, never touching the
+repo-root ``BENCH_*.json`` history.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import bench_common
+import bench_engine
+import bench_sweep
+import check_bench_json
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_engine_driver_quick(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    result = bench_engine.run_engine_bench(quick=True, output=out)
+    for name in (
+        "kernel_events_per_s",
+        "fluid_small_ticks_per_s",
+        "fluid_large_ticks_per_s",
+    ):
+        assert result["metrics"][name] > 0
+    data = check_bench_json.validate_file(out)
+    assert data["benchmark"] == "engine"
+    assert len(data["history"]) == 1
+    assert data["history"][0]["meta"]["quick"] is True
+
+
+def test_sweep_driver_quick(tmp_path):
+    out = tmp_path / "BENCH_sweep.json"
+    result = bench_sweep.run_sweep_bench(quick=True, jobs=2, output=out)
+    assert result["meta"]["rows_identical"] is True
+    assert result["metrics"]["cells"] == 2.0
+    data = check_bench_json.validate_file(out)
+    assert data["benchmark"] == "sweep"
+    assert data["history"][0]["metrics"]["speedup"] > 0
+
+
+def test_history_appends_and_stays_valid(tmp_path):
+    out = tmp_path / "BENCH_x.json"
+    bench_common.append_entry(out, "x", {"m": 1.0}, {"run": 1})
+    bench_common.append_entry(out, "x", {"m": 2.0}, {"run": 2})
+    data = check_bench_json.validate_file(out)
+    assert [e["metrics"]["m"] for e in data["history"]] == [1.0, 2.0]
+
+
+def test_validator_rejects_corruption(tmp_path):
+    out = tmp_path / "BENCH_bad.json"
+    bench_common.append_entry(out, "bad", {"m": 1.0})
+    data = json.loads(out.read_text())
+    data["history"][0]["metrics"]["m"] = "not-a-number"
+    out.write_text(json.dumps(data))
+    with pytest.raises(check_bench_json.BenchValidationError):
+        check_bench_json.validate_file(out)
+
+
+def test_validator_rejects_backwards_timestamps(tmp_path):
+    out = tmp_path / "BENCH_ts.json"
+    bench_common.append_entry(out, "ts", {"m": 1.0})
+    bench_common.append_entry(out, "ts", {"m": 2.0})
+    data = json.loads(out.read_text())
+    data["history"].reverse()
+    out.write_text(json.dumps(data))
+    with pytest.raises(check_bench_json.BenchValidationError):
+        check_bench_json.validate_file(out)
+
+
+def test_validator_cli_on_tmp_file(tmp_path, capsys):
+    out = tmp_path / "BENCH_cli.json"
+    bench_common.append_entry(out, "cli", {"m": 1.0})
+    assert check_bench_json.main([str(out)]) == 0
+    assert "ok" in capsys.readouterr().out

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 from .core.policies import POLICY_NAMES
 from .experiments.figures import ALL_FIGURES
+from .experiments.runner import sweep
 from .experiments.scenarios import Scenario, run_policy
 
 __all__ = ["main", "build_parser"]
@@ -49,15 +50,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decision interval in seconds (default 60)")
         p.add_argument("--seed", type=int, default=0, help="experiment seed")
 
+    def jobs_count(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be >= 0 (0 = one per CPU), got {value}"
+            )
+        return value
+
+    def add_jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=jobs_count, default=None, metavar="N",
+            help="worker processes for sweep grids (0 = one per CPU; "
+                 "default: the REPRO_JOBS env var, else serial)",
+        )
+
     run_p = sub.add_parser("run", help="run one policy on one scenario")
     run_p.add_argument("policy", choices=POLICY_NAMES)
     add_scenario_args(run_p)
+    add_jobs_arg(run_p)
     run_p.add_argument("--timeline", action="store_true",
                        help="print the per-interval metrics")
 
     cmp_p = sub.add_parser("compare", help="race several policies")
     cmp_p.add_argument("policies", nargs="+", choices=POLICY_NAMES)
     add_scenario_args(cmp_p)
+    add_jobs_arg(cmp_p)
 
     fig_p = sub.add_parser("figures", help="regenerate evaluation figures")
     fig_p.add_argument(
@@ -66,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig_p.add_argument("--full", action="store_true",
                        help="paper-scale configuration (slow)")
+    add_jobs_arg(fig_p)
 
     sub.add_parser("policies", help="list available policies")
     return parser
@@ -106,13 +128,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"{'policy':>18}  {'Θ':>8}  {'Γ̄':>6}  {'Ω̄':>6}  {'ok':>3}  "
         f"{'cost $':>8}  {'peak VMs':>8}"
     )
-    for name in args.policies:
-        result = run_policy(scenario, name)
-        o = result.outcome
+    rows = sweep([scenario], args.policies, jobs=args.jobs)
+    for r in rows:
         print(
-            f"{name:>18}  {o.theta:+8.4f}  {o.mean_value:6.3f}  "
-            f"{o.mean_throughput:6.3f}  {'✓' if o.constraint_met else '✗':>3}  "
-            f"{o.total_cost:8.2f}  {result.vms_peak:8d}"
+            f"{r.policy:>18}  {r.theta:+8.4f}  {r.gamma:6.3f}  "
+            f"{r.omega:6.3f}  {'✓' if r.constraint_met else '✗':>3}  "
+            f"{r.cost:8.2f}  {r.vms_peak:8d}"
         )
     return 0
 
@@ -125,7 +146,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     for name in which:
-        result = ALL_FIGURES[name](fast=not args.full)
+        result = ALL_FIGURES[name](fast=not args.full, jobs=args.jobs)
         print(result.render())
         print()
     return 0

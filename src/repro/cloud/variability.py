@@ -19,7 +19,9 @@ synthetic trace series).
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
 
 __all__ = ["PerformanceModel", "ConstantPerformance"]
 
@@ -75,9 +77,35 @@ class ConstantPerformance:
         self._cpu = float(cpu)
         self._latency = float(latency_s)
         self._bandwidth = float(bandwidth_mbps)
+        self._cpu_series = np.array([self._cpu])
 
     def cpu_coefficient(self, trace_key: str, t: float) -> float:
         return self._cpu
+
+    def cpu_series_view(
+        self, trace_key: str
+    ) -> Optional[tuple[np.ndarray, int, float]]:
+        """Vectorization hook (see ``TraceReplayPerformance``): a constant
+        coefficient is a one-sample series, letting the execution engine
+        gather the whole fleet's coefficients in one indexing operation."""
+        return self._cpu_series, 0, 1.0
+
+    def bandwidth_matrix(
+        self, keys_a: list, keys_b: list, t: float
+    ) -> np.ndarray:
+        """Vectorization hook: pairwise bandwidth as one ``(A, B)`` array.
+
+        The execution engine uses this to price a whole edge's VM-pair
+        links per network refresh instead of one model call per pair.
+        Identical keys (colocation) report infinite bandwidth, matching
+        :meth:`bandwidth_mbps`.
+        """
+        mat = np.full((len(keys_a), len(keys_b)), self._bandwidth)
+        eq = np.equal.outer(
+            np.asarray(keys_a, dtype=object), np.asarray(keys_b, dtype=object)
+        )
+        mat[eq] = float("inf")
+        return mat
 
     def latency_s(self, key_a: str, key_b: str, t: float) -> float:
         return 0.0 if key_a == key_b else self._latency

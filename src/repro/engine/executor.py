@@ -17,13 +17,21 @@ implements the paper's runtime semantics (§5):
 * PEs are stateless, so cores can move between VMs and alternates can be
   switched at any interval boundary without violating consistency.
 
+The per-tick hot path is fully array-oriented: egress buffers and
+network budgets live in ``(E, V)`` matrices, CPU coefficients for the
+whole fleet are gathered from stacked trace views with one indexing
+operation, and interval counters accumulate in NumPy arrays that are
+flushed to the :class:`IntervalStats` dicts once per
+:meth:`roll_interval`.
+
 The engine is validated against a per-message discrete-event executor in
-the test suite (``tests/engine/test_fluid_vs_permsg.py``).
+the test suite (``tests/engine/test_fluid_vs_permsg.py``) and against
+frozen pre-vectorization goldens (``tests/engine/test_step_golden.py``).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +40,7 @@ from ..cloud.resources import VMInstance
 from ..dataflow.graph import DynamicDataflow
 from ..dataflow.patterns import SplitPattern
 from ..sim.kernel import Environment
+from ..util import perf
 from ..workloads.rates import RateProfile
 from .messages import IntervalStats
 
@@ -97,7 +106,8 @@ class FluidExecutor:
     network_pair_cap:
         When a PE edge spans more VM pairs than this, link bandwidth is
         estimated from a deterministic subsample (documented
-        approximation; keeps large fleets O(cap) per refresh).
+        approximation; keeps large fleets O(cap) per refresh).  The same
+        cap bounds the link scan when pricing buffer migrations.
     """
 
     def __init__(
@@ -132,6 +142,29 @@ class FluidExecutor:
         self._pe_names = list(dataflow.pe_names)
         self._pe_index = {n: i for i, n in enumerate(self._pe_names)}
         self._edges = [(e.source, e.sink) for e in dataflow.edges]
+        E = len(self._edges)
+        self._edge_src = np.array(
+            [self._pe_index[u] for u, _w in self._edges], dtype=np.intp
+        )
+        self._edge_dst = np.array(
+            [self._pe_index[w] for _u, w in self._edges], dtype=np.intp
+        )
+        # Split factor per edge: 1 for and-split, 1/k otherwise (a
+        # structural property of the graph, independent of the selection).
+        factors = []
+        for u, _w in self._edges:
+            k = len(dataflow.successors(u))
+            if dataflow.split_pattern(u) is SplitPattern.AND_SPLIT:
+                factors.append(1.0)
+            else:
+                factors.append(1.0 / k)
+        self._edge_factors = np.array(factors)
+        self._input_idx = np.array(
+            [self._pe_index[n] for n in dataflow.inputs], dtype=np.intp
+        )
+        self._output_idx = np.array(
+            [self._pe_index[n] for n in dataflow.outputs], dtype=np.intp
+        )
 
         self.selection: dict[str, str] = dict(selection)
         dataflow.validate_selection(self.selection)
@@ -139,22 +172,33 @@ class FluidExecutor:
         # VM-indexed arrays (rebuilt by sync()).
         self._vms: list[VMInstance] = []
         self._vm_index: dict[str, int] = {}
-        self._alloc = np.zeros((len(self._pe_names), 0))
-        self._backlog = np.zeros((len(self._pe_names), 0))
+        P = len(self._pe_names)
+        self._alloc = np.zeros((P, 0))
+        self._backlog = np.zeros((P, 0))
         self._core_speed = np.zeros(0)
         self._ready_time = np.zeros(0)
         self._cpu_views: list[Optional[tuple[np.ndarray, int, float]]] = []
-        self._egress: dict[tuple[str, str], np.ndarray] = {
-            e: np.zeros(0) for e in self._edges
-        }
+        self._coef_stack: Optional[np.ndarray] = None
+        self._coef_offsets = np.zeros(0, dtype=np.intp)
+        self._coef_rows = np.zeros(0, dtype=np.intp)
+        self._coef_res = 1.0
+        self._coef_scalar_idx: list[int] = []
+        #: Per-edge egress buffers, shape (E, V).
+        self._egress = np.zeros((E, 0))
+        #: Per-edge remote-transfer budgets, shape (E, V); ``inf`` means
+        #: unconstrained (no measured budget for that source VM).
+        self._remote_budget = np.zeros((E, 0))
         self._migrating: list[_MigratingBuffer] = []
         #: Messages waiting for a PE that currently has no cores at all.
         self._unhosted: dict[str, float] = {}
-        self._remote_budget: dict[tuple[str, str], np.ndarray] = {}
         self._next_net_refresh = -np.inf
 
+        #: gain-matrix memo per selection key (the adaptation loop flips
+        #: between a handful of selections every alternate stage).
+        self._gain_cache: dict[tuple[str, ...], np.ndarray] = {}
         self._set_selection_arrays()
         self.stats = IntervalStats(start=env.now, end=env.now)
+        self._reset_accumulators()
         self._started = False
 
     # -- configuration -------------------------------------------------------------
@@ -179,17 +223,14 @@ class FluidExecutor:
                 for n in self._pe_names
             ]
         )
-        # Split factor per edge: 1 for and-split, 1/k otherwise.
-        self._edge_factor: dict[tuple[str, str], float] = {}
-        for u, w in self._edges:
-            k = len(df.successors(u))
-            if df.split_pattern(u) is SplitPattern.AND_SPLIT:
-                self._edge_factor[(u, w)] = 1.0
-            else:
-                self._edge_factor[(u, w)] = 1.0 / k
         # Linear gain from each input PE's rate to each output PE's ideal
         # output rate (deliverable accounting is then one dot product).
-        self._gain = self._ideal_gain_matrix()
+        key = tuple(self.selection[n] for n in self._pe_names)
+        gain = self._gain_cache.get(key)
+        if gain is None:
+            gain = self._ideal_gain_matrix()
+            self._gain_cache[key] = gain
+        self._gain = gain
 
     def _ideal_gain_matrix(self) -> np.ndarray:
         """gain[o, i]: ideal output msgs at output ``o`` per input msg at
@@ -212,7 +253,6 @@ class FluidExecutor:
         """
         t = self.env.now if now is None else now
         old_vms = self._vms
-        old_index = self._vm_index
         old_backlog = self._backlog
         old_egress = self._egress
 
@@ -220,6 +260,7 @@ class FluidExecutor:
         self._vms = vms
         self._vm_index = {r.instance_id: j for j, r in enumerate(vms)}
         P, V = len(self._pe_names), len(vms)
+        E = len(self._edges)
 
         self._alloc = np.zeros((P, V))
         for j, r in enumerate(vms):
@@ -230,12 +271,21 @@ class FluidExecutor:
                     )
                 self._alloc[self._pe_index[pe_name], j] = cores
         self._core_speed = np.array([r.vm_class.core_speed for r in vms])
+        self._rated_bw = np.array([r.vm_class.bandwidth_mbps for r in vms])
         self._ready_time = np.array([self.provider.ready_at(r) for r in vms])
         self._cpu_views = [self._cpu_view(r) for r in vms]
+        self._build_coefficient_gather()
 
-        # Carry state over, collecting orphans for migration.
+        # Carry state over, collecting orphans (and the hosts they drain
+        # from, to price the migration transfer) for migration.
         new_backlog = np.zeros((P, V))
         orphans: dict[str, float] = {}
+        orphan_sources: dict[str, list[VMInstance]] = {}
+
+        def _orphan(pe_name: str, amount: float, source: VMInstance) -> None:
+            orphans[pe_name] = orphans.get(pe_name, 0.0) + amount
+            orphan_sources.setdefault(pe_name, []).append(source)
+
         for i, pe_name in enumerate(self._pe_names):
             for old_j, r in enumerate(old_vms):
                 amount = old_backlog[i, old_j] if old_backlog.size else 0.0
@@ -245,32 +295,29 @@ class FluidExecutor:
                 if new_j is not None and self._alloc[i, new_j] > 0:
                     new_backlog[i, new_j] += amount
                 else:
-                    orphans[pe_name] = orphans.get(pe_name, 0.0) + amount
+                    _orphan(pe_name, amount, r)
 
-        new_egress: dict[tuple[str, str], np.ndarray] = {}
-        for e in self._edges:
-            arr = np.zeros(V)
-            old = old_egress.get(e)
-            if old is not None and old.size:
+        new_egress = np.zeros((E, V))
+        if old_egress.size:
+            for k, (_u, w) in enumerate(self._edges):
                 for old_j, r in enumerate(old_vms):
-                    amount = old[old_j]
+                    amount = old_egress[k, old_j]
                     if amount <= _EPS:
                         continue
                     new_j = self._vm_index.get(r.instance_id)
                     if new_j is not None:
-                        arr[new_j] += amount
+                        new_egress[k, new_j] += amount
                     else:
                         # The producing VM is gone: hand the messages to
                         # the destination PE via migration.
-                        dst = e[1]
-                        orphans[dst] = orphans.get(dst, 0.0) + amount
-            new_egress[e] = arr
+                        _orphan(w, amount, r)
 
         self._backlog = new_backlog
         self._egress = new_egress
+        self._remote_budget = np.full((E, V), np.inf)
 
         for pe_name, amount in orphans.items():
-            self._migrate(pe_name, amount, t)
+            self._migrate(pe_name, amount, t, sources=orphan_sources.get(pe_name))
 
         self._next_net_refresh = -np.inf  # placement changed: re-probe links
 
@@ -291,12 +338,12 @@ class FluidExecutor:
             if amount > _EPS:
                 lost[pe_name] = lost.get(pe_name, 0.0) + amount
                 self._backlog[i, j] = 0.0
-        for (_u, w), arr in self._egress.items():
-            if arr.size:
-                amount = float(arr[j])
+        if self._egress.size:
+            for k, (_u, w) in enumerate(self._edges):
+                amount = float(self._egress[k, j])
                 if amount > _EPS:
                     lost[w] = lost.get(w, 0.0) + amount
-                    arr[j] = 0.0
+                    self._egress[k, j] = 0.0
         for pe_name, amount in lost.items():
             self.stats.lost[pe_name] = (
                 self.stats.lost.get(pe_name, 0.0) + amount
@@ -311,8 +358,55 @@ class FluidExecutor:
             return None
         return viewer(vm.trace_key)
 
-    def _migrate(self, pe_name: str, messages: float, t: float) -> None:
-        """Queue migrated messages, delayed by the network transfer time."""
+    def _build_coefficient_gather(self) -> None:
+        """Stack homogeneous CPU-trace views for a one-shot per-tick gather.
+
+        Views sharing the same resolution and length (the common case: all
+        series come from one :class:`~repro.cloud.traces.TraceLibrary`)
+        are stacked into a ``(K, L)`` matrix indexed per tick with a
+        single fancy-indexing operation.  VMs without a view — or with a
+        non-conforming one — fall back to per-VM model calls.
+        """
+        groups: dict[tuple[int, float], list[int]] = {}
+        self._coef_scalar_idx = []
+        for j, view in enumerate(self._cpu_views):
+            if view is None:
+                self._coef_scalar_idx.append(j)
+            else:
+                series, _offset, res = view
+                groups.setdefault((series.shape[0], float(res)), []).append(j)
+
+        self._coef_stack = None
+        if groups:
+            # Largest homogeneous group gets the stacked gather; any
+            # stragglers (mixed-resolution custom models) stay scalar.
+            (L, res), idx = max(groups.items(), key=lambda kv: len(kv[1]))
+            for key, other in groups.items():
+                if key != (L, res):
+                    self._coef_scalar_idx.extend(other)
+            views = [self._cpu_views[j] for j in idx]
+            self._coef_stack = np.stack([v[0] for v in views])
+            self._coef_offsets = np.array([v[1] for v in views], dtype=np.intp)
+            self._coef_rows = np.array(idx, dtype=np.intp)
+            self._coef_arange = np.arange(len(idx))
+            self._coef_res = res
+        self._coef_scalar_idx.sort()
+
+    def _migrate(
+        self,
+        pe_name: str,
+        messages: float,
+        t: float,
+        sources: Optional[Sequence[VMInstance]] = None,
+    ) -> None:
+        """Queue migrated messages, delayed by the network transfer time.
+
+        ``sources`` are the VMs the messages drain from (the released
+        hosts); only their links to the target are priced.  Without
+        sources (e.g. a retry of an unhosted buffer) the scan falls back
+        to the current fleet, capped at ``network_pair_cap`` links so a
+        large fleet never turns one migration into an O(V) probe.
+        """
         if messages <= _EPS:
             return
         hosts = [r for r in self._vms if r.cores_for(pe_name) > 0]
@@ -326,13 +420,14 @@ class FluidExecutor:
         # Price the transfer against the first remaining host's slowest
         # link — a conservative single representative.
         target = hosts[0]
+        scan = sources if sources else self._vms
+        scan = [r for r in scan if r is not target][: self.network_pair_cap]
         bandwidth = min(
             (
                 self.provider.performance.bandwidth_mbps(
                     r.trace_key, target.trace_key, t
                 )
-                for r in self._vms
-                if r is not target
+                for r in scan
             ),
             default=float("inf"),
         )
@@ -355,13 +450,43 @@ class FluidExecutor:
 
     def _run(self):
         while True:
-            self.step(self.tick)
+            if perf.enabled():
+                with perf.timer("engine.step"):
+                    self.step(self.tick)
+                perf.add("engine.ticks")
+            else:
+                self.step(self.tick)
             yield self.env.timeout(self.tick)
 
     # -- interval accounting -----------------------------------------------------------
 
+    def _reset_accumulators(self) -> None:
+        self._acc_external = np.zeros(len(self._input_idx))
+        self._acc_deliverable = np.zeros(len(self._output_idx))
+        self._acc_arrivals = np.zeros(len(self._pe_names))
+        self._acc_processed = np.zeros(len(self._pe_names))
+        self._acc_delivered = np.zeros(len(self._output_idx))
+
+    def _flush_stats(self) -> None:
+        """Fold the per-tick NumPy accumulators into the stats dicts."""
+        stats = self.stats
+
+        def _fold(dest: dict[str, float], names, acc: np.ndarray) -> None:
+            for idx, name in enumerate(names):
+                v = float(acc[idx])
+                if v > 0:
+                    dest[name] = dest.get(name, 0.0) + v
+
+        _fold(stats.external_in, self.dataflow.inputs, self._acc_external)
+        _fold(stats.deliverable, self.dataflow.outputs, self._acc_deliverable)
+        _fold(stats.arrivals, self._pe_names, self._acc_arrivals)
+        _fold(stats.processed, self._pe_names, self._acc_processed)
+        _fold(stats.delivered, self.dataflow.outputs, self._acc_delivered)
+        self._reset_accumulators()
+
     def roll_interval(self) -> IntervalStats:
         """Close the current interval's counters and start a new one."""
+        self._flush_stats()
         stats = self.stats
         stats.end = self.env.now
         self.stats = IntervalStats(start=self.env.now, end=self.env.now)
@@ -372,9 +497,10 @@ class FluidExecutor:
         incoming edges, and in-flight migrations."""
         i = self._pe_index[pe_name]
         total = float(self._backlog[i].sum()) if self._backlog.size else 0.0
-        for (u, w), arr in self._egress.items():
-            if w == pe_name and arr.size:
-                total += float(arr.sum())
+        if self._egress.size:
+            rows = np.flatnonzero(self._edge_dst == i)
+            if rows.size:
+                total += float(self._egress[rows].sum())
         total += sum(m.messages for m in self._migrating if m.pe == pe_name)
         total += self._unhosted.get(pe_name, 0.0)
         return total
@@ -388,13 +514,14 @@ class FluidExecutor:
         """Advance the fluid model by ``dt`` seconds."""
         t = self.env.now
         P, V = self._alloc.shape
-        stats = self.stats
 
         if V == 0:
             # Nothing deployed: messages still arrive and are lost from
             # the throughput ledger (deliverable grows, delivered doesn't).
-            rates = {n: self.profiles[n].rate_at(t) for n in self.dataflow.inputs}
-            self._account_deliverable(rates, dt, stats)
+            rate_vec = np.array(
+                [self.profiles[n].rate_at(t) for n in self.dataflow.inputs]
+            )
+            self._acc_deliverable += self._gain @ rate_vec * dt
             return
 
         # 0. release due migrations into their PE's queues.
@@ -415,14 +542,20 @@ class FluidExecutor:
         unit_sums = units.sum(axis=1)
         cap_msgs = units / self._cost[:, np.newaxis] * dt
 
+        # Per-PE routing shares: capacity-proportional, falling back to
+        # allocation-proportional for PEs whose hosts are all at zero
+        # effective speed (e.g. still booting).
         shares = np.zeros_like(units)
-        for i in range(P):
-            if unit_sums[i] > _EPS:
-                shares[i] = units[i] / unit_sums[i]
-            else:
-                alloc_sum = self._alloc[i].sum()
-                if alloc_sum > 0:
-                    shares[i] = self._alloc[i] / alloc_sum
+        live = unit_sums > _EPS
+        np.divide(units, unit_sums[:, np.newaxis], out=shares,
+                  where=live[:, np.newaxis])
+        if not live.all():
+            alloc_sums = self._alloc.sum(axis=1)
+            fallback = (~live) & (alloc_sums > 0)
+            if fallback.any():
+                np.divide(self._alloc, alloc_sums[:, np.newaxis], out=shares,
+                          where=fallback[:, np.newaxis])
+        share_sums = shares.sum(axis=1)
 
         arrivals = np.zeros((P, V))
 
@@ -430,16 +563,16 @@ class FluidExecutor:
         # traffic, but the messages do not vanish: they wait in an
         # unhosted holding buffer (conceptually at the ingest broker) and
         # re-enter once capacity returns.
-        ext_rates: dict[str, float] = {}
-        for name in self.dataflow.inputs:
-            rate = self.profiles[name].rate_at(t)
-            ext_rates[name] = rate
-            n = rate * dt
+        rate_vec = np.array(
+            [self.profiles[n].rate_at(t) for n in self.dataflow.inputs]
+        )
+        for col, name in enumerate(self.dataflow.inputs):
+            n = rate_vec[col] * dt
             if n <= 0:
                 continue
-            i = self._pe_index[name]
-            stats.external_in[name] = stats.external_in.get(name, 0.0) + n
-            if shares[i].sum() > _EPS:
+            i = self._input_idx[col]
+            self._acc_external[col] += n
+            if share_sums[i] > _EPS:
                 arrivals[i] += n * shares[i]
             else:
                 self._unhosted[name] = self._unhosted.get(name, 0.0) + n
@@ -447,77 +580,59 @@ class FluidExecutor:
         if self._unhosted:
             for name, pending in list(self._unhosted.items()):
                 i = self._pe_index[name]
-                if shares[i].sum() > _EPS and pending > _EPS:
+                if share_sums[i] > _EPS and pending > _EPS:
                     arrivals[i] += pending * shares[i]
                     del self._unhosted[name]
-        self._account_deliverable(ext_rates, dt, stats)
+        self._acc_deliverable += self._gain @ rate_vec * dt
 
         # 3. network refresh + edge transfers.
         if t >= self._next_net_refresh:
             self._refresh_network(t, shares)
             self._next_net_refresh = t + self.network_refresh
 
-        for e in self._edges:
-            eg = self._egress[e]
-            if eg.sum() <= _EPS:
-                continue
-            iw = self._pe_index[e[1]]
-            s = shares[iw]  # destination share per VM index
-            if s.sum() <= _EPS:
-                continue  # destination has no cores: hold in egress
-            # Source VM i routes eg_i proportionally to the destination
-            # shares: the fraction s_i stays on-VM (free), the remaining
-            # (1 − s_i) crosses the network under i's link budget, scaled
-            # by f_i ∈ [0, 1].
-            remote_want = eg * (1.0 - s)
-            budget = self._remote_budget.get(e)
-            if budget is None:
-                f = np.ones_like(eg)
-            else:
+        # All edges at once: source VM i routes its egress proportionally
+        # to the destination shares; the fraction s_i stays on-VM (free),
+        # the remainder crosses the network under i's link budget, scaled
+        # by f_i ∈ [0, 1].  Destination j then receives
+        # arrivals_j = s_j (Σ_i f_i eg_i + eg_j (1 − f_j)).
+        eg = self._egress
+        if eg.size:
+            dst_shares = shares[self._edge_dst]  # (E, V)
+            active = (eg.sum(axis=1) > _EPS) & (
+                dst_shares.sum(axis=1) > _EPS
+            )
+            if active.any():
+                remote_want = eg * (1.0 - dst_shares)
                 with np.errstate(divide="ignore", invalid="ignore"):
                     f = np.where(
                         remote_want > _EPS,
-                        np.minimum(1.0, (budget * dt) / remote_want),
+                        np.minimum(
+                            1.0, (self._remote_budget * dt) / remote_want
+                        ),
                         1.0,
                     )
-            # Destination j receives s_j of every source's moved flow,
-            # except that its own VM's contribution is local (factor 1
-            # instead of f_j):  arrivals_j = s_j (Σ_i f_i eg_i + eg_j (1 − f_j)).
-            moved_pool = float((f * eg).sum())
-            arrivals[iw] += s * (moved_pool + eg * (1.0 - f))
-            self._egress[e] = eg * (1.0 - s) * (1.0 - f)
+                moved_pool = (f * eg).sum(axis=1)
+                contrib = dst_shares * (
+                    moved_pool[:, np.newaxis] + eg * (1.0 - f)
+                )
+                np.add.at(arrivals, self._edge_dst[active], contrib[active])
+                eg[active] = (eg * (1.0 - dst_shares) * (1.0 - f))[active]
 
         # 4. processing.
         queue = self._backlog + arrivals
         served = np.minimum(queue, cap_msgs)
         self._backlog = queue - served
-        served_totals = served.sum(axis=1)
-        arrival_totals = arrivals.sum(axis=1)
-        for i, name in enumerate(self._pe_names):
-            if arrival_totals[i] > 0:
-                stats.arrivals[name] = (
-                    stats.arrivals.get(name, 0.0) + arrival_totals[i]
-                )
-            if served_totals[i] > 0:
-                stats.processed[name] = (
-                    stats.processed.get(name, 0.0) + served_totals[i]
-                )
+        self._acc_arrivals += arrivals.sum(axis=1)
+        self._acc_processed += served.sum(axis=1)
 
         # 5. emission.
         out = served * self._selectivity[:, np.newaxis]
-        for name in self.dataflow.outputs:
-            i = self._pe_index[name]
-            emitted = out[i].sum()
-            if emitted > 0:
-                stats.delivered[name] = (
-                    stats.delivered.get(name, 0.0) + emitted
-                )
-        for e in self._edges:
-            u, _w = e
-            iu = self._pe_index[u]
-            flow = out[iu] * self._edge_factor[e]
-            if flow.sum() > _EPS:
-                self._egress[e] = self._egress[e] + flow
+        self._acc_delivered += out[self._output_idx].sum(axis=1)
+        if eg.size:
+            flow = out[self._edge_src] * self._edge_factors[:, np.newaxis]
+            grown = flow.sum(axis=1) > _EPS
+            if grown.any():
+                eg[grown] += flow[grown]
 
     # -- helpers ---------------------------------------------------------------------------
 
@@ -537,31 +652,19 @@ class FluidExecutor:
     def _coefficients(self, t: float) -> np.ndarray:
         V = len(self._vms)
         coef = np.ones(V)
-        scalar_needed = []
-        for j, view in enumerate(self._cpu_views):
+        if self._coef_stack is not None:
+            pos = (self._coef_offsets + int(t / self._coef_res)) % (
+                self._coef_stack.shape[1]
+            )
+            coef[self._coef_rows] = self._coef_stack[self._coef_arange, pos]
+        for j in self._coef_scalar_idx:
+            view = self._cpu_views[j]
             if view is None:
-                scalar_needed.append(j)
+                coef[j] = self.provider.cpu_coefficient(self._vms[j], t)
             else:
                 series, offset, res = view
                 coef[j] = series[(offset + int(t / res)) % series.shape[0]]
-        for j in scalar_needed:
-            coef[j] = self.provider.cpu_coefficient(self._vms[j], t)
         return coef
-
-    def _account_deliverable(
-        self, ext_rates: Mapping[str, float], dt: float, stats: IntervalStats
-    ) -> None:
-        if not ext_rates:
-            return
-        vec = np.array(
-            [ext_rates.get(n, 0.0) for n in self.dataflow.inputs]
-        )
-        ideal = self._gain @ vec * dt
-        for row, name in enumerate(self.dataflow.outputs):
-            if ideal[row] > 0:
-                stats.deliverable[name] = (
-                    stats.deliverable.get(name, 0.0) + float(ideal[row])
-                )
 
     def _refresh_network(self, t: float, shares: np.ndarray) -> None:
         """Re-sample per-edge remote-transfer budgets from monitored links.
@@ -571,16 +674,18 @@ class FluidExecutor:
         destination VMs.  Large VM-pair products are subsampled (see
         ``network_pair_cap``).
         """
-        self._remote_budget = {}
+        E, V = len(self._edges), len(self._vms)
+        self._remote_budget = np.full((E, V), np.inf)
         per_msg_mbit = self.message_size_mb * 8.0
-        for e in self._edges:
-            u, w = e
+        performance = self.provider.performance
+        matrix_fn = getattr(performance, "bandwidth_matrix", None)
+        for k, (u, w) in enumerate(self._edges):
             iu, iw = self._pe_index[u], self._pe_index[w]
             src_idx = np.flatnonzero(self._alloc[iu] > 0)
             dst_idx = np.flatnonzero(self._alloc[iw] > 0)
             if src_idx.size == 0 or dst_idx.size == 0:
                 continue
-            budget = np.full(len(self._vms), np.inf)
+            budget = self._remote_budget[k]
             n_pairs = src_idx.size * dst_idx.size
             if n_pairs > self.network_pair_cap:
                 # Subsample destinations deterministically (evenly spaced).
@@ -591,17 +696,51 @@ class FluidExecutor:
                 dst_sample = dst_idx
             dst_share = shares[iw][dst_sample]
             share_sum = dst_share.sum()
+            if matrix_fn is not None:
+                # One batched model call for the whole edge: measured
+                # pairwise bandwidth, capped at the slower endpoint's
+                # rated NIC, weighted by the destination routing shares.
+                measured = matrix_fn(
+                    [self._vms[si].trace_key for si in src_idx],
+                    [self._vms[dj].trace_key for dj in dst_sample],
+                    t,
+                )
+                bw = np.minimum(
+                    measured,
+                    np.minimum.outer(
+                        self._rated_bw[src_idx], self._rated_bw[dst_sample]
+                    ),
+                )
+                weights = (
+                    dst_share / share_sum
+                    if share_sum > 0
+                    else np.ones_like(dst_share)
+                )
+                contrib = (bw / per_msg_mbit) * weights[np.newaxis, :]
+                excluded = np.isinf(bw) | (
+                    src_idx[:, np.newaxis] == dst_sample[np.newaxis, :]
+                )
+                contrib[excluded] = 0.0
+                total = contrib.sum(axis=1)
+                budget[src_idx] = np.where(total > 0, total, np.inf)
+                continue
             for si in src_idx:
-                src_vm = self._vms[si]
+                src_key = self._vms[si].trace_key
+                src_rated = self._rated_bw[si]
                 total_rate = 0.0
-                for k, dj in enumerate(dst_sample):
+                for kk, dj in enumerate(dst_sample):
                     if dj == si:
                         continue
-                    link = self.provider.link(src_vm, self._vms[dj], t)
-                    if link.colocated:
-                        continue
-                    total_rate += (
-                        link.bandwidth_mbps / per_msg_mbit
-                    ) * (dst_share[k] / share_sum if share_sum > 0 else 1.0)
+                    bw = min(
+                        performance.bandwidth_mbps(
+                            src_key, self._vms[dj].trace_key, t
+                        ),
+                        src_rated,
+                        self._rated_bw[dj],
+                    )
+                    if bw == np.inf:
+                        continue  # colocated: in-memory transfer
+                    total_rate += (bw / per_msg_mbit) * (
+                        dst_share[kk] / share_sum if share_sum > 0 else 1.0
+                    )
                 budget[si] = total_rate if total_rate > 0 else np.inf
-            self._remote_budget[e] = budget

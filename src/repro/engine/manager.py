@@ -20,6 +20,7 @@ from ..core.policies import Policy
 from ..dataflow.graph import DynamicDataflow
 from ..dataflow.metrics import IntervalMetrics, MetricsTimeline
 from ..sim.kernel import Environment
+from ..util import perf
 from ..workloads.rates import RateProfile
 from .executor import FluidExecutor
 from .failures import FailureDriver
@@ -120,7 +121,8 @@ class RunManager:
         """Execute the full optimization period and return the results."""
         spec = self.spec
         env = Environment()
-        plan = self.policy.initial_plan(self.estimated_rates)
+        with perf.timer("policy.initial_plan"):
+            plan = self.policy.initial_plan(self.estimated_rates)
 
         executor = FluidExecutor(
             env,
@@ -173,8 +175,10 @@ class RunManager:
             )
             if self.policy.adaptive and k < n:
                 snap = monitor.snapshot(stats, selection, omega_sum / k, env.now)
-                new_plan = self.policy.adapt(snap, k)
+                with perf.timer("policy.adapt"):
+                    new_plan = self.policy.adapt(snap, k)
                 if new_plan is not None:
+                    perf.add("policy.adaptations")
                     report = apply_plan(
                         self.provider, executor, new_plan, env.now
                     )

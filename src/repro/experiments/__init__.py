@@ -12,6 +12,7 @@ from .figures import (
     figure8,
     figure9,
 )
+from .parallel import resolve_jobs
 from .report import generate_report, write_report
 from .runner import SweepRow, average_rows, sweep
 from .scenarios import (
@@ -49,6 +50,7 @@ __all__ = [
     "write_report",
     "make_performance",
     "make_profile",
+    "resolve_jobs",
     "run_policy",
     "scaled_dataflow",
     "standard_spec",

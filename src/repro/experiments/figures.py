@@ -75,9 +75,17 @@ class FigureResult:
 
 
 def figure2(
-    seed: int = 0, n_vms: int = 6, days: float = 4.0, fast: bool = False
+    seed: int = 0,
+    n_vms: int = 6,
+    days: float = 4.0,
+    fast: bool = False,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
-    """Fig. 2: per-VM CPU performance variability over four days."""
+    """Fig. 2: per-VM CPU performance variability over four days.
+
+    ``jobs`` is accepted for driver-interface uniformity; trace
+    statistics are not swept, so it is a no-op here.
+    """
     if fast:
         days = 1.0
         n_vms = 3
@@ -117,8 +125,16 @@ def figure2(
     )
 
 
-def figure3(seed: int = 0, days: float = 4.0, fast: bool = False) -> FigureResult:
-    """Fig. 3: network latency/bandwidth variation between a VM pair."""
+def figure3(
+    seed: int = 0,
+    days: float = 4.0,
+    fast: bool = False,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Fig. 3: network latency/bandwidth variation between a VM pair.
+
+    ``jobs`` is accepted for driver-interface uniformity (no sweep).
+    """
     if fast:
         days = 1.0
     from ..cloud.traces import NetworkTraceConfig
@@ -176,6 +192,7 @@ def figure4(
     fast: bool = False,
     seed: int = 7,
     include_bruteforce: bool = True,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 4: static deployments under the four variability modes."""
     period = _FAST_PERIOD if fast else _FULL_PERIOD
@@ -191,7 +208,7 @@ def figure4(
         )
         for mode in ("none", "data", "infra", "both")
     ]
-    rows_raw = sweep(scenarios, policies)
+    rows_raw = sweep(scenarios, policies, jobs=jobs)
     rows = [
         [r.variability, r.policy, r.omega, r.theta, r.constraint_met]
         for r in rows_raw
@@ -216,6 +233,7 @@ def figure5(
     rates: Optional[Sequence[float]] = None,
     fast: bool = False,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 5: static local/global relative throughput vs data rate."""
     period = _FAST_PERIOD if fast else _FULL_PERIOD
@@ -224,7 +242,7 @@ def figure5(
         Scenario(rate=r, variability="none", seed=seed, period=period)
         for r in rates
     ]
-    rows_raw = sweep(scenarios, ["static-local", "static-global"])
+    rows_raw = sweep(scenarios, ["static-local", "static-global"], jobs=jobs)
     rows = [
         [r.rate, r.policy, r.omega, r.theta, r.constraint_met]
         for r in rows_raw
@@ -252,6 +270,7 @@ def figure6(
     rates: Optional[Sequence[float]] = None,
     fast: bool = False,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 6: local vs global adaptation under infrastructure variability."""
     period = _FAST_PERIOD if fast else _FULL_PERIOD
@@ -266,7 +285,7 @@ def figure6(
         )
         for r in rates
     ]
-    rows_raw = sweep(scenarios, ["local", "global"])
+    rows_raw = sweep(scenarios, ["local", "global"], jobs=jobs)
     rows = [
         [r.rate, r.policy, r.omega, r.theta, r.cost, r.constraint_met]
         for r in rows_raw
@@ -289,6 +308,7 @@ def figure7(
     rates: Optional[Sequence[float]] = None,
     fast: bool = False,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 7: local vs global adaptation under data-rate variability."""
     period = _FAST_PERIOD if fast else _FULL_PERIOD
@@ -303,7 +323,7 @@ def figure7(
         )
         for r in rates
     ]
-    rows_raw = sweep(scenarios, ["local", "global"])
+    rows_raw = sweep(scenarios, ["local", "global"], jobs=jobs)
     rows = [
         [r.rate, r.policy, r.omega, r.theta, r.cost, r.constraint_met]
         for r in rows_raw
@@ -335,6 +355,7 @@ def figure8(
     fast: bool = False,
     seed: int = 7,
     n_seeds: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 8: dollar cost over 10 h for the four adaptive policies.
 
@@ -358,7 +379,7 @@ def figure8(
             )
             for r in rates
         ]
-        replicas.append(sweep(scenarios, list(_FIG8_POLICIES)))
+        replicas.append(sweep(scenarios, list(_FIG8_POLICIES), jobs=jobs))
     rows_raw = average_rows(replicas) if n_seeds > 1 else replicas[0]
     rows = [
         [r.rate, r.policy, r.cost, r.omega, r.theta, r.constraint_met]
@@ -383,6 +404,7 @@ def figure9(
     fig8: Optional[FigureResult] = None,
     fast: bool = False,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 9: relative cost savings attributable to application dynamism.
 
@@ -391,7 +413,7 @@ def figure9(
     local-nodyn.
     """
     if fig8 is None:
-        fig8 = figure8(fast=fast, seed=seed)
+        fig8 = figure8(fast=fast, seed=seed, jobs=jobs)
     by_key = {(r.rate, r.policy): r for r in fig8.sweep_rows}
     rates = sorted({r.rate for r in fig8.sweep_rows})
 

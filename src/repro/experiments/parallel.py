@@ -1,0 +1,120 @@
+"""Process-parallel sweep execution (S19).
+
+Every figure in §8 is a (policy × scenario × seed) grid whose cells are
+fully independent: each cell builds its own provider, RNG streams (all
+derived from the scenario seed), and engine.  This module dispatches the
+cells of :func:`repro.experiments.runner.sweep` across a
+``ProcessPoolExecutor`` while guaranteeing the *exact* serial contract:
+
+* rows come back in the same order the serial loop would produce them
+  (scenario-major, policy-minor),
+* every :class:`~repro.experiments.runner.SweepRow` is bit-identical to
+  its serial counterpart (cells derive all randomness from the scenario
+  seed, so placement on a worker cannot change results),
+* ``jobs=1`` — or any failure to pickle the work items / start the pool —
+  degrades gracefully to in-process execution.
+
+The worker count resolves in priority order: explicit ``jobs`` argument,
+the ``REPRO_JOBS`` environment variable, then 1 (serial).  Work is
+chunked across workers to amortize fork/IPC cost on short cells.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, Optional, Sequence
+
+from ..util import perf
+from .runner import SweepRow
+from .scenarios import Scenario, run_policy
+
+__all__ = ["resolve_jobs", "sweep", "DEFAULT_CHUNKS_PER_WORKER"]
+
+#: Each worker receives its cells in roughly this many chunks, balancing
+#: scheduling slack (stragglers) against per-chunk IPC overhead.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_JOBS`` env > 1.
+
+    ``jobs=0`` (or ``REPRO_JOBS=0``) means "one worker per CPU".
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_JOBS={raw!r}; running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _run_cell(cell: tuple[Scenario, str]) -> SweepRow:
+    """Execute one (scenario, policy) grid cell (top-level: picklable)."""
+    scenario, policy = cell
+    return SweepRow.from_result(scenario, run_policy(scenario, policy))
+
+
+def _chunksize(n_cells: int, jobs: int) -> int:
+    return max(1, n_cells // (jobs * DEFAULT_CHUNKS_PER_WORKER))
+
+
+def sweep(
+    scenarios: Iterable[Scenario],
+    policies: Sequence[str],
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> list[SweepRow]:
+    """Run every policy on every scenario, fanning cells across processes.
+
+    Results match :func:`repro.experiments.runner.sweep` exactly (same
+    order, bit-identical rows).  Falls back to in-process execution when
+    the resolved ``jobs`` is 1, the work items fail to pickle, or the
+    process pool cannot be used on this platform.
+    """
+    cells = [(scenario, policy) for scenario in scenarios for policy in policies]
+    perf.add("sweep.cells", len(cells))
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return [_run_cell(c) for c in cells]
+
+    try:
+        pickle.dumps(cells)
+    except Exception as exc:  # pickle raises a zoo of types
+        warnings.warn(
+            f"sweep cells are not picklable ({exc!r}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_run_cell(c) for c in cells]
+
+    jobs = min(jobs, len(cells))
+    if chunksize is None:
+        chunksize = _chunksize(len(cells), jobs)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # map preserves submission order, so rows come back exactly
+            # as the serial scenario-major / policy-minor loop yields them.
+            return list(pool.map(_run_cell, cells, chunksize=chunksize))
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_run_cell(c) for c in cells]

@@ -8,7 +8,7 @@ one :class:`SweepRow` per run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..engine.manager import RunResult
 from .scenarios import Scenario, run_policy
@@ -67,8 +67,21 @@ class SweepRow:
 def sweep(
     scenarios: Iterable[Scenario],
     policies: Sequence[str],
+    jobs: Optional[int] = None,
 ) -> list[SweepRow]:
-    """Run every policy on every scenario (deterministic order)."""
+    """Run every policy on every scenario (deterministic order).
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+    fans the independent grid cells across worker processes via
+    :mod:`repro.experiments.parallel`; results are bit-identical to the
+    serial loop, in the same scenario-major/policy-minor order.
+    """
+    from .parallel import resolve_jobs
+
+    if resolve_jobs(jobs) > 1:
+        from . import parallel
+
+        return parallel.sweep(scenarios, policies, jobs=jobs)
     rows: list[SweepRow] = []
     for scenario in scenarios:
         for policy in policies:

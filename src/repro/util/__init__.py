@@ -1,5 +1,6 @@
-"""Shared utilities (formatting, statistics helpers)."""
+"""Shared utilities (formatting, statistics helpers, perf counters)."""
 
+from . import perf
 from .tables import format_table, format_value
 
-__all__ = ["format_table", "format_value"]
+__all__ = ["format_table", "format_value", "perf"]

@@ -1,0 +1,124 @@
+"""Golden regression: the vectorized fluid ``step()`` must reproduce the
+pre-vectorization engine exactly.
+
+The expected numbers below were captured from the original per-PE /
+per-edge loop implementation (itself validated against the per-message
+discrete-event engine in ``test_fluid_vs_permsg.py``) on this fixed
+deterministic rig: trace-replay infrastructure (seed 3), a 6-VM fleet, a
+periodic-wave workload, and one mid-run alternate switch.  Any change to
+the tick math — routing shares, edge transfers, emission, deliverable
+accounting, or the interval-stats accumulators — that alters these
+values beyond float noise is a behavioral regression, not a refactor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+from repro.cloud.traces import TraceLibrary, TraceReplayPerformance
+from repro.engine import FluidExecutor
+from repro.experiments import fig1_dataflow
+from repro.sim import Environment
+from repro.workloads import PeriodicWave
+
+GOLDEN_PHASE1 = {
+    "external_in": {"E1": 7971.936745511331},
+    "arrivals": {
+        "E1": 7971.936745511331,
+        "E2": 7963.936745511331,
+        "E3": 7963.936745511331,
+        "E4": 7934.267521462438,
+    },
+    "processed": {
+        "E1": 7971.936745511331,
+        "E2": 6716.36380507783,
+        "E3": 2453.091600836508,
+        "E4": 7934.267521462438,
+    },
+    "delivered": {"E4": 7934.267521462438},
+    "deliverable": {"E4": 11957.905118266997},
+}
+
+GOLDEN_PHASE2 = {
+    "external_in": {"E1": 4799.999999999997},
+    "arrivals": {
+        "E1": 4799.999999999997,
+        "E2": 4799.999999999996,
+        "E3": 4799.999999999996,
+        "E4": 6508.161772903958,
+    },
+    "processed": {
+        "E1": 4799.999999999997,
+        "E2": 5507.552381373028,
+        "E3": 2006.117273318385,
+        "E4": 5741.609238939079,
+    },
+    "delivered": {"E4": 5741.609238939079},
+    "deliverable": {"E4": 7200.000000000005},
+}
+
+GOLDEN_BACKLOGS = {
+    "E1": 0.0,
+    "E2": 548.0205590604844,
+    "E3": 8312.727871356476,
+    "E4": 777.6438631267655,
+}
+
+
+def _rig():
+    env = Environment()
+    provider = CloudProvider(
+        aws_2013_catalog(),
+        performance=TraceReplayPerformance(TraceLibrary(seed=3)),
+    )
+    df = fig1_dataflow()
+    pes = list(df.pe_names)
+    for i in range(6):
+        vm = provider.provision("m1.xlarge", now=0.0)
+        vm.allocate(pes[i % len(pes)], 4)
+    ex = FluidExecutor(
+        env,
+        df,
+        provider,
+        {"E1": PeriodicWave(mean=8.0, amplitude=4.0, period=600.0)},
+        selection=df.default_selection(),
+    )
+    ex.sync()
+    ex.start()
+    return env, ex, df
+
+
+def _assert_stats_match(stats, golden) -> None:
+    for counter, expected in golden.items():
+        observed = getattr(stats, counter)
+        assert set(observed) == set(expected), counter
+        for name, value in expected.items():
+            assert observed[name] == pytest.approx(value, rel=1e-9), (
+                f"{counter}[{name}]"
+            )
+
+
+def test_step_matches_prevectorization_goldens():
+    env, ex, df = _rig()
+    env.run(until=900.0)
+    _assert_stats_match(ex.roll_interval(), GOLDEN_PHASE1)
+
+    # Switch to the cheap alternates mid-run: the selection-dependent
+    # arrays (cost, selectivity, gain matrix) must rebuild correctly.
+    ex.set_selection({"E1": "e1", "E2": "e2.2", "E3": "e3.2", "E4": "e4"})
+    env.run(until=1500.0)
+    stats2 = ex.roll_interval()
+    _assert_stats_match(stats2, GOLDEN_PHASE2)
+    for name, value in GOLDEN_BACKLOGS.items():
+        assert ex.pe_backlog(name) == pytest.approx(value, rel=1e-9, abs=1e-9)
+
+
+def test_omega_derived_from_goldens():
+    env, ex, df = _rig()
+    env.run(until=900.0)
+    omega = ex.roll_interval().omega(df.outputs)
+    assert omega == pytest.approx(
+        GOLDEN_PHASE1["delivered"]["E4"] / GOLDEN_PHASE1["deliverable"]["E4"],
+        rel=1e-9,
+    )

@@ -1,0 +1,92 @@
+"""Parallel sweep harness: serial equivalence, ordering, fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scenario, resolve_jobs, sweep
+from repro.experiments import parallel
+from repro.experiments import runner
+
+POLICIES = ["static-local", "static-global", "local"]
+
+
+def _scenarios() -> list[Scenario]:
+    return [
+        Scenario(rate=2.0, variability="none", seed=3, period=600.0),
+        Scenario(
+            rate=4.0, rate_kind="wave", variability="both", seed=5, period=600.0
+        ),
+    ]
+
+
+class TestSerialParallelEquivalence:
+    def test_rows_bit_identical_and_in_order(self):
+        """jobs=4 must reproduce the serial grid exactly, row for row."""
+        serial = sweep(_scenarios(), POLICIES, jobs=1)
+        parallel_rows = sweep(_scenarios(), POLICIES, jobs=4)
+        assert len(serial) == len(_scenarios()) * len(POLICIES)
+        # dataclass equality is exact float equality — bit-identical.
+        assert parallel_rows == serial
+        # Order is scenario-major, policy-minor.
+        assert [r.policy for r in serial] == POLICIES * len(_scenarios())
+
+    def test_parallel_module_matches_runner(self):
+        serial = runner.sweep(_scenarios(), POLICIES)
+        via_module = parallel.sweep(_scenarios(), POLICIES, jobs=2)
+        assert via_module == serial
+
+
+class TestFallbacks:
+    def test_unpicklable_cells_fall_back_to_serial(self):
+        # A locally defined subclass cannot be pickled for worker dispatch.
+        class LocalScenario(Scenario):
+            pass
+
+        scenarios = [LocalScenario(rate=2.0, seed=3, period=600.0)]
+        policies = ["static-local", "static-global"]
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            rows = parallel.sweep(scenarios, policies, jobs=4)
+        expected = runner.sweep(
+            [Scenario(rate=2.0, seed=3, period=600.0)], policies
+        )
+        assert rows == expected
+
+    def test_single_cell_runs_in_process(self):
+        rows = parallel.sweep(
+            [Scenario(rate=2.0, seed=3, period=600.0)], ["static-local"], jobs=8
+        )
+        assert len(rows) == 1
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_garbage_env_warns_and_serializes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+            assert resolve_jobs(None) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_chunking_amortizes_fork_cost(self):
+        assert parallel._chunksize(64, 4) == 4
+        assert parallel._chunksize(3, 4) == 1
