@@ -75,8 +75,27 @@ def append_entry(
         "metrics": {k: float(v) for k, v in metrics.items()},
     }
     data["history"].append(entry)
-    path = pathlib.Path(path)
-    path.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    _atomic_write_text(
+        pathlib.Path(path),
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
     )
     return entry
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write via a same-directory temp file + ``os.replace``.
+
+    The BENCH files are an append-only record validated by
+    ``check_bench_json.py``; a crash mid-write must leave either the old
+    or the new history, never a truncated one.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()

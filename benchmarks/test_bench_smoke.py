@@ -12,6 +12,7 @@ repo-root ``BENCH_*.json`` history.
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
@@ -19,6 +20,8 @@ import bench_common
 import bench_engine
 import bench_sweep
 import check_bench_json
+
+from repro.obs import collector as obs_collector
 
 pytestmark = pytest.mark.bench_smoke
 
@@ -82,3 +85,45 @@ def test_validator_cli_on_tmp_file(tmp_path, capsys):
     bench_common.append_entry(out, "cli", {"m": 1.0})
     assert check_bench_json.main([str(out)]) == 0
     assert "ok" in capsys.readouterr().out
+
+
+def test_append_entry_is_atomic(tmp_path, monkeypatch):
+    """A crash mid-rewrite must leave the previous history intact."""
+    out = tmp_path / "BENCH_crash.json"
+    bench_common.append_entry(out, "crash", {"m": 1.0})
+    before = out.read_text()
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash during replace")
+
+    monkeypatch.setattr(bench_common.os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        bench_common.append_entry(out, "crash", {"m": 2.0})
+    monkeypatch.undo()
+    assert out.read_text() == before
+    assert not list(tmp_path.glob("*.tmp"))
+    check_bench_json.validate_file(out)
+
+
+def test_append_entry_leaves_no_temp_file(tmp_path):
+    out = tmp_path / "BENCH_tmp.json"
+    bench_common.append_entry(out, "tmp", {"m": 1.0})
+    assert [p.name for p in tmp_path.iterdir()] == ["BENCH_tmp.json"]
+
+
+def test_disabled_tracing_overhead_negligible():
+    """ISSUE acceptance: disabled tracing must cost a flag test, not work.
+
+    Two properties: a disabled ``emit`` records nothing, and its per-call
+    cost stays far below a microsecond — negligible next to the ~100 µs a
+    single fluid-engine tick costs.
+    """
+    obs_collector.disable()
+    obs_collector.reset()
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        obs_collector.emit("interval_stats", t=0.0, omega=1.0)
+    per_call = (time.perf_counter() - t0) / n
+    assert obs_collector.events() == ()
+    assert per_call < 2e-6, f"disabled emit costs {per_call * 1e9:.0f} ns"

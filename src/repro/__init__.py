@@ -32,8 +32,12 @@ Package layout (see DESIGN.md):
     heuristics, brute-force baseline, policy registry.
 ``repro.experiments``
     Scenario catalog and per-figure reproduction drivers.
+``repro.obs``
+    Structured run-trace observability: typed sim-time events, JSONL
+    traces, the ``repro trace`` CLI.
 """
 
+from . import obs
 from .cloud import (
     CloudProvider,
     FailureModel,
@@ -115,6 +119,7 @@ __all__ = [
     "aws_2013_catalog",
     "fig1_dataflow",
     "make_policy",
+    "obs",
     "pe",
     "run_policy",
     "scaled_dataflow",

@@ -3,11 +3,14 @@
 Commands
 --------
 ``run``
-    Execute one policy on one scenario and print the outcome.
+    Execute one policy on one scenario and print the outcome
+    (``--trace PATH`` records a JSONL event trace of the run).
 ``compare``
     Race several policies on the same scenario.
 ``figures``
     Regenerate the paper's evaluation figures (Figs. 2–9).
+``trace``
+    Summarize / filter / dump a JSONL run trace (see ``repro.obs``).
 ``policies``
     List the available scheduling policies.
 """
@@ -15,13 +18,23 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .core.policies import POLICY_NAMES
 from .experiments.figures import ALL_FIGURES
 from .experiments.runner import sweep
 from .experiments.scenarios import Scenario, run_policy
+from .obs.events import EVENT_TYPES
+from .obs.trace import (
+    filter_events,
+    load_jsonl,
+    render_adaptation_timeline,
+    render_events,
+    render_summary,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(run_p)
     run_p.add_argument("--timeline", action="store_true",
                        help="print the per-interval metrics")
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="record the run's event trace to a JSONL file")
 
     cmp_p = sub.add_parser("compare", help="race several policies")
     cmp_p.add_argument("policies", nargs="+", choices=POLICY_NAMES)
@@ -88,6 +103,28 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--full", action="store_true",
                        help="paper-scale configuration (slow)")
     add_jobs_arg(fig_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize / filter / dump a JSONL run trace"
+    )
+    trace_p.add_argument("file", help="JSONL trace written by run --trace")
+    trace_p.add_argument(
+        "--type", action="append", dest="types", metavar="EVENT",
+        choices=sorted(EVENT_TYPES),
+        help="keep only this event type (repeatable)",
+    )
+    trace_p.add_argument("--pe", default=None,
+                         help="keep only events referencing this PE")
+    trace_p.add_argument("--vm", default=None,
+                         help="keep only events for this VM instance id")
+    trace_p.add_argument("--events", action="store_true",
+                         help="print the matching events as a table")
+    trace_p.add_argument("--timeline", action="store_true",
+                         help="render the adaptation timeline table")
+    trace_p.add_argument("--dump", action="store_true",
+                         help="dump the matching events as JSONL")
+    trace_p.add_argument("--limit", type=int, default=50, metavar="N",
+                         help="row cap for --events (default 50)")
 
     sub.add_parser("policies", help="list available policies")
     return parser
@@ -105,7 +142,14 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_policy(_scenario_from(args), args.policy)
+    if args.trace:
+        obs.reset()
+        with obs.tracing():
+            result = run_policy(_scenario_from(args), args.policy)
+        n = obs.flush_jsonl(args.trace)
+        print(f"trace: {n} events -> {args.trace}")
+    else:
+        result = run_policy(_scenario_from(args), args.policy)
     print(result.summary())
     print(
         f"VMs provisioned={result.vms_provisioned} peak={result.vms_peak} "
@@ -152,6 +196,34 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        events = load_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    selected = filter_events(
+        events, types=args.types, pe=args.pe, vm=args.vm
+    )
+    if args.dump:
+        for event in selected:
+            print(event.to_json())
+        return 0
+    if args.timeline:
+        print(render_adaptation_timeline(selected))
+        return 0
+    if args.events:
+        print(render_events(selected, limit=args.limit))
+        return 0
+    filtered = len(selected) != len(events)
+    if filtered:
+        print(
+            f"{len(selected)}/{len(events)} events match the filter\n"
+        )
+    print(render_summary(selected))
+    return 0
+
+
 def _cmd_policies(_args: argparse.Namespace) -> int:
     for name in POLICY_NAMES:
         print(name)
@@ -165,9 +237,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figures": _cmd_figures,
+        "trace": _cmd_trace,
         "policies": _cmd_policies,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, a pager) closed the pipe mid-print;
+        # point stdout at devnull so interpreter shutdown stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

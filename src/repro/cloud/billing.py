@@ -16,9 +16,17 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from ..obs import collector as _trace
 from .resources import VMInstance
 
-__all__ = ["HOUR", "instance_cost", "total_cost", "BillingMeter"]
+__all__ = [
+    "HOUR",
+    "billed_hours",
+    "instance_cost",
+    "total_cost",
+    "remaining_paid_seconds",
+    "BillingMeter",
+]
 
 #: Seconds per billing hour.
 HOUR = 3600.0
@@ -71,9 +79,20 @@ class BillingMeter:
 
     def __init__(self) -> None:
         self._instances: list[VMInstance] = []
+        self._registered_ids: set[str] = set()
+        #: instance_id → billed hours already seen (for hour-start events).
+        self._hours_seen: dict[str, int] = {}
 
     def register(self, instance: VMInstance) -> None:
-        """Start metering a newly provisioned instance."""
+        """Start metering a newly provisioned instance.
+
+        Registering the same instance (by ``instance_id``) twice is a
+        no-op: double registration would silently double-bill μ[t] for
+        every hour of the instance's life.
+        """
+        if instance.instance_id in self._registered_ids:
+            return
+        self._registered_ids.add(instance.instance_id)
         self._instances.append(instance)
 
     @property
@@ -83,7 +102,33 @@ class BillingMeter:
 
     def cost_at(self, at: float) -> float:
         """Cumulative dollar cost μ[t]."""
+        if _trace.enabled():
+            self._emit_hour_starts(at)
         return total_cost(self._instances, at)
+
+    def _emit_hour_starts(self, at: float) -> None:
+        """Trace every billing hour newly entered since the last query.
+
+        μ[t] is queried at least once per interval by the run manager, so
+        hour-boundary events land within one interval of the boundary —
+        the granularity the adaptation heuristics themselves see.
+        """
+        for r in self._instances:
+            if at < r.started_at:
+                continue
+            elapsed = min(r.stopped_at, at) - r.started_at
+            hours = billed_hours(elapsed)
+            seen = self._hours_seen.get(r.instance_id, 0)
+            for hour in range(seen + 1, hours + 1):
+                _trace.emit(
+                    "billing_hour_started",
+                    t=r.started_at + (hour - 1) * HOUR,
+                    instance_id=r.instance_id,
+                    vm_class=r.vm_class.name,
+                    hour=hour,
+                )
+            if hours > seen:
+                self._hours_seen[r.instance_id] = hours
 
     def active_hourly_rate(self, at: float) -> float:
         """Sum of hourly prices of instances active at ``at`` (burn rate)."""

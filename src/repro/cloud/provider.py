@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional, Sequence
 
+from ..obs import collector as _trace
 from .billing import BillingMeter, remaining_paid_seconds
 from .network import LinkQuality, NetworkModel
 from .resources import VMClass, VMInstance
@@ -128,6 +129,14 @@ class CloudProvider:
         self._fleet[instance.instance_id] = instance
         self._ready_at[instance.instance_id] = now + delay
         self.billing.register(instance)
+        if _trace.enabled():
+            _trace.emit(
+                "vm_provisioned",
+                t=now,
+                instance_id=instance.instance_id,
+                vm_class=vm_class.name,
+                ready_at=now + delay,
+            )
         return instance
 
     def terminate(self, instance: VMInstance, now: float) -> None:
@@ -140,6 +149,13 @@ class CloudProvider:
                 f"{sorted(instance.allocations)}; release cores before terminate"
             )
         instance.stop(now)
+        if _trace.enabled():
+            _trace.emit(
+                "vm_stopped",
+                t=now,
+                instance_id=instance.instance_id,
+                vm_class=instance.vm_class.name,
+            )
 
     def fail(self, instance: VMInstance, now: float) -> dict[str, int]:
         """Crash an instance: allocations are forcibly released.

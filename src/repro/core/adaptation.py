@@ -36,6 +36,7 @@ from ..dataflow.graph import DynamicDataflow
 from ..dataflow.metrics import constrained_rates, relative_application_throughput
 from ..dataflow.patterns import SplitPattern
 from ..dataflow.pe import Alternate
+from ..obs import collector as _trace
 from .deployment import Strategy
 from .state import ClusterView, DeploymentPlan, Snapshot
 
@@ -140,12 +141,41 @@ class RuntimeAdaptation:
         cfg = self.config
         selection = dict(snapshot.selection)
         cluster = snapshot.cluster.clone()
+        tracing = _trace.enabled()
+        candidates: Optional[list[dict]] = [] if tracing else None
 
-        if cfg.dynamism and interval_index % cfg.alternate_period == 0:
-            selection = self._alternate_stage(snapshot, cluster, selection)
+        alternate_stage = (
+            cfg.dynamism and interval_index % cfg.alternate_period == 0
+        )
+        resource_stage = interval_index % cfg.resource_period == 0
 
-        if interval_index % cfg.resource_period == 0:
+        if alternate_stage:
+            selection = self._alternate_stage(
+                snapshot, cluster, selection, candidates
+            )
+
+        if resource_stage:
             self._resource_stage(snapshot, cluster, selection)
+
+        if tracing:
+            _trace.emit(
+                "adaptation_decision",
+                t=snapshot.time,
+                interval=interval_index,
+                strategy=cfg.strategy,
+                omega_last=snapshot.omega_last,
+                omega_average=snapshot.omega_average,
+                gamma=self.dataflow.application_value(snapshot.selection),
+                mu=snapshot.cumulative_cost,
+                alternate_stage=alternate_stage,
+                resource_stage=resource_stage,
+                candidates=candidates or [],
+                switched=sorted(
+                    n
+                    for n, alt in selection.items()
+                    if snapshot.selection.get(n) != alt
+                ),
+            )
 
         return DeploymentPlan(selection=selection, cluster=cluster)
 
@@ -156,6 +186,7 @@ class RuntimeAdaptation:
         snapshot: Snapshot,
         cluster: ClusterView,
         selection: dict[str, str],
+        candidates: Optional[list[dict]] = None,
     ) -> dict[str, str]:
         cfg = self.config
         df = self.dataflow
@@ -206,6 +237,7 @@ class RuntimeAdaptation:
                     ),
                     reverse=True,
                 )
+            chosen: Optional[str] = None
             for alt in feasible:
                 if under:
                     # A downgrade needs no headroom check: it demands no
@@ -229,9 +261,20 @@ class RuntimeAdaptation:
                             <= pool + _EPS
                         )
                 if fits:
+                    chosen = alt.name
                     if alt.name != active.name:
                         selection[name] = alt.name
                     break
+            if candidates is not None:
+                candidates.append(
+                    {
+                        "pe": name,
+                        "active": active.name,
+                        "considered": [a.name for a in feasible],
+                        "chosen": chosen,
+                        "direction": "under" if under else "over",
+                    }
+                )
         return selection
 
     def _downstream_units(self, cluster: ClusterView, pe_name: str) -> float:

@@ -39,6 +39,7 @@ from ..cloud.provider import CloudProvider
 from ..cloud.resources import VMInstance
 from ..dataflow.graph import DynamicDataflow
 from ..dataflow.patterns import SplitPattern
+from ..obs import collector as _trace
 from ..sim.kernel import Environment
 from ..util import perf
 from ..workloads.rates import RateProfile
@@ -206,8 +207,19 @@ class FluidExecutor:
     def set_selection(self, selection: Mapping[str, str]) -> None:
         """Switch active alternates (backlogs survive; PEs are stateless)."""
         self.dataflow.validate_selection(selection)
+        old = self.selection
         self.selection = dict(selection)
         self._set_selection_arrays()
+        if _trace.enabled():
+            switches = [
+                {"pe": n, "from": old[n], "to": new}
+                for n, new in self.selection.items()
+                if old.get(n) != new
+            ]
+            if switches:
+                _trace.emit(
+                    "alternate_switched", t=self.env.now, switches=switches
+                )
 
     def _set_selection_arrays(self) -> None:
         df = self.dataflow
@@ -490,6 +502,19 @@ class FluidExecutor:
         stats = self.stats
         stats.end = self.env.now
         self.stats = IntervalStats(start=self.env.now, end=self.env.now)
+        if _trace.enabled():
+            _trace.emit(
+                "interval_stats",
+                t=stats.end,
+                start=stats.start,
+                end=stats.end,
+                omega=stats.omega(self.dataflow.outputs),
+                delivered=sum(stats.delivered.values()),
+                deliverable=sum(stats.deliverable.values()),
+                processed=sum(stats.processed.values()),
+                lost=sum(stats.lost.values()),
+                backlog=sum(self.backlogs().values()),
+            )
         return stats
 
     def pe_backlog(self, pe_name: str) -> float:

@@ -13,6 +13,7 @@ from typing import Any, Generator
 
 from ..cloud.failures import FailureModel
 from ..cloud.provider import CloudProvider
+from ..obs import collector as _trace
 from ..sim.kernel import Environment, Event
 from .executor import FluidExecutor
 
@@ -74,9 +75,15 @@ class FailureDriver:
             if next_time is None:
                 yield self.env.timeout(self.poll_interval)
                 continue
+            # Always yield, even for a failure due *right now*: a model
+            # returning ``now`` would otherwise crash the VM inside the
+            # same kernel callback, starving same-timestamp processes
+            # (the executor tick) and risking an unyielding spin through
+            # the rescan ``continue`` paths below.  A zero-delay timeout
+            # re-enters the loop *behind* every event already queued at
+            # this timestamp.
             wait = min(next_time - now, self.poll_interval)
-            if wait > 0:
-                yield self.env.timeout(wait)
+            yield self.env.timeout(max(wait, 0.0))
             if victim is None or not victim.active:
                 continue
             if self.env.now + 1e-9 < next_time:
@@ -84,6 +91,14 @@ class FailureDriver:
             lost = self.executor.fail_vm(victim.instance_id)
             self.provider.fail(victim, self.env.now)
             self.executor.sync(self.env.now)
+            if _trace.enabled():
+                _trace.emit(
+                    "vm_failed",
+                    t=self.env.now,
+                    instance_id=victim.instance_id,
+                    vm_class=victim.vm_class.name,
+                    lost_messages=sum(lost.values()),
+                )
             self.crashes.append(
                 (self.env.now, victim.instance_id, sum(lost.values()))
             )

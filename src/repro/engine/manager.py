@@ -19,6 +19,7 @@ from ..core.objective import EvaluationOutcome, ObjectiveSpec
 from ..core.policies import Policy
 from ..dataflow.graph import DynamicDataflow
 from ..dataflow.metrics import IntervalMetrics, MetricsTimeline
+from ..obs import collector as _trace
 from ..sim.kernel import Environment
 from ..util import perf
 from ..workloads.rates import RateProfile
@@ -117,6 +118,20 @@ class RunManager:
         self.monitor_noise_std = monitor_noise_std
         self.monitor_seed = monitor_seed
 
+    @staticmethod
+    def _trace_reconcile(report, now: float, interval: int) -> None:
+        """Emit an allocation_changed event for a non-empty reconciliation."""
+        if _trace.enabled() and report.changed:
+            _trace.emit(
+                "allocation_changed",
+                t=now,
+                interval=interval,
+                provisioned=len(report.provisioned),
+                terminated=len(report.terminated),
+                cores_allocated=report.cores_allocated,
+                cores_released=report.cores_released,
+            )
+
     def run(self) -> RunResult:
         """Execute the full optimization period and return the results."""
         spec = self.spec
@@ -142,6 +157,7 @@ class RunManager:
         )
 
         reports = [apply_plan(self.provider, executor, plan, env.now)]
+        self._trace_reconcile(reports[0], env.now, interval=0)
         executor.start()
 
         failure_driver: Optional[FailureDriver] = None
@@ -182,6 +198,7 @@ class RunManager:
                     report = apply_plan(
                         self.provider, executor, new_plan, env.now
                     )
+                    self._trace_reconcile(report, env.now, interval=k)
                     reports.append(report)
                     if report.changed or dict(new_plan.selection) != selection:
                         adaptations += 1

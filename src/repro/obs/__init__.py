@@ -1,0 +1,69 @@
+"""Structured run-trace observability layer (substrate S21).
+
+Records typed, sim-time-stamped events — VM lifecycle, billing-hour
+boundaries, adaptation decisions with the heuristic's inputs, alternate
+switches, allocation changes, and per-interval stats — into a
+process-local collector with near-zero overhead while disabled (the
+:mod:`repro.util.perf` enable contract), flushable to JSONL and
+analyzable with the ``repro trace`` CLI subcommand.
+
+Write side::
+
+    from repro import obs
+
+    with obs.tracing():
+        result = run_policy(scenario, "global")
+    obs.flush_jsonl("trace.jsonl")
+
+Read side::
+
+    from repro.obs import load_jsonl, render_adaptation_timeline
+
+    print(render_adaptation_timeline(load_jsonl("trace.jsonl")))
+"""
+
+from .collector import (
+    bind_clock,
+    clock_now,
+    disable,
+    dump_jsonl,
+    emit,
+    enable,
+    enabled,
+    events,
+    flush_jsonl,
+    reset,
+    tracing,
+)
+from .events import EVENT_TYPES, TraceEvent, UnknownEventTypeError
+from .trace import (
+    filter_events,
+    load_jsonl,
+    render_adaptation_timeline,
+    render_events,
+    render_summary,
+    summarize,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "TraceEvent",
+    "UnknownEventTypeError",
+    "bind_clock",
+    "clock_now",
+    "disable",
+    "dump_jsonl",
+    "emit",
+    "enable",
+    "enabled",
+    "events",
+    "filter_events",
+    "flush_jsonl",
+    "load_jsonl",
+    "render_adaptation_timeline",
+    "render_events",
+    "render_summary",
+    "reset",
+    "summarize",
+    "tracing",
+]

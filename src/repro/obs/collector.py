@@ -1,0 +1,166 @@
+"""In-memory trace collector with the ``repro.util.perf`` enable contract.
+
+Disabled by default: every instrumented call site guards with
+:func:`enabled` (one module-global boolean read), so the run-time cost of
+shipping the instrumentation is a flag test — the same contract
+:mod:`repro.util.perf` established for counters.  Enable globally with
+:func:`enable`, the ``REPRO_TRACE=1`` environment variable, or scoped
+with the :func:`tracing` context manager.
+
+Events are stamped with *simulation* time.  Call sites that know the
+current sim time pass it explicitly (``emit(..., t=now)``); sites that
+don't can rely on the clock the simulation kernel binds at
+:class:`~repro.sim.kernel.Environment` construction (see
+:func:`bind_clock`).  The collector is process-local, like the perf
+counters; each parallel-sweep worker records its own trace.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run something
+    obs.flush_jsonl("run-trace.jsonl")
+    print(obs.render_summary(obs.events()))
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, TextIO, Union
+
+from .events import TraceEvent
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "emit",
+    "events",
+    "reset",
+    "tracing",
+    "bind_clock",
+    "clock_now",
+    "flush_jsonl",
+    "dump_jsonl",
+]
+
+_enabled: bool = os.environ.get("REPRO_TRACE", "") not in ("", "0", "false")
+
+_events: list[TraceEvent] = []
+_seq: int = 0
+
+#: Callable returning the current simulation time; bound by the kernel.
+_clock: Optional[Callable[[], float]] = None
+
+
+def enable() -> None:
+    """Turn event tracing on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn event tracing off (recorded events are kept)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether the collector is currently recording."""
+    return _enabled
+
+
+def bind_clock(clock: Optional[Callable[[], float]]) -> None:
+    """Bind the simulation clock used to stamp events without explicit ``t``.
+
+    The simulation kernel calls this when an
+    :class:`~repro.sim.kernel.Environment` is created, so user-emitted
+    events inside a run are stamped with sim time automatically.  Passing
+    ``None`` unbinds (events then default to t=0.0).
+    """
+    global _clock
+    _clock = clock
+
+
+def clock_now() -> float:
+    """Current bound simulation time (0.0 when no clock is bound)."""
+    return _clock() if _clock is not None else 0.0
+
+
+def emit(event_type: str, t: Optional[float] = None, **payload: Any) -> None:
+    """Record one event (no-op while disabled).
+
+    Parameters
+    ----------
+    event_type:
+        One of :data:`~repro.obs.events.EVENT_TYPES` (unknown types raise).
+    t:
+        Simulation time of the event; defaults to the bound kernel clock.
+    payload:
+        Flat JSON-serializable details.
+    """
+    if not _enabled:
+        return
+    global _seq
+    event = TraceEvent(
+        seq=_seq,
+        t=clock_now() if t is None else float(t),
+        type=event_type,
+        payload=payload,
+    )
+    _events.append(event)
+    _seq += 1
+
+
+def events() -> tuple[TraceEvent, ...]:
+    """Everything recorded so far, in emission order."""
+    return tuple(_events)
+
+
+def reset() -> None:
+    """Drop all recorded events and restart the sequence numbering.
+
+    The enable state and the bound clock are unchanged.
+    """
+    global _seq
+    _events.clear()
+    _seq = 0
+
+
+@contextmanager
+def tracing() -> Iterator[None]:
+    """Enable tracing for the duration of a block (perf.collecting twin)."""
+    was = _enabled
+    enable()
+    try:
+        yield
+    finally:
+        if not was:
+            disable()
+
+
+def dump_jsonl(stream: TextIO) -> int:
+    """Write every recorded event to ``stream`` as JSONL; returns the count."""
+    n = 0
+    for event in _events:
+        stream.write(event.to_json())
+        stream.write("\n")
+        n += 1
+    return n
+
+
+def flush_jsonl(path: Union[str, os.PathLike]) -> int:
+    """Write the recorded events to ``path`` as JSONL; returns the count.
+
+    The write is atomic (temp file + ``os.replace``) so a crash mid-flush
+    cannot leave a truncated trace behind.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        n = dump_jsonl(fh)
+    os.replace(tmp, path)
+    return n

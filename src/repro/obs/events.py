@@ -1,0 +1,146 @@
+"""Typed trace events for the observability layer (S21).
+
+Every event the collector records is one of the types in
+:data:`EVENT_TYPES`; emitting an unknown type raises immediately so
+typos cannot silently produce an un-analyzable trace.  Events carry the
+*simulation* time they happened at (not wall time — runs are
+deterministic, so sim time is the reproducible axis), a monotonic
+sequence number that breaks same-timestamp ties, and a flat
+JSON-serializable payload.
+
+The JSONL wire format is one object per line::
+
+    {"seq": 3, "t": 60.0, "type": "adaptation_decision", "interval": 1, ...}
+
+with ``seq``/``t``/``type`` reserved keys and the payload spread at the
+top level (friendly to ``jq``/pandas).  ``payload`` keys must therefore
+avoid the reserved names.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["EVENT_TYPES", "TraceEvent", "UnknownEventTypeError"]
+
+#: The closed set of event types the tracing subsystem records.
+EVENT_TYPES = frozenset(
+    {
+        # fleet lifecycle (cloud.provider / engine.failures)
+        "vm_provisioned",
+        "vm_stopped",
+        "vm_failed",
+        # billing (cloud.billing)
+        "billing_hour_started",
+        # runtime decisions (core.adaptation / engine.manager / executor)
+        "adaptation_decision",
+        "allocation_changed",
+        "alternate_switched",
+        # periodic accounting (engine.executor)
+        "interval_stats",
+    }
+)
+
+#: Keys the envelope owns; payloads may not shadow them.
+_RESERVED = ("seq", "t", "type")
+
+
+class UnknownEventTypeError(ValueError):
+    """Raised when an event type outside :data:`EVENT_TYPES` is emitted."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic per-collector sequence number (ties on ``t`` keep
+        emission order).
+    t:
+        Simulation time of the event, in seconds.
+    type:
+        One of :data:`EVENT_TYPES`.
+    payload:
+        Flat JSON-serializable details (instance ids, Ω/μ readings, …).
+    """
+
+    seq: int
+    t: float
+    type: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.type not in EVENT_TYPES:
+            raise UnknownEventTypeError(
+                f"unknown event type {self.type!r}; "
+                f"known: {sorted(EVENT_TYPES)}"
+            )
+        clash = [k for k in self.payload if k in _RESERVED]
+        if clash:
+            raise ValueError(f"payload shadows reserved keys {clash}")
+
+    def to_json(self) -> str:
+        """One JSONL line (stable key order: seq, t, type, then payload)."""
+        record: dict[str, Any] = {"seq": self.seq, "t": self.t, "type": self.type}
+        record.update(self.payload)
+        return json.dumps(record, sort_keys=False, default=_jsonify)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        """Parse one JSONL line back into an event."""
+        record = json.loads(line)
+        try:
+            seq = record.pop("seq")
+            t = record.pop("t")
+            type_ = record.pop("type")
+        except KeyError as exc:
+            raise ValueError(f"trace line missing key {exc}") from None
+        return cls(seq=int(seq), t=float(t), type=type_, payload=record)
+
+    def matches(
+        self,
+        types: Iterable[str] | None = None,
+        pe: str | None = None,
+        vm: str | None = None,
+    ) -> bool:
+        """Filter predicate used by the CLI and the report tooling.
+
+        ``pe`` matches events whose payload references the PE (``pe`` key,
+        or membership in ``pes``/``switches``/``candidates`` collections);
+        ``vm`` matches the ``instance_id`` key.
+        """
+        if types is not None and self.type not in set(types):
+            return False
+        if vm is not None and self.payload.get("instance_id") != vm:
+            return False
+        if pe is not None and not self._references_pe(pe):
+            return False
+        return True
+
+    def _references_pe(self, pe: str) -> bool:
+        payload = self.payload
+        if payload.get("pe") == pe:
+            return True
+        if pe in payload.get("pes", ()):
+            return True
+        switches = payload.get("switches", ())
+        if any(s.get("pe") == pe for s in switches if isinstance(s, dict)):
+            return True
+        candidates = payload.get("candidates", ())
+        return any(
+            c.get("pe") == pe for c in candidates if isinstance(c, dict)
+        )
+
+
+def _jsonify(value: Any) -> Any:
+    """Fallback serializer: NumPy scalars and other float-likes."""
+    for caster in (float, int, str):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    raise TypeError(f"cannot serialize {value!r} into a trace event")

@@ -1,0 +1,210 @@
+"""Trace analysis: load, filter, summarize, and render JSONL run traces.
+
+The read-side companion to :mod:`repro.obs.collector`.  Consumed by the
+``repro trace`` CLI subcommand and by :mod:`repro.experiments.report`,
+which renders the per-run adaptation timeline table from these events.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ..util.tables import format_table
+from .events import EVENT_TYPES, TraceEvent
+
+__all__ = [
+    "load_jsonl",
+    "filter_events",
+    "summarize",
+    "render_summary",
+    "render_events",
+    "render_adaptation_timeline",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_jsonl(path: PathLike) -> list[TraceEvent]:
+    """Load a JSONL trace file into events (blank lines are skipped)."""
+    out: list[TraceEvent] = []
+    with open(Path(path), encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(TraceEvent.from_json(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return out
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    types: Optional[Sequence[str]] = None,
+    pe: Optional[str] = None,
+    vm: Optional[str] = None,
+) -> list[TraceEvent]:
+    """Events matching every given criterion (see :meth:`TraceEvent.matches`)."""
+    if types:
+        unknown = sorted(set(types) - EVENT_TYPES)
+        if unknown:
+            raise ValueError(
+                f"unknown event types {unknown}; known: {sorted(EVENT_TYPES)}"
+            )
+    return [e for e in events if e.matches(types=types, pe=pe, vm=vm)]
+
+
+def summarize(events: Sequence[TraceEvent]) -> dict:
+    """Aggregate counts: per-type totals, time span, fleet/decision tallies."""
+    by_type: dict[str, int] = {}
+    for e in events:
+        by_type[e.type] = by_type.get(e.type, 0) + 1
+    times = [e.t for e in events]
+    switches = sum(
+        len(e.payload.get("switches", ()))
+        for e in events
+        if e.type == "alternate_switched"
+    )
+    return {
+        "events": len(events),
+        "by_type": dict(sorted(by_type.items())),
+        "t_first": min(times) if times else 0.0,
+        "t_last": max(times) if times else 0.0,
+        "vms_provisioned": by_type.get("vm_provisioned", 0),
+        "vms_stopped": by_type.get("vm_stopped", 0),
+        "vms_failed": by_type.get("vm_failed", 0),
+        "decisions": by_type.get("adaptation_decision", 0),
+        "alternate_switches": switches,
+    }
+
+
+def render_summary(events: Sequence[TraceEvent]) -> str:
+    """Human-readable summary of one trace."""
+    s = summarize(events)
+    lines = [
+        f"{s['events']} events over "
+        f"t=[{s['t_first']:g}, {s['t_last']:g}] s",
+        "",
+        format_table(
+            ["event type", "count"],
+            [[name, count] for name, count in s["by_type"].items()],
+        ),
+        "",
+        f"fleet: +{s['vms_provisioned']} provisioned, "
+        f"-{s['vms_stopped']} stopped, {s['vms_failed']} crashed; "
+        f"{s['decisions']} adaptation decisions, "
+        f"{s['alternate_switches']} alternate switches",
+    ]
+    return "\n".join(lines)
+
+
+def render_events(
+    events: Sequence[TraceEvent], limit: Optional[int] = None
+) -> str:
+    """Tabular dump of events (type, time, key payload facts)."""
+    shown = events if limit is None else events[:limit]
+    rows = []
+    for e in shown:
+        rows.append([e.seq, f"{e.t:g}", e.type, _describe(e)])
+    table = format_table(["seq", "t (s)", "type", "details"], rows)
+    if limit is not None and len(events) > limit:
+        table += f"\n… {len(events) - limit} more (raise --limit)"
+    return table
+
+
+def _describe(e: TraceEvent) -> str:
+    p = e.payload
+    if e.type in ("vm_provisioned", "vm_stopped", "vm_failed"):
+        bits = [str(p.get("instance_id", "?"))]
+        if "lost_messages" in p:
+            bits.append(f"lost={p['lost_messages']:g}")
+        return " ".join(bits)
+    if e.type == "billing_hour_started":
+        return f"{p.get('instance_id', '?')} hour={p.get('hour', '?')}"
+    if e.type == "adaptation_decision":
+        return (
+            f"k={p.get('interval', '?')} Ω={p.get('omega_last', 0.0):.3f} "
+            f"Ω̄={p.get('omega_average', 0.0):.3f} "
+            f"Γ={p.get('gamma', 0.0):.3f} μ=${p.get('mu', 0.0):.2f}"
+        )
+    if e.type == "allocation_changed":
+        return (
+            f"+{p.get('provisioned', 0)} VM -{p.get('terminated', 0)} VM "
+            f"+{p.get('cores_allocated', 0)}c -{p.get('cores_released', 0)}c"
+        )
+    if e.type == "alternate_switched":
+        return ", ".join(
+            f"{s['pe']}: {s['from']}→{s['to']}"
+            for s in p.get("switches", ())
+        )
+    if e.type == "interval_stats":
+        return (
+            f"Ω={p.get('omega', 0.0):.3f} "
+            f"delivered={p.get('delivered', 0.0):g} "
+            f"backlog={p.get('backlog', 0.0):g}"
+        )
+    return ""
+
+
+def render_adaptation_timeline(events: Sequence[TraceEvent]) -> str:
+    """Per-interval adaptation timeline table for one traced run.
+
+    One row per ``adaptation_decision``, annotated with what the decision
+    *did*: the fleet deltas and alternate switches observed until the next
+    decision (the reconciler acts immediately after the heuristic, so the
+    attribution is exact for managed runs).
+    """
+    decisions = [e for e in events if e.type == "adaptation_decision"]
+    if not decisions:
+        return "(no adaptation decisions in trace)"
+    rows = []
+    bounds = [d.seq for d in decisions[1:]] + [float("inf")]
+    for d, until in zip(decisions, bounds):
+        window = [e for e in events if d.seq < e.seq < until]
+        provisioned = sum(1 for e in window if e.type == "vm_provisioned")
+        stopped = sum(1 for e in window if e.type == "vm_stopped")
+        cores = sum(
+            e.payload.get("cores_allocated", 0)
+            - e.payload.get("cores_released", 0)
+            for e in window
+            if e.type == "allocation_changed"
+        )
+        switches = [
+            f"{s['pe']}:{s['to']}"
+            for e in window
+            if e.type == "alternate_switched"
+            for s in e.payload.get("switches", ())
+        ]
+        p = d.payload
+        rows.append(
+            [
+                f"{d.t / 60:.1f}",
+                p.get("interval", "?"),
+                f"{p.get('omega_last', 0.0):.3f}",
+                f"{p.get('omega_average', 0.0):.3f}",
+                f"{p.get('gamma', 0.0):.3f}",
+                f"{p.get('mu', 0.0):.2f}",
+                f"{provisioned:+d}/{-stopped:+d}" if (provisioned or stopped)
+                else "·",
+                f"{cores:+d}" if cores else "·",
+                ", ".join(switches) if switches else "·",
+            ]
+        )
+    return format_table(
+        [
+            "t (min)",
+            "k",
+            "Ω(k)",
+            "Ω̄",
+            "Γ",
+            "μ[$]",
+            "VMs ±",
+            "cores ±",
+            "switched to",
+        ],
+        rows,
+        title="Adaptation timeline",
+    )

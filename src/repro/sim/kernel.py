@@ -34,6 +34,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs import collector as _trace
+
 __all__ = [
     "Environment",
     "Event",
@@ -421,6 +423,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        # Sim-time stamping for the observability layer: events emitted
+        # without an explicit timestamp are stamped with this clock.
+        _trace.bind_clock(lambda: self._now)
 
     # -- public API --------------------------------------------------------
 

@@ -82,6 +82,23 @@ class TestRemainingPaidSeconds:
         assert remaining_paid_seconds(vm, at=200.0) == 0.0
 
 
+class TestModuleExports:
+    def test_star_import_exposes_billing_helpers(self):
+        # Regression: __all__ used to omit the two query helpers, so a
+        # star import silently lost them while direct imports worked.
+        ns: dict = {}
+        exec("from repro.cloud.billing import *", ns)
+        for name in (
+            "HOUR",
+            "billed_hours",
+            "instance_cost",
+            "total_cost",
+            "remaining_paid_seconds",
+            "BillingMeter",
+        ):
+            assert name in ns, name
+
+
 class TestBillingMeter:
     def test_registers_and_accumulates(self):
         meter = BillingMeter()
@@ -104,3 +121,21 @@ class TestBillingMeter:
         meter.register(make_vm(price=0.48))
         costs = [meter.cost_at(t) for t in (0, 1800, 3601, 7200, 7201)]
         assert costs == sorted(costs)
+
+    def test_duplicate_register_is_noop(self):
+        # Regression: registering the same instance twice double-billed
+        # μ[t] for every hour of the VM's life.
+        meter = BillingMeter()
+        vm = make_vm(price=0.24)
+        meter.register(vm)
+        meter.register(vm)
+        assert meter.instances == (vm,)
+        assert meter.cost_at(0.0) == pytest.approx(0.24)
+        assert meter.cost_at(HOUR + 1) == pytest.approx(0.48)
+
+    def test_duplicate_register_keeps_burn_rate_honest(self):
+        meter = BillingMeter()
+        vm = make_vm(price=0.24)
+        meter.register(vm)
+        meter.register(vm)
+        assert meter.active_hourly_rate(at=10.0) == pytest.approx(0.24)

@@ -74,6 +74,72 @@ class TestFailureDriver:
         assert ex.stats.lost["mid"] == pytest.approx(lost["mid"])
 
 
+class _FailAtFirstPoll:
+    """Stub model whose failure lands exactly on the driver's wake-up time.
+
+    ``next_failure`` returns ``now`` itself once ``now`` reaches ``at`` —
+    the degenerate zero-wait case the stock :class:`FailureModel` never
+    produces (its schedule is strictly in the future) but that the driver
+    must survive without starving same-timestamp processes.
+    """
+
+    enabled = True
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+
+    def next_failure(self, record, now):
+        return now if now >= self.at else None
+
+
+class TestZeroWaitFailure:
+    def rig(self, chain3, poll_interval):
+        env = Environment()
+        provider = CloudProvider(aws_2013_catalog())
+        vm = provider.provision("m1.xlarge", now=0.0)
+        for pe, cores in (("src", 1), ("mid", 2), ("out", 1)):
+            vm.allocate(pe, cores)
+        ex = FluidExecutor(
+            env,
+            chain3,
+            provider,
+            {"src": ConstantRate(2.0)},
+            selection=chain3.default_selection(),
+        )
+        ex.sync()
+        ex.start()
+        driver = FailureDriver(
+            env, provider, ex, _FailAtFirstPoll(poll_interval),
+            poll_interval=poll_interval,
+        )
+        driver.start()
+        return env, vm, driver
+
+    def test_failure_due_now_yields_before_crashing(self, chain3):
+        # Regression: a model returning ``now`` used to skip the timeout
+        # (``if wait > 0``) and crash the VM inside the driver's own
+        # callback, ahead of every event already queued at the same
+        # timestamp.  The sentinel below is scheduled for the exact
+        # wake-up time *after* the driver started, so it must still see
+        # the victim alive.
+        env, vm, driver = self.rig(chain3, poll_interval=30.0)
+        seen: list[bool] = []
+
+        def sentinel():
+            yield env.timeout(30.0)
+            seen.append(vm.active)
+
+        env.process(sentinel())
+        env.run(until=120.0)
+        assert seen == [True]
+        assert not vm.active
+
+    def test_crash_still_lands_on_the_wakeup_time(self, chain3):
+        env, vm, driver = self.rig(chain3, poll_interval=30.0)
+        env.run(until=120.0)
+        assert [t for t, _vm, _lost in driver.crashes] == [30.0]
+
+
 class TestRecovery:
     def test_adaptive_recovers_static_does_not(self):
         """The headline fault-tolerance result: with crashes every ~15 min,

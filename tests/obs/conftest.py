@@ -1,0 +1,23 @@
+"""Fixtures for the observability tests.
+
+The collector is process-global (like the perf counters), so every test
+in this package starts and ends with a pristine, disabled, unbound
+collector regardless of what ran before it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import collector
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    collector.reset()
+    collector.disable()
+    collector.bind_clock(None)
+    yield
+    collector.reset()
+    collector.disable()
+    collector.bind_clock(None)

@@ -1,0 +1,121 @@
+"""Unit tests for the in-memory trace collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import collector
+from repro.obs.events import TraceEvent, UnknownEventTypeError
+from repro.obs.trace import load_jsonl
+from repro.sim import Environment
+
+
+class TestEnableContract:
+    def test_disabled_by_default(self):
+        assert not collector.enabled()
+
+    def test_enable_disable(self):
+        collector.enable()
+        assert collector.enabled()
+        collector.disable()
+        assert not collector.enabled()
+
+    def test_emit_is_noop_while_disabled(self):
+        collector.emit("vm_provisioned", t=1.0, instance_id="x")
+        assert collector.events() == ()
+
+    def test_disabled_emit_skips_validation(self):
+        # The disabled path must be a bare flag test — it never builds the
+        # event, so even a bogus type costs nothing and raises nothing.
+        collector.emit("not-a-type", t=1.0)
+        assert collector.events() == ()
+
+    def test_tracing_context_restores_disabled(self):
+        with collector.tracing():
+            assert collector.enabled()
+            collector.emit("vm_provisioned", t=0.0, instance_id="a")
+        assert not collector.enabled()
+        assert len(collector.events()) == 1  # events survive the exit
+
+    def test_tracing_context_preserves_enabled(self):
+        collector.enable()
+        with collector.tracing():
+            pass
+        assert collector.enabled()
+
+
+class TestEmit:
+    def test_records_sequence_and_payload(self):
+        collector.enable()
+        collector.emit("vm_provisioned", t=5.0, instance_id="vm-0")
+        collector.emit("vm_stopped", t=9.0, instance_id="vm-0")
+        a, b = collector.events()
+        assert (a.seq, a.t, a.type) == (0, 5.0, "vm_provisioned")
+        assert (b.seq, b.t, b.type) == (1, 9.0, "vm_stopped")
+        assert a.payload == {"instance_id": "vm-0"}
+
+    def test_unknown_type_raises_when_enabled(self):
+        collector.enable()
+        with pytest.raises(UnknownEventTypeError):
+            collector.emit("vm_exploded", t=0.0)
+
+    def test_reserved_payload_key_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            TraceEvent(seq=0, t=0.0, type="vm_stopped", payload={"t": 1})
+
+    def test_reset_clears_and_restarts_seq(self):
+        collector.enable()
+        collector.emit("vm_provisioned", t=0.0, instance_id="a")
+        collector.reset()
+        assert collector.events() == ()
+        collector.emit("vm_stopped", t=1.0, instance_id="a")
+        assert collector.events()[0].seq == 0
+
+
+class TestClock:
+    def test_unbound_clock_defaults_to_zero(self):
+        collector.enable()
+        collector.emit("vm_provisioned", instance_id="a")
+        assert collector.events()[0].t == 0.0
+
+    def test_explicit_t_beats_bound_clock(self):
+        collector.bind_clock(lambda: 99.0)
+        collector.enable()
+        collector.emit("vm_provisioned", t=5.0, instance_id="a")
+        assert collector.events()[0].t == 5.0
+
+    def test_kernel_binds_sim_time(self):
+        env = Environment()
+        collector.enable()
+
+        def proc():
+            yield env.timeout(42.0)
+            collector.emit("vm_stopped", instance_id="a")
+
+        env.process(proc())
+        env.run(until=100.0)
+        assert collector.clock_now() == 100.0
+        assert collector.events()[0].t == 42.0
+
+
+class TestFlush:
+    def test_flush_round_trips_through_load(self, tmp_path):
+        collector.enable()
+        collector.emit("vm_provisioned", t=0.0, instance_id="a",
+                       vm_class="m1.small")
+        collector.emit("interval_stats", t=60.0, omega=0.75, delivered=120.0)
+        out = tmp_path / "trace.jsonl"
+        assert collector.flush_jsonl(out) == 2
+        loaded = load_jsonl(out)
+        assert loaded == list(collector.events())
+
+    def test_flush_leaves_no_temp_file(self, tmp_path):
+        collector.enable()
+        collector.emit("vm_provisioned", t=0.0, instance_id="a")
+        collector.flush_jsonl(tmp_path / "trace.jsonl")
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_empty_flush_writes_empty_file(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert collector.flush_jsonl(out) == 0
+        assert out.read_text() == ""

@@ -1,0 +1,85 @@
+"""Unit tests for the typed trace events and their JSONL wire format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import EVENT_TYPES, TraceEvent, UnknownEventTypeError
+
+
+def ev(type_="vm_provisioned", seq=0, t=0.0, **payload) -> TraceEvent:
+    return TraceEvent(seq=seq, t=t, type=type_, payload=payload)
+
+
+class TestValidation:
+    def test_every_declared_type_constructs(self):
+        for name in EVENT_TYPES:
+            assert TraceEvent(seq=0, t=0.0, type=name).type == name
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(UnknownEventTypeError):
+            ev("vm_rebooted")
+
+    @pytest.mark.parametrize("key", ["seq", "t", "type"])
+    def test_reserved_payload_keys_rejected(self, key):
+        with pytest.raises(ValueError, match="reserved"):
+            TraceEvent(seq=0, t=0.0, type="vm_stopped", payload={key: 1})
+
+
+class TestWireFormat:
+    def test_envelope_keys_come_first(self):
+        line = ev(instance_id="vm-0").to_json()
+        assert list(json.loads(line)) == ["seq", "t", "type", "instance_id"]
+
+    def test_round_trip(self):
+        original = ev(
+            "adaptation_decision", seq=3, t=60.0, interval=1,
+            candidates=[{"pe": "E2", "chosen": "e2.1"}],
+        )
+        assert TraceEvent.from_json(original.to_json()) == original
+
+    def test_missing_envelope_key_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            TraceEvent.from_json('{"seq": 0, "type": "vm_stopped"}')
+
+    def test_float_like_payload_values_serialize(self):
+        class Reading:
+            def __float__(self):
+                return 0.5
+
+        line = ev("interval_stats", omega=Reading()).to_json()
+        assert json.loads(line)["omega"] == 0.5
+
+
+class TestMatches:
+    def test_type_filter(self):
+        e = ev("vm_provisioned", instance_id="vm-0")
+        assert e.matches(types=["vm_provisioned", "vm_stopped"])
+        assert not e.matches(types=["vm_stopped"])
+
+    def test_vm_filter(self):
+        e = ev("vm_failed", instance_id="vm-7")
+        assert e.matches(vm="vm-7")
+        assert not e.matches(vm="vm-8")
+
+    def test_pe_filter_direct_key(self):
+        assert ev("interval_stats", pe="E1").matches(pe="E1")
+
+    def test_pe_filter_in_switches(self):
+        e = ev("alternate_switched",
+               switches=[{"pe": "E3", "from": "a", "to": "b"}])
+        assert e.matches(pe="E3")
+        assert not e.matches(pe="E1")
+
+    def test_pe_filter_in_candidates(self):
+        e = ev("adaptation_decision",
+               candidates=[{"pe": "E2", "chosen": None}])
+        assert e.matches(pe="E2")
+        assert not e.matches(pe="E9")
+
+    def test_combined_filters_all_must_hold(self):
+        e = ev("vm_failed", instance_id="vm-1", pes=["E1", "E2"])
+        assert e.matches(types=["vm_failed"], vm="vm-1", pe="E2")
+        assert not e.matches(types=["vm_failed"], vm="vm-1", pe="E4")

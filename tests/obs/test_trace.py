@@ -1,0 +1,126 @@
+"""Unit tests for trace loading, filtering, and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import TraceEvent
+from repro.obs.trace import (
+    filter_events,
+    load_jsonl,
+    render_adaptation_timeline,
+    render_events,
+    render_summary,
+    summarize,
+)
+
+
+def ev(seq, t, type_, **payload) -> TraceEvent:
+    return TraceEvent(seq=seq, t=t, type=type_, payload=payload)
+
+
+SAMPLE = [
+    ev(0, 0.0, "vm_provisioned", instance_id="vm-0", vm_class="m1.small"),
+    ev(1, 60.0, "adaptation_decision", interval=1, omega_last=0.7,
+       omega_average=0.7, gamma=0.9, mu=0.5,
+       candidates=[{"pe": "E2", "chosen": "e2.1"}]),
+    ev(2, 60.0, "alternate_switched",
+       switches=[{"pe": "E2", "from": "e2.2", "to": "e2.1"}]),
+    ev(3, 60.0, "allocation_changed", interval=1, provisioned=1,
+       terminated=0, cores_allocated=4, cores_released=1),
+    ev(4, 60.0, "vm_provisioned", instance_id="vm-1", vm_class="m1.large"),
+    ev(5, 120.0, "interval_stats", start=60.0, end=120.0, omega=0.8,
+       delivered=100.0, backlog=3.0),
+    ev(6, 120.0, "adaptation_decision", interval=2, omega_last=0.8,
+       omega_average=0.75, gamma=0.9, mu=0.5, candidates=[]),
+    ev(7, 150.0, "vm_failed", instance_id="vm-0", lost_messages=12.0),
+]
+
+
+class TestLoad:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            SAMPLE[0].to_json() + "\n\n" + SAMPLE[7].to_json() + "\n"
+        )
+        assert load_jsonl(path) == [SAMPLE[0], SAMPLE[7]]
+
+    def test_bad_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(SAMPLE[0].to_json() + '\n{"seq": 1}\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_jsonl(path)
+
+
+class TestFilter:
+    def test_no_criteria_keeps_all(self):
+        assert filter_events(SAMPLE) == SAMPLE
+
+    def test_by_type(self):
+        kept = filter_events(SAMPLE, types=["vm_provisioned"])
+        assert [e.seq for e in kept] == [0, 4]
+
+    def test_by_vm(self):
+        kept = filter_events(SAMPLE, vm="vm-0")
+        assert [e.seq for e in kept] == [0, 7]
+
+    def test_by_pe(self):
+        kept = filter_events(SAMPLE, pe="E2")
+        assert [e.seq for e in kept] == [1, 2]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown event types"):
+            filter_events(SAMPLE, types=["vm_teleported"])
+
+
+class TestSummarize:
+    def test_counts_and_span(self):
+        s = summarize(SAMPLE)
+        assert s["events"] == 8
+        assert s["by_type"]["vm_provisioned"] == 2
+        assert (s["t_first"], s["t_last"]) == (0.0, 150.0)
+        assert s["vms_failed"] == 1
+        assert s["decisions"] == 2
+        assert s["alternate_switches"] == 1
+
+    def test_empty_trace(self):
+        s = summarize([])
+        assert s["events"] == 0
+        assert (s["t_first"], s["t_last"]) == (0.0, 0.0)
+
+    def test_render_summary_mentions_counts(self):
+        text = render_summary(SAMPLE)
+        assert "8 events" in text
+        assert "vm_provisioned" in text
+        assert "2 adaptation decisions" in text
+
+
+class TestRenderEvents:
+    def test_lists_every_event(self):
+        text = render_events(SAMPLE)
+        assert "vm-1" in text and "alternate_switched" in text
+        assert "E2: e2.2→e2.1" in text
+
+    def test_limit_truncates_with_notice(self):
+        text = render_events(SAMPLE, limit=3)
+        assert "… 5 more" in text
+        assert "vm_failed" not in text
+
+
+class TestAdaptationTimeline:
+    def test_one_row_per_decision_with_attribution(self):
+        text = render_adaptation_timeline(SAMPLE)
+        lines = text.splitlines()
+        data = [l for l in lines if l.startswith(("1.0", "2.0"))]
+        assert len(data) == 2
+        # Decision 1 window: +1 VM, +4-1 cores, one alternate switch.
+        assert "+1/+0" in data[0]
+        assert "+3" in data[0]
+        assert "E2:e2.1" in data[0]
+        # Decision 2 window: nothing happened.
+        assert "·" in data[1]
+
+    def test_no_decisions(self):
+        assert "no adaptation decisions" in render_adaptation_timeline(
+            [SAMPLE[0]]
+        )

@@ -1,0 +1,128 @@
+"""Golden regression: the event stream of a fixed-seed traced run.
+
+Like ``tests/engine/test_step_golden.py``, this pins observed behavior:
+the exact (type, sim-time) sequence a small deterministic scenario emits
+through ``repro.obs``.  Runs are deterministic, so any change to the
+emit points — a reordered reconcile, a lost billing event, a new emit in
+the executor's tick path — shows up as a diff against this list rather
+than as a silent change to every future trace.
+"""
+
+from __future__ import annotations
+
+from repro.engine import FluidExecutor
+from repro.experiments import Scenario, fig1_dataflow, run_policy
+from repro.obs import collector
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+
+SCENARIO = dict(
+    rate=5.0,
+    rate_kind="wave",
+    variability="both",
+    period=600.0,
+    interval=60.0,
+    seed=7,
+)
+
+#: (type, sim-time) of every event the run above emits, in order.
+GOLDEN_SEQUENCE = [
+    ("vm_provisioned", 0.0),
+    ("vm_provisioned", 0.0),
+    ("vm_provisioned", 0.0),
+    ("vm_provisioned", 0.0),
+    ("allocation_changed", 0.0),
+    ("interval_stats", 60.0),
+    ("billing_hour_started", 0.0),
+    ("billing_hour_started", 0.0),
+    ("billing_hour_started", 0.0),
+    ("billing_hour_started", 0.0),
+    ("adaptation_decision", 60.0),
+    ("allocation_changed", 60.0),
+    ("interval_stats", 120.0),
+    ("adaptation_decision", 120.0),
+    ("interval_stats", 180.0),
+    ("adaptation_decision", 180.0),
+    ("allocation_changed", 180.0),
+    ("interval_stats", 240.0),
+    ("adaptation_decision", 240.0),
+    ("allocation_changed", 240.0),
+    ("interval_stats", 300.0),
+    ("adaptation_decision", 300.0),
+    ("interval_stats", 360.0),
+    ("adaptation_decision", 360.0),
+    ("interval_stats", 420.0),
+    ("adaptation_decision", 420.0),
+    ("vm_provisioned", 420.0),
+    ("allocation_changed", 420.0),
+    ("interval_stats", 480.0),
+    ("billing_hour_started", 420.0),
+    ("adaptation_decision", 480.0),
+    ("interval_stats", 540.0),
+    ("adaptation_decision", 540.0),
+    ("vm_provisioned", 540.0),
+    ("allocation_changed", 540.0),
+    ("interval_stats", 600.0),
+    ("billing_hour_started", 540.0),
+]
+
+
+def traced_run():
+    collector.reset()
+    with collector.tracing():
+        run_policy(Scenario(**SCENARIO), "global")
+    return collector.events()
+
+
+def test_golden_event_sequence():
+    events = traced_run()
+    assert [(e.type, e.t) for e in events] == GOLDEN_SEQUENCE
+
+
+def test_sequence_numbers_are_dense_and_ordered():
+    events = traced_run()
+    assert [e.seq for e in events] == list(range(len(events)))
+
+
+def test_trace_contains_required_event_kinds():
+    """ISSUE acceptance: a traced fixed-seed run must show at least one
+    adaptation decision, one provisioning, and one interval roll-up."""
+    by_type = {e.type for e in traced_run()}
+    assert "adaptation_decision" in by_type
+    assert "vm_provisioned" in by_type
+    assert "interval_stats" in by_type
+
+
+def test_disabled_run_emits_nothing():
+    run_policy(Scenario(**SCENARIO), "global")
+    assert collector.events() == ()
+
+
+def test_alternate_switch_emits_diff_only():
+    env = Environment()
+    provider = CloudProvider(aws_2013_catalog())
+    vm = provider.provision("m1.xlarge", now=0.0)
+    df = fig1_dataflow()
+    for name in df.pe_names:
+        vm.allocate(name, 1)
+    ex = FluidExecutor(
+        env, df, provider, {"E1": ConstantRate(2.0)},
+        selection=df.default_selection(),
+    )
+    ex.sync()
+    collector.reset()
+    with collector.tracing():
+        before = dict(ex.selection)
+        target = dict(before)
+        target["E2"] = "e2.2" if before["E2"] != "e2.2" else "e2.1"
+        ex.set_selection(target)     # one real change → one switch event
+        ex.set_selection(target)     # no-op → no event
+    switched = [
+        e for e in collector.events() if e.type == "alternate_switched"
+    ]
+    assert len(switched) == 1
+    assert switched[0].payload["switches"] == [
+        {"pe": "E2", "from": before["E2"], "to": target["E2"]}
+    ]
