@@ -1,9 +1,11 @@
 """Bench driver: substrate throughput → ``BENCH_engine.json``.
 
 Measures the raw speed of the layers every experiment rests on — the DES
-kernel's event loop and the fluid executor's tick rate at two fleet
-sizes — and appends the numbers to the repo-root ``BENCH_engine.json``
-perf trajectory.
+kernel's event loop, the fluid executor's tick rate at two fleet sizes,
+and the per-interval latency of the runtime adaptation decision
+(``decision_ns``, the §7 "heuristics must be cheap relative to the
+interval" path) — and appends the numbers to the repo-root
+``BENCH_engine.json`` perf trajectory.
 
 Run it directly::
 
@@ -16,6 +18,7 @@ the same rigs interactively; this driver is the one that *records*.
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 import time
@@ -24,8 +27,9 @@ from typing import Optional
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.cloud import CloudProvider, ConstantPerformance, aws_2013_catalog
+from repro.core import AdaptationConfig, ClusterView, RuntimeAdaptation, Snapshot
 from repro.engine import FluidExecutor
-from repro.experiments import fig1_dataflow
+from repro.experiments import fig1_dataflow, scaled_dataflow
 from repro.sim import Environment
 from repro.workloads import ConstantRate
 
@@ -34,6 +38,78 @@ import bench_common
 #: Fleet sizes mirroring test_bench_engine_throughput.py.
 SMALL_FLEET = 4
 LARGE_FLEET = 80
+
+#: Decision-latency rig shape: a "10's of alternates" scaled dataflow.
+DECISION_STAGES = 4
+DECISION_ALTERNATES = 3
+DECISION_RATE = 20.0
+#: Fraction of the ideal capacity the rig provisions — inside the
+#: (Ω̂ − ε, Ω̂ + ε + margin) dead zone so the resource stage predicts but
+#: neither scales out nor in, which is the steady-state per-interval cost.
+DECISION_PROVISION = 0.72
+
+
+def _decision_snapshots(
+    strategy: str = "global",
+) -> tuple[RuntimeAdaptation, list[Snapshot]]:
+    """A provisioned cluster plus under/steady/over interval snapshots."""
+    df = scaled_dataflow(stages=DECISION_STAGES, alternates=DECISION_ALTERNATES)
+    catalog = aws_2013_catalog()
+    cfg = AdaptationConfig(strategy=strategy, omega_min=0.7, epsilon=0.05)
+    adaptation = RuntimeAdaptation(df, catalog, cfg)
+
+    selection = df.default_selection()
+    input_rates = {n: DECISION_RATE for n in df.inputs}
+    ideal = df.ideal_rates(selection, input_rates)
+    largest = adaptation.catalog[-1]
+
+    cluster = ClusterView()
+    vm = cluster.new_vm(largest)
+    for name in df.pe_names:
+        units = (
+            DECISION_PROVISION
+            * ideal[name][0]
+            * df.active_alternate(selection, name).cost
+        )
+        cores = max(1, math.ceil(units / largest.core_speed))
+        while cores > 0:
+            if vm.free_cores == 0:
+                vm = cluster.new_vm(largest)
+            take = min(cores, vm.free_cores)
+            vm.allocate(name, take)
+            cores -= take
+
+    arrival_rates = {n: ideal[n][0] for n in df.pe_names}
+    backlogs = {n: 0.0 for n in df.pe_names}
+    snapshots = [
+        Snapshot(
+            time=600.0,
+            selection=selection,
+            cluster=cluster,
+            input_rates=input_rates,
+            arrival_rates=arrival_rates,
+            omega_last=omega_last,
+            omega_average=0.72,
+            backlogs=backlogs,
+            cumulative_cost=10.0,
+        )
+        # Cycle the under / steady / over alternate-selection directions
+        # the way a wavy workload does interval to interval.
+        for omega_last in (0.60, 0.70, 0.80)
+    ]
+    return adaptation, snapshots
+
+
+def _decision_ns(n_decisions: int, strategy: str = "global") -> float:
+    """Mean wall-clock nanoseconds per RuntimeAdaptation.adapt() call."""
+    adaptation, snapshots = _decision_snapshots(strategy)
+    # Warm-up: one pass over every (snapshot, stage-cadence) combination.
+    for k in range(1, len(snapshots) * 2 + 1):
+        adaptation.adapt(snapshots[(k - 1) % len(snapshots)], k)
+    t0 = time.perf_counter()
+    for k in range(1, n_decisions + 1):
+        adaptation.adapt(snapshots[(k - 1) % len(snapshots)], k)
+    return (time.perf_counter() - t0) / n_decisions * 1e9
 
 
 def _kernel_events_per_s(n_events: int) -> float:
@@ -79,6 +155,7 @@ def run_engine_bench(
     """Measure and (optionally) record engine throughput metrics."""
     n_events = 10_000 if quick else 100_000
     horizon = 300.0 if quick else 3600.0
+    n_decisions = 100 if quick else 1000
     metrics = {
         "kernel_events_per_s": _kernel_events_per_s(n_events),
         "fluid_small_ticks_per_s": _fluid_ticks_per_s(
@@ -87,6 +164,7 @@ def run_engine_bench(
         "fluid_large_ticks_per_s": _fluid_ticks_per_s(
             50.0, LARGE_FLEET, horizon
         ),
+        "decision_ns": _decision_ns(n_decisions),
     }
     meta = {
         "quick": quick,
@@ -94,6 +172,10 @@ def run_engine_bench(
         "small_fleet": SMALL_FLEET,
         "large_fleet": LARGE_FLEET,
         "horizon_s": horizon,
+        "decision_iters": n_decisions,
+        "decision_strategy": "global",
+        "decision_stages": DECISION_STAGES,
+        "decision_alternates": DECISION_ALTERNATES,
     }
     if write:
         path = output or bench_common.bench_path("engine")

@@ -3,7 +3,12 @@
 Times the fig8-style (policy × rate) grid — the shape behind every cost
 figure — serially and with the process-parallel harness, verifies the
 parallel rows are bit-identical to the serial ones, and appends cells/s
-plus the measured speedup to the repo-root ``BENCH_sweep.json``.
+plus the measured speedup to the repo-root ``BENCH_sweep.json``.  The
+serial/parallel sections run with the result cache disabled (reused rows
+would fake the parallel speedup); a third section then measures the
+cache itself — a cold sweep into a fresh cache directory versus the warm
+re-run — and records the warm speedup plus hit/miss counts in the entry
+meta, asserting warm rows stay bit-identical to cold rows.
 
 Run it directly::
 
@@ -13,16 +18,20 @@ Run it directly::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
+import tempfile
 import time
-from typing import Optional
+from typing import Iterator, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments import Scenario, resolve_jobs
+from repro.experiments import cache as result_cache
 from repro.experiments import parallel as parallel_mod
 from repro.experiments import runner
+from repro.util import perf
 
 import bench_common
 
@@ -47,6 +56,40 @@ def _grid(quick: bool) -> tuple[list[Scenario], list[str]]:
     return scenarios, policies
 
 
+@contextlib.contextmanager
+def _cache_env(enabled: bool, directory: Optional[str] = None) -> Iterator[None]:
+    """Pin the result-cache state for a measured section, then restore.
+
+    Sets both the module flag and the environment variables so parallel
+    sweep workers (fork or spawn) observe the same state.
+    """
+    saved_env = {
+        key: os.environ.get(key) for key in ("REPRO_CACHE", "REPRO_CACHE_DIR")
+    }
+    was_enabled = result_cache.enabled()
+    os.environ["REPRO_CACHE"] = "1" if enabled else "0"
+    if directory is not None:
+        os.environ["REPRO_CACHE_DIR"] = directory
+    (result_cache.enable if enabled else result_cache.disable)()
+    try:
+        yield
+    finally:
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        (result_cache.enable if was_enabled else result_cache.disable)()
+
+
+def _cache_counts() -> tuple[int, int]:
+    counters = perf.snapshot()["counters"]
+    return (
+        int(counters.get("cache.hits", 0)),
+        int(counters.get("cache.misses", 0)),
+    )
+
+
 def run_sweep_bench(
     quick: bool = False,
     jobs: Optional[int] = None,
@@ -58,16 +101,37 @@ def run_sweep_bench(
     n_cells = len(scenarios) * len(policies)
     jobs = jobs if jobs is not None else max(2, min(4, os.cpu_count() or 1))
 
-    t0 = time.perf_counter()
-    serial_rows = runner.sweep(scenarios, policies, jobs=1)
-    serial_s = time.perf_counter() - t0
+    # Serial vs parallel with the cache OFF: the parallel run must redo
+    # the work, not fetch the serial run's rows.
+    with _cache_env(enabled=False):
+        t0 = time.perf_counter()
+        serial_rows = runner.sweep(scenarios, policies, jobs=1)
+        serial_s = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    parallel_rows = parallel_mod.sweep(scenarios, policies, jobs=jobs)
-    parallel_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel_rows = parallel_mod.sweep(scenarios, policies, jobs=jobs)
+        parallel_s = time.perf_counter() - t0
 
     identical = parallel_rows == serial_rows
     assert identical, "parallel sweep diverged from serial rows"
+
+    # Cache section: cold sweep into a fresh directory, then the warm
+    # re-run of the identical grid (this is the `figures` re-run shape).
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as tmp:
+        with _cache_env(enabled=True, directory=tmp), perf.collecting():
+            hits0, misses0 = _cache_counts()
+            t0 = time.perf_counter()
+            cold_rows = runner.sweep(scenarios, policies, jobs=1)
+            cache_cold_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            warm_rows = runner.sweep(scenarios, policies, jobs=1)
+            cache_warm_s = time.perf_counter() - t0
+            hits1, misses1 = _cache_counts()
+
+    cache_identical = warm_rows == cold_rows == serial_rows
+    assert cache_identical, "cached rows diverged from fresh rows"
+    cache_warm_speedup = cache_cold_s / max(cache_warm_s, 1e-9)
 
     metrics = {
         "cells": float(n_cells),
@@ -76,6 +140,9 @@ def run_sweep_bench(
         "cells_per_s_serial": n_cells / serial_s,
         "cells_per_s_parallel": n_cells / parallel_s,
         "speedup": serial_s / parallel_s,
+        "cache_cold_s": cache_cold_s,
+        "cache_warm_s": cache_warm_s,
+        "cache_warm_speedup": cache_warm_speedup,
     }
     meta = {
         "quick": quick,
@@ -85,6 +152,10 @@ def run_sweep_bench(
         "policies": list(policies),
         "rates": [s.rate for s in scenarios],
         "rows_identical": identical,
+        "cache_rows_identical": cache_identical,
+        "cache_warm_speedup": cache_warm_speedup,
+        "cache_hits": hits1 - hits0,
+        "cache_misses": misses1 - misses0,
     }
     if write:
         path = output or bench_common.bench_path("sweep")

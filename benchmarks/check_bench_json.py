@@ -84,7 +84,41 @@ def validate_file(path: Union[str, pathlib.Path]) -> dict:
                             f"{value!r}")
             if not math.isfinite(value):
                 _fail(path, f"{where} metric {name!r} is not finite: {value!r}")
+        _validate_known_fields(path, where, metrics, entry["meta"])
     return data
+
+
+def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
+    """Field-specific invariants beyond "finite number".
+
+    ``decision_ns`` is a latency and must be positive; the result-cache
+    bookkeeping (``cache_hits``/``cache_misses``/``cache_entries`` meta)
+    must be non-negative integers and ``cache_warm_speedup`` a positive
+    finite ratio.
+    """
+    if "decision_ns" in metrics and metrics["decision_ns"] <= 0:
+        _fail(path, f"{where} metric 'decision_ns' must be positive: "
+                    f"{metrics['decision_ns']!r}")
+    for name in ("cache_hits", "cache_misses", "cache_entries"):
+        if name in meta:
+            value = meta[name]
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 0
+            ):
+                _fail(path, f"{where} meta {name!r} must be a non-negative "
+                            f"integer: {value!r}")
+    if "cache_warm_speedup" in meta:
+        value = meta["cache_warm_speedup"]
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or not math.isfinite(value)
+            or value <= 0
+        ):
+            _fail(path, f"{where} meta 'cache_warm_speedup' must be a "
+                        f"positive finite number: {value!r}")
 
 
 def main(argv=None) -> int:

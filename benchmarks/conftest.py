@@ -24,7 +24,9 @@ import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.experiments import cache as result_cache
 from repro.experiments.parallel import resolve_jobs
+from repro.util import perf
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
 
@@ -33,13 +35,21 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Default scenario seed shared by the figure drivers (figures 4–9).
 DEFAULT_SEED = 7
 
+# Collect perf counters for the whole bench session so the headers can
+# report result-cache hit/miss counts alongside jobs and seed.
+perf.enable()
+
 
 def bench_header() -> str:
-    """One-line run context: worker count, seed, host CPUs, scale mode."""
+    """One-line run context: workers, seed, host CPUs, scale, cache state."""
+    counters = perf.snapshot()["counters"]
     return (
         f"bench config: jobs={resolve_jobs(None)} seed={DEFAULT_SEED} "
         f"host_cpus={os.cpu_count() or 1} "
-        f"scale={'full' if FULL else 'fast'}"
+        f"scale={'full' if FULL else 'fast'} "
+        f"cache={'on' if result_cache.enabled() else 'off'} "
+        f"cache_hits={int(counters.get('cache.hits', 0))} "
+        f"cache_misses={int(counters.get('cache.misses', 0))}"
     )
 
 
@@ -48,10 +58,19 @@ def pytest_report_header(config):
 
 
 @pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Per-test cache directory: benchmarks must measure fresh runs, not
+    rows another test (or a developer's repo-local cache) left behind."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(autouse=True)
 def _print_bench_header(request):
-    """Lead every benchmark's captured output with the run context."""
+    """Bracket every benchmark's captured output with the run context
+    (the trailing line carries the test's cache hit/miss deltas)."""
     print(f"\n[{request.node.name}] {bench_header()}")
     yield
+    print(f"[{request.node.name} done] {bench_header()}")
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,12 @@ Commands
     Summarize / filter / dump a JSONL run trace (see ``repro.obs``).
 ``policies``
     List the available scheduling policies.
+``cache``
+    Inspect (``stats``) or empty (``clear``) the sweep result cache.
+
+Sweep-backed commands (``compare``, ``figures``) consult the
+content-addressed result cache by default; pass ``--no-cache`` (or set
+``REPRO_CACHE=0``) to force fresh runs.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Optional, Sequence
 
 from . import obs
 from .core.policies import POLICY_NAMES
+from .experiments import cache as result_cache
 from .experiments.figures import ALL_FIGURES
 from .experiments.runner import sweep
 from .experiments.scenarios import Scenario, run_policy
@@ -81,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "default: the REPRO_JOBS env var, else serial)",
         )
 
+    def add_cache_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="bypass the sweep result cache (same as REPRO_CACHE=0)",
+        )
+
     run_p = sub.add_parser("run", help="run one policy on one scenario")
     run_p.add_argument("policy", choices=POLICY_NAMES)
     add_scenario_args(run_p)
@@ -94,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("policies", nargs="+", choices=POLICY_NAMES)
     add_scenario_args(cmp_p)
     add_jobs_arg(cmp_p)
+    add_cache_arg(cmp_p)
 
     fig_p = sub.add_parser("figures", help="regenerate evaluation figures")
     fig_p.add_argument(
@@ -103,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--full", action="store_true",
                        help="paper-scale configuration (slow)")
     add_jobs_arg(fig_p)
+    add_cache_arg(fig_p)
 
     trace_p = sub.add_parser(
         "trace", help="summarize / filter / dump a JSONL run trace"
@@ -127,7 +142,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="row cap for --events (default 50)")
 
     sub.add_parser("policies", help="list available policies")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the sweep result cache"
+    )
+    cache_p.add_argument("action", choices=("stats", "clear"))
     return parser
+
+
+def _apply_no_cache(args: argparse.Namespace) -> None:
+    """Honour ``--no-cache``: disable here and in spawned sweep workers."""
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_CACHE"] = "0"
+        result_cache.disable()
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -167,6 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    _apply_no_cache(args)
     scenario = _scenario_from(args)
     print(
         f"{'policy':>18}  {'Θ':>8}  {'Γ̄':>6}  {'Ω̄':>6}  {'ok':>3}  "
@@ -183,6 +211,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    _apply_no_cache(args)
     which = args.which or sorted(ALL_FIGURES)
     unknown = [w for w in which if w not in ALL_FIGURES]
     if unknown:
@@ -230,6 +259,22 @@ def _cmd_policies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "clear":
+        removed = result_cache.clear()
+        print(f"cache clear: removed {removed} entries")
+        return 0
+    info = result_cache.stats()
+    print(f"cache dir:  {info['dir']}")
+    print(f"enabled:    {info['enabled']}")
+    print(f"entries:    {info['entries']}")
+    print(
+        f"size:       {info['bytes'] / 1024:.1f} KiB "
+        f"(cap {info['max_bytes'] / (1024 * 1024):.0f} MiB)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -239,6 +284,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _cmd_figures,
         "trace": _cmd_trace,
         "policies": _cmd_policies,
+        "cache": _cmd_cache,
     }[args.command]
     try:
         return handler(args)

@@ -129,6 +129,21 @@ class RuntimeAdaptation:
         self.dataflow = dataflow
         self.catalog = sorted(catalog)
         self.config = config or AdaptationConfig()
+        # -- decision fast-path caches (behaviour-preserving memoization).
+        # The topology is immutable, so anything keyed purely on the graph
+        # (successor closures) or on (selection, direction) pairs (ranking
+        # costs, candidate orders) can be computed once and replayed.
+        self._pe_order: tuple[str, ...] = tuple(dataflow.pe_names)
+        #: selection-key → (ranking_costs, {pe: under-order}, {pe: over-order})
+        self._rank_cache: dict[tuple, tuple] = {}
+        #: pe name → transitive successors in _downstream_units visit order
+        self._succ_closure: dict[str, tuple[str, ...]] = {}
+        #: ascending (capacity, class) pairs for best-fit provisioning
+        self._provision_order = [
+            (klass.total_capacity, klass) for klass in self.catalog
+        ]
+        self._prev_snapshot: Optional[Snapshot] = None
+        self._prev_input_demand: dict[str, float] = {}
 
     # -- public ------------------------------------------------------------------
 
@@ -196,7 +211,10 @@ class RuntimeAdaptation:
         if not under and not over:
             return selection
 
-        ranking_costs = self._ranking_costs(selection)
+        ranking_costs, under_orders, over_orders = self._rank_entry(selection)
+        # The alternate stage never reallocates cores, so one aggregation
+        # pass over the fleet serves every PE (and _downstream_units).
+        units = cluster.pe_units_map()
 
         for name in df.topological_order():
             p = df[name]
@@ -204,11 +222,16 @@ class RuntimeAdaptation:
                 continue
             arrival = self._demand_rate(snapshot, name)
             active = p.alternate(selection[name])
-            available = cluster.pe_units(name)
+            available = units.get(name, 0.0)
             needed_active = arrival * active.cost
 
+            # Candidates come pre-sorted by the direction's ranking key
+            # (value density under; value, then density, over — see
+            # _rank_entry); filtering preserves that order, so this equals
+            # the old build-then-sort with the per-call sort hoisted out.
+            order = under_orders[name] if under else over_orders[name]
             feasible: list[Alternate] = []
-            for alt in p.alternates:
+            for alt in order:
                 needed = arrival * alt.cost
                 if under and needed <= needed_active + _EPS:
                     feasible.append(alt)
@@ -217,26 +240,6 @@ class RuntimeAdaptation:
             if not feasible:
                 continue
 
-            if under:
-                # Trading value for throughput: best value density first.
-                feasible.sort(
-                    key=lambda a: (
-                        p.relative_value(a) / ranking_costs[name][a.name],
-                        a.name,
-                    ),
-                    reverse=True,
-                )
-            else:
-                # Spending slack on value: highest value first, density as
-                # the tie-break.
-                feasible.sort(
-                    key=lambda a: (
-                        p.relative_value(a),
-                        p.relative_value(a) / ranking_costs[name][a.name],
-                        a.name,
-                    ),
-                    reverse=True,
-                )
             chosen: Optional[str] = None
             for alt in feasible:
                 if under:
@@ -254,7 +257,7 @@ class RuntimeAdaptation:
                         # "avoid re-deployment to increase the application
                         # value" at low rates (paper §8.2).
                         pool = available + self._downstream_units(
-                            cluster, name
+                            units, name
                         )
                         fits = (
                             arrival * ranking_costs[name][alt.name]
@@ -277,19 +280,86 @@ class RuntimeAdaptation:
                 )
         return selection
 
-    def _downstream_units(self, cluster: ClusterView, pe_name: str) -> float:
-        """Units held by every transitive successor of ``pe_name``."""
-        seen: set[str] = set()
-        frontier = list(self.dataflow.successors(pe_name))
+    def _downstream_units(
+        self, units: Mapping[str, float], pe_name: str
+    ) -> float:
+        """Units held by every transitive successor of ``pe_name``.
+
+        ``units`` is a :meth:`~repro.core.state.ClusterView.pe_units_map`
+        aggregate.  The traversal order over the (immutable) topology is
+        memoized per PE; summing in that recorded visit order keeps the
+        float result bit-identical to the original walk.
+        """
+        order = self._succ_closure.get(pe_name)
+        if order is None:
+            seen: set[str] = set()
+            visit: list[str] = []
+            frontier = list(self.dataflow.successors(pe_name))
+            while frontier:
+                n = frontier.pop()
+                if n in seen:
+                    continue
+                seen.add(n)
+                visit.append(n)
+                frontier.extend(self.dataflow.successors(n))
+            order = self._succ_closure[pe_name] = tuple(visit)
         total = 0.0
-        while frontier:
-            n = frontier.pop()
-            if n in seen:
-                continue
-            seen.add(n)
-            total += cluster.pe_units(n)
-            frontier.extend(self.dataflow.successors(n))
+        for n in order:
+            total += units.get(n, 0.0)
         return total
+
+    def _rank_entry(
+        self, selection: Mapping[str, str]
+    ) -> tuple[dict, dict, dict]:
+        """Memoized (ranking costs, under-orders, over-orders) per selection.
+
+        Local ranking costs ignore the selection entirely (one cache
+        entry); global costs depend on it, so the key is the active
+        alternate of every PE.  The per-PE candidate orders replay the
+        exact sort keys the alternate stage used to apply per call; each
+        key ends in the (unique) alternate name, a strict total order, so
+        pre-sorting all alternates and filtering later is equivalent to
+        sorting each feasible subset.
+        """
+        if self.config.strategy == "local":
+            key: tuple = ()
+        else:
+            key = tuple(selection[n] for n in self._pe_order)
+        entry = self._rank_cache.get(key)
+        if entry is None:
+            if len(self._rank_cache) > 256:
+                self._rank_cache.clear()
+            costs = self._ranking_costs(selection)
+            under_orders: dict[str, tuple[Alternate, ...]] = {}
+            over_orders: dict[str, tuple[Alternate, ...]] = {}
+            for p in self.dataflow.pes:
+                if len(p) == 1:
+                    continue
+                rc = costs[p.name]
+                under_orders[p.name] = tuple(
+                    sorted(
+                        p.alternates,
+                        key=lambda a: (
+                            p.relative_value(a) / rc[a.name],
+                            a.name,
+                        ),
+                        reverse=True,
+                    )
+                )
+                over_orders[p.name] = tuple(
+                    sorted(
+                        p.alternates,
+                        key=lambda a: (
+                            p.relative_value(a),
+                            p.relative_value(a) / rc[a.name],
+                            a.name,
+                        ),
+                        reverse=True,
+                    )
+                )
+            entry = (costs, under_orders, over_orders)
+            self._rank_cache[key] = entry
+        return entry
 
     def _ranking_costs(
         self, selection: Mapping[str, str]
@@ -356,29 +426,34 @@ class RuntimeAdaptation:
     ) -> None:
         cfg = self.config
         df = self.dataflow
-        order = df.forward_bfs_order()
         target = min(1.0, cfg.omega_min + cfg.epsilon / 2)
+
+        # A PE is a bottleneck if it cannot serve the constraint's share
+        # of its *ideal* arrivals plus its backlog-drain rate.  (Sizing
+        # against throttled arrivals would compound Ω̂ per stage and
+        # converge to Ω̂^depth instead of Ω̂.)  The required capacities
+        # depend only on the snapshot and selection, both fixed across the
+        # add-one-core iterations, so they are computed once.
+        required_by_pe: list[tuple[str, float]] = []
+        ideal = df.ideal_rates(selection, input_rates)
+        for name in df.forward_bfs_order():
+            backlog = float(snapshot.backlogs.get(name, 0.0))
+            drain = backlog / (cfg.drain_intervals * cfg.interval)
+            required = min(
+                cfg.omega_min * ideal[name][0] + drain,
+                cfg.burst_factor * max(ideal[name][0], _EPS),
+            )
+            if required > _EPS:
+                required_by_pe.append((name, required))
+
         while True:
             caps = cluster.capacities(df, selection)
             flow = constrained_rates(df, selection, input_rates, caps)
             omega = relative_application_throughput(df, flow)
-            ideal = df.ideal_rates(selection, input_rates)
 
-            # A PE is a bottleneck if it cannot serve the constraint's
-            # share of its *ideal* arrivals plus its backlog-drain rate.
-            # (Sizing against throttled arrivals would compound Ω̂ per
-            # stage and converge to Ω̂^depth instead of Ω̂.)
             bottleneck = None
             worst = 1.0 - 1e-6
-            for name in order:
-                backlog = float(snapshot.backlogs.get(name, 0.0))
-                drain = backlog / (cfg.drain_intervals * cfg.interval)
-                required = min(
-                    cfg.omega_min * ideal[name][0] + drain,
-                    cfg.burst_factor * max(ideal[name][0], _EPS),
-                )
-                if required <= _EPS:
-                    continue
+            for name, required in required_by_pe:
                 ratio = caps.get(name, 0.0) / required
                 if ratio < worst:
                     bottleneck = name
@@ -389,8 +464,7 @@ class RuntimeAdaptation:
                 # Ω trails the target yet no PE is saturated (e.g. input
                 # rates dipped): nothing a core can fix right now.
                 break
-            total = sum(vm.used_cores for vm in cluster.vms)
-            if total >= cfg.max_cores:
+            if cluster.total_used_cores() >= cfg.max_cores:
                 break
             self._add_core(cluster, bottleneck, snapshot, selection)
 
@@ -441,8 +515,10 @@ class RuntimeAdaptation:
         cost = self.dataflow.active_alternate(selection, pe_name).cost
         demand_units = self._demand_rate(snapshot, pe_name) * cost
         deficit = max(demand_units - cluster.pe_units(pe_name), 0.0)
-        for klass in self.catalog:  # ascending capacity
-            if klass.total_capacity >= deficit - _EPS:
+        # _provision_order pairs ascending capacities with their classes,
+        # hoisting the per-call total_capacity recomputation.
+        for capacity, klass in self._provision_order:
+            if capacity >= deficit - _EPS:
                 return klass
         return self.catalog[-1]
 
@@ -516,8 +592,36 @@ class RuntimeAdaptation:
         return arrival + backlog / (cfg.drain_intervals * cfg.interval)
 
     def _input_demand(self, snapshot: Snapshot) -> dict[str, float]:
-        """Input-PE rates inflated by their backlog drain requirement."""
-        return {
-            name: self._demand_rate(snapshot, name)
-            for name in self.dataflow.inputs
-        }
+        """Input-PE rates inflated by their backlog drain requirement.
+
+        Computed incrementally against the previous interval's snapshot:
+        an input PE whose observed rates and backlog are unchanged reuses
+        its previous demand value instead of re-deriving it.  Steady
+        workloads (and repeated adapt() calls on one snapshot) hit this
+        every interval.
+        """
+        prev = self._prev_snapshot
+        prev_demand = self._prev_input_demand
+        out: dict[str, float] = {}
+        if prev is snapshot:
+            out.update(prev_demand)
+        elif prev is None:
+            for name in self.dataflow.inputs:
+                out[name] = self._demand_rate(snapshot, name)
+        else:
+            for name in self.dataflow.inputs:
+                if (
+                    name in prev_demand
+                    and snapshot.arrival_rates.get(name, 0.0)
+                    == prev.arrival_rates.get(name, 0.0)
+                    and snapshot.input_rates.get(name, 0.0)
+                    == prev.input_rates.get(name, 0.0)
+                    and snapshot.backlogs.get(name, 0.0)
+                    == prev.backlogs.get(name, 0.0)
+                ):
+                    out[name] = prev_demand[name]
+                else:
+                    out[name] = self._demand_rate(snapshot, name)
+        self._prev_snapshot = snapshot
+        self._prev_input_demand = out
+        return dict(out)

@@ -78,6 +78,23 @@ class Bin:
         self.items.append((label, size))
 
 
+#: Memoized (price, capacity)-sorted orders, keyed by the class tuple.
+#: Callers (deployment, repacking, adaptation) pass the same catalog on
+#: every call, so the sort runs once per catalog instead of per query.
+_price_order_cache: dict[tuple, tuple] = {}
+
+
+def _price_order(classes: Sequence[BinClass]) -> tuple[BinClass, ...]:
+    key = tuple(classes)
+    order = _price_order_cache.get(key)
+    if order is None:
+        if len(_price_order_cache) > 64:
+            _price_order_cache.clear()
+        order = tuple(sorted(key, key=lambda c: (c.price, c.capacity)))
+        _price_order_cache[key] = order
+    return order
+
+
 def cheapest_class_for(
     size: float, classes: Sequence[BinClass]
 ) -> Optional[BinClass]:
@@ -88,10 +105,12 @@ def cheapest_class_for(
     """
     if size < 0:
         raise ValueError("size must be non-negative")
-    candidates = [c for c in classes if c.capacity >= size - _EPS]
-    if not candidates:
-        return None
-    return min(candidates, key=lambda c: (c.price, c.capacity))
+    # First fitting class in stable (price, capacity) order ≡ the old
+    # min() over the filtered candidates, including tie resolution.
+    for klass in _price_order(classes):
+        if klass.capacity >= size - _EPS:
+            return klass
+    return None
 
 
 def greedy_cover(size: float, classes: Sequence[BinClass]) -> list[BinClass]:

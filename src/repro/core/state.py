@@ -115,14 +115,16 @@ class VMView:
         return n
 
     def clone(self) -> "VMView":
-        return VMView(
-            vm_class=self.vm_class,
-            instance_id=self.instance_id,
-            coefficient=self.coefficient,
-            allocations=dict(self.allocations),
-            paid_seconds_remaining=self.paid_seconds_remaining,
-            plan_key=self.plan_key,
-        )
+        # Bypasses __init__/__post_init__: a valid view clones to a valid
+        # view, and the adaptation loop clones whole fleets every interval.
+        new = VMView.__new__(VMView)
+        new.vm_class = self.vm_class
+        new.instance_id = self.instance_id
+        new.coefficient = self.coefficient
+        new.allocations = dict(self.allocations)
+        new.paid_seconds_remaining = self.paid_seconds_remaining
+        new.plan_key = self.plan_key
+        return new
 
 
 class ClusterView:
@@ -165,7 +167,11 @@ class ClusterView:
         return list(self._vms.values())
 
     def clone(self) -> "ClusterView":
-        return ClusterView(vm.clone() for vm in self._vms.values())
+        # Clones preserve keys by construction, so the duplicate check in
+        # add() is skipped on this (hot) path.
+        new = ClusterView.__new__(ClusterView)
+        new._vms = {key: vm.clone() for key, vm in self._vms.items()}
+        return new
 
     # -- queries -----------------------------------------------------------
 
@@ -182,8 +188,29 @@ class ClusterView:
         """Total standard capacity units allocated to a PE."""
         return sum(vm.units_for(pe_name) for vm in self._vms.values())
 
+    def pe_units_map(self) -> dict[str, float]:
+        """Standard capacity units per PE, for every hosted PE, in one pass.
+
+        Equivalent to ``{pe: self.pe_units(pe)}`` restricted to PEs with at
+        least one core, but O(Σ allocations) instead of O(VMs × PEs): each
+        VM contributes only the PEs it actually hosts.  Per-PE float sums
+        accumulate in the same VM order as :meth:`pe_units`, so the values
+        are bit-identical (skipped terms are exact zeros).
+        """
+        totals: dict[str, float] = {}
+        get = totals.get
+        for vm in self._vms.values():
+            core_units = vm.vm_class.core_speed * vm.coefficient
+            for pe_name, cores in vm.allocations.items():
+                totals[pe_name] = get(pe_name, 0.0) + cores * core_units
+        return totals
+
     def pe_cores(self, pe_name: str) -> int:
         return sum(vm.allocations.get(pe_name, 0) for vm in self._vms.values())
+
+    def total_used_cores(self) -> int:
+        """Cores allocated across the whole fleet."""
+        return sum(vm.used_cores for vm in self._vms.values())
 
     def capacities(
         self,
@@ -191,10 +218,11 @@ class ClusterView:
         selection: Mapping[str, str],
     ) -> dict[str, float]:
         """Sustainable messages/second per PE under ``selection``."""
+        units = self.pe_units_map()
         out: dict[str, float] = {}
         for name in dataflow.pe_names:
             cost = dataflow.active_alternate(selection, name).cost
-            out[name] = self.pe_units(name) / cost
+            out[name] = units.get(name, 0.0) / cost
         return out
 
     def total_hourly_price(self) -> float:

@@ -75,6 +75,16 @@ class PerMessageExecutor:
 
         #: One input queue per (PE, VM) hosting it.
         self._queues: dict[tuple[str, str], Store] = {}
+        #: Per-PE routing, precomputed once: the deployment (and thus the
+        #: topology) is fixed for this executor's lifetime, so _emit never
+        #: needs to rebuild successor target lists per message.
+        self._succ_targets: dict[str, tuple[str, ...]] = {
+            name: dataflow.successors(name) for name in dataflow.pe_names
+        }
+        self._and_split: dict[str, bool] = {
+            name: dataflow.split_pattern(name) is SplitPattern.AND_SPLIT
+            for name in dataflow.pe_names
+        }
         #: Fractional-selectivity accumulators per PE (selectivity < 1
         #: emits one message every 1/s inputs, deterministically).
         self._sel_acc: dict[str, float] = {}
@@ -216,16 +226,24 @@ class PerMessageExecutor:
                         message.created_at, self.env.now
                     )
 
-        succ = df.successors(pe_name)
+        succ = self._succ_targets[pe_name]
         if not succ:
             return
-        split = df.split_pattern(pe_name)
-        for _ in range(emitted):
-            if split is SplitPattern.AND_SPLIT:
-                targets = list(succ)
-            else:
-                targets = [succ[int(self.rng.integers(len(succ)))]]
-            for nxt in targets:
+        # No per-message target-list allocation: an and-split fans out to
+        # the precomputed successor tuple, anything else draws one target.
+        # The RNG call pattern matches the old code exactly (no draw for
+        # and-split), so message trajectories are unchanged.
+        if self._and_split[pe_name]:
+            for _ in range(emitted):
+                for nxt in succ:
+                    self.env.process(
+                        self._transfer(vm, nxt, message),
+                        name=f"xfer:{pe_name}->{nxt}",
+                    )
+        else:
+            n_succ = len(succ)
+            for _ in range(emitted):
+                nxt = succ[int(self.rng.integers(n_succ))]
                 self.env.process(
                     self._transfer(vm, nxt, message),
                     name=f"xfer:{pe_name}->{nxt}",

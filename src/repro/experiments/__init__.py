@@ -1,5 +1,6 @@
 """Experiment harness (S14): scenarios, sweeps, per-figure reproducers."""
 
+from . import cache
 from .figures import (
     ALL_FIGURES,
     FigureResult,
@@ -30,6 +31,7 @@ from .scenarios import (
 
 __all__ = [
     "ALL_FIGURES",
+    "cache",
     "EPSILON",
     "MESSAGE_SIZE_MB",
     "OMEGA_MIN",

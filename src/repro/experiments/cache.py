@@ -1,0 +1,316 @@
+"""Content-addressed result cache for the sweep harness (S22).
+
+Every (scenario, policy) grid cell is a pure function of its
+configuration: all randomness derives from the scenario seed, so an
+unchanged cell always reproduces the same :class:`~repro.experiments.runner.SweepRow`.
+This module memoizes that function on disk.  A cache key is the SHA-256
+of the canonical JSON of
+
+* the scenario's structural fingerprint (:meth:`Scenario.fingerprint` —
+  every field, with the dataflow and catalog serialized value by value),
+* the policy name,
+* a *code fingerprint* hashing the source of every module a run
+  executes (``repro.{cloud,core,dataflow,engine,sim,workloads}`` plus
+  the scenario/runner layer),
+
+so a config edit invalidates only the affected cells and any code change
+invalidates everything — without ever serving a stale row.  Entries are
+single JSON files under a repo-local ``.repro-cache/`` directory, written
+atomically (same-directory temp file + ``os.replace``) and evicted
+oldest-first once the directory exceeds a size cap.
+
+Rows survive the JSON round-trip bit-identically: ``json`` serializes
+floats via ``repr`` and parses them back to the exact same IEEE-754
+double, so a warm run equals a cold run (test-enforced).
+
+Knobs (resolved per call, so tests can redirect freely):
+
+``REPRO_CACHE=0``
+    Disable the cache (also :func:`disable` / the CLI ``--no-cache``).
+``REPRO_CACHE_DIR``
+    Cache directory (default ``.repro-cache`` under the repo root).
+``REPRO_CACHE_MAX_MB``
+    Size cap in MiB before oldest-first eviction (default 64).
+
+Hits and misses are counted via :mod:`repro.util.perf`
+(``cache.hits`` / ``cache.misses``) and emitted as ``cache_hit`` /
+``cache_miss`` / ``cache_evicted`` trace events via :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from ..obs import collector as _trace
+from ..util import perf
+from .runner import SweepRow
+from .scenarios import Scenario, run_policy
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "cache_dir",
+    "max_bytes",
+    "code_fingerprint",
+    "cache_key",
+    "lookup",
+    "store",
+    "run_cell",
+    "stats",
+    "clear",
+]
+
+#: Entry format version; bumping invalidates every stored row.
+SCHEMA = 1
+
+_DEFAULT_DIR_NAME = ".repro-cache"
+_DEFAULT_MAX_MB = 64.0
+
+_enabled: bool = os.environ.get("REPRO_CACHE", "") not in ("0", "false")
+
+#: Memoized code fingerprint (source never changes within a process).
+_code_fp: Optional[str] = None
+
+#: Subpackages whose source a sweep cell executes.  Harness-only layers
+#: (figures, parallel, cli, report, obs, util, this module) are excluded:
+#: they shape orchestration, not row values.
+_FINGERPRINTED_PACKAGES = (
+    "cloud",
+    "core",
+    "dataflow",
+    "engine",
+    "sim",
+    "workloads",
+)
+_FINGERPRINTED_MODULES = (
+    os.path.join("experiments", "scenarios.py"),
+    os.path.join("experiments", "runner.py"),
+)
+
+
+def enable() -> None:
+    """Turn the result cache on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the result cache off (stored entries are kept)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether the cache is currently consulted."""
+    return _enabled
+
+
+def cache_dir() -> Path:
+    """Resolved cache directory (``REPRO_CACHE_DIR`` or repo-local)."""
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override)
+    # src/repro/experiments/cache.py → repo root is four levels up.
+    root = Path(__file__).resolve().parents[3]
+    return root / _DEFAULT_DIR_NAME
+
+
+def max_bytes() -> int:
+    """Eviction threshold in bytes (``REPRO_CACHE_MAX_MB``, default 64)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_MB", "").strip()
+    try:
+        mb = float(raw) if raw else _DEFAULT_MAX_MB
+    except ValueError:
+        mb = _DEFAULT_MAX_MB
+    return max(0, int(mb * 1024 * 1024))
+
+
+# -- keys ---------------------------------------------------------------------
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the source of every module a sweep cell executes.
+
+    Hashed file-by-file (relative path + bytes) in sorted order, so the
+    value is stable across hosts and invalidates on any code change in
+    the simulated stack.  Memoized per process.
+    """
+    global _code_fp
+    if _code_fp is not None:
+        return _code_fp
+    pkg_root = Path(__file__).resolve().parents[1]  # src/repro
+    digest = hashlib.sha256()
+    paths: list[Path] = []
+    for sub in _FINGERPRINTED_PACKAGES:
+        paths.extend((pkg_root / sub).rglob("*.py"))
+    paths.extend(pkg_root / rel for rel in _FINGERPRINTED_MODULES)
+    for path in sorted(paths):
+        digest.update(str(path.relative_to(pkg_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _code_fp = digest.hexdigest()
+    return _code_fp
+
+
+def cache_key(scenario: Scenario, policy_name: str) -> str:
+    """Content address of one grid cell (hex SHA-256)."""
+    payload = {
+        "schema": SCHEMA,
+        "policy": policy_name,
+        "scenario": scenario.fingerprint(),
+        "code": code_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# -- storage ------------------------------------------------------------------
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def lookup(key: str) -> Optional[SweepRow]:
+    """Load the row stored under ``key``; ``None`` on miss.
+
+    A corrupted or truncated entry (unparsable JSON, wrong schema, bad
+    fields) is deleted and treated as a miss — the cell simply reruns
+    and overwrites it.
+    """
+    path = _entry_path(key)
+    try:
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        if entry["schema"] != SCHEMA or entry["key"] != key:
+            raise ValueError("schema/key mismatch")
+        return SweepRow(**entry["row"])
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store(key: str, policy_name: str, row: SweepRow) -> None:
+    """Persist ``row`` under ``key`` atomically, then enforce the cap."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _entry_path(key)
+    entry = {
+        "schema": SCHEMA,
+        "key": key,
+        "policy": policy_name,
+        "row": asdict(row),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+    _evict(directory, keep=path)
+
+
+def _evict(directory: Path, keep: Path) -> None:
+    """Drop oldest entries (mtime, then name) until under the size cap.
+
+    The just-written entry is never evicted, so a pathologically small
+    cap still caches the current cell.
+    """
+    cap = max_bytes()
+    entries = []
+    total = 0
+    for path in directory.glob("*.json"):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        entries.append((st.st_mtime_ns, path.name, st.st_size, path))
+        total += st.st_size
+    if total <= cap:
+        return
+    for _, _, size, path in sorted(entries):
+        if path == keep:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        perf.add("cache.evictions")
+        _trace.emit("cache_evicted", t=0.0, key=path.stem)
+        total -= size
+        if total <= cap:
+            break
+
+
+# -- the integration point ----------------------------------------------------
+
+
+def run_cell(scenario: Scenario, policy_name: str) -> SweepRow:
+    """Execute one (scenario, policy) grid cell through the cache.
+
+    Both the serial sweep loop and the parallel workers funnel through
+    here.  Scenario *subclasses* bypass the cache: they can override
+    behaviour (providers, profiles) that the structural fingerprint
+    cannot see, so caching them would risk stale rows.
+    """
+    if not _enabled or type(scenario) is not Scenario:
+        return SweepRow.from_result(
+            scenario, run_policy(scenario, policy_name)
+        )
+    key = cache_key(scenario, policy_name)
+    row = lookup(key)
+    if row is not None:
+        perf.add("cache.hits")
+        _trace.emit("cache_hit", t=0.0, key=key, policy=policy_name)
+        return row
+    perf.add("cache.misses")
+    _trace.emit("cache_miss", t=0.0, key=key, policy=policy_name)
+    row = SweepRow.from_result(scenario, run_policy(scenario, policy_name))
+    store(key, policy_name, row)
+    return row
+
+
+# -- maintenance --------------------------------------------------------------
+
+
+def stats() -> dict:
+    """Cache state: directory, enablement, entry count, sizes."""
+    directory = cache_dir()
+    entries = 0
+    total = 0
+    if directory.is_dir():
+        for path in directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return {
+        "dir": str(directory),
+        "enabled": _enabled,
+        "entries": entries,
+        "bytes": total,
+        "max_bytes": max_bytes(),
+    }
+
+
+def clear() -> int:
+    """Delete every cache entry; returns the number removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+    return removed

@@ -29,8 +29,9 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Optional, Sequence
 
 from ..util import perf
+from . import cache
 from .runner import SweepRow
-from .scenarios import Scenario, run_policy
+from .scenarios import Scenario
 
 __all__ = ["resolve_jobs", "sweep", "DEFAULT_CHUNKS_PER_WORKER"]
 
@@ -65,9 +66,15 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _run_cell(cell: tuple[Scenario, str]) -> SweepRow:
-    """Execute one (scenario, policy) grid cell (top-level: picklable)."""
+    """Execute one (scenario, policy) grid cell (top-level: picklable).
+
+    Routed through the result cache: workers inherit ``REPRO_CACHE*``
+    environment settings, and the content-addressed entries are safe to
+    share across concurrent processes (atomic same-key writes converge
+    to identical bytes).
+    """
     scenario, policy = cell
-    return SweepRow.from_result(scenario, run_policy(scenario, policy))
+    return cache.run_cell(scenario, policy)
 
 
 def _chunksize(n_cells: int, jobs: int) -> int:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..engine.manager import RunResult
-from .scenarios import Scenario, run_policy
+from .scenarios import Scenario
 
 __all__ = ["SweepRow", "average_rows", "sweep"]
 
@@ -75,7 +75,12 @@ def sweep(
     fans the independent grid cells across worker processes via
     :mod:`repro.experiments.parallel`; results are bit-identical to the
     serial loop, in the same scenario-major/policy-minor order.
+
+    Cells run through the content-addressed result cache
+    (:mod:`repro.experiments.cache`) unless it is disabled, so repeated
+    sweeps of unchanged configurations reuse their stored rows.
     """
+    from . import cache
     from .parallel import resolve_jobs
 
     if resolve_jobs(jobs) > 1:
@@ -85,8 +90,7 @@ def sweep(
     rows: list[SweepRow] = []
     for scenario in scenarios:
         for policy in policies:
-            result = run_policy(scenario, policy)
-            rows.append(SweepRow.from_result(scenario, result))
+            rows.append(cache.run_cell(scenario, policy))
     return rows
 
 

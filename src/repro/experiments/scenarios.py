@@ -252,6 +252,46 @@ class Scenario:
             return None
         return FailureModel(self.mtbf_hours, seed=self.seed)
 
+    def fingerprint(self) -> dict:
+        """Canonical structural identity for the result cache (S22).
+
+        Plain JSON-serializable data covering *every* field that shapes a
+        run: the scalar knobs, the dataflow value by value (PE order,
+        alternates, edges, routing patterns), and the VM catalog.  Two
+        scenarios with equal fingerprints produce bit-identical rows, and
+        any field edit changes the fingerprint.
+        """
+        df = self.dataflow
+        return {
+            "rate": self.rate,
+            "rate_kind": self.rate_kind,
+            "variability": self.variability,
+            "seed": self.seed,
+            "period": self.period,
+            "interval": self.interval,
+            "tick": self.tick,
+            "startup_delay": self.startup_delay,
+            "mtbf_hours": self.mtbf_hours,
+            "dataflow": [
+                {
+                    "pe": p.name,
+                    "alternates": [
+                        [a.name, a.value, a.cost, a.selectivity]
+                        for a in p.alternates
+                    ],
+                    "succ": list(df.successors(p.name)),
+                    "split": df.split_pattern(p.name).name,
+                    "merge": df.merge_pattern(p.name).name,
+                }
+                for p in df.pes
+            ],
+            "catalog": [
+                [c.name, c.cores, c.core_speed, c.bandwidth_mbps,
+                 c.hourly_price]
+                for c in self.catalog
+            ],
+        }
+
 
 def run_policy(
     scenario: Scenario,

@@ -40,6 +40,10 @@ EVENT_TYPES = frozenset(
         "alternate_switched",
         # periodic accounting (engine.executor)
         "interval_stats",
+        # result cache (experiments.cache)
+        "cache_hit",
+        "cache_miss",
+        "cache_evicted",
     }
 )
 

@@ -95,6 +95,25 @@ class Store(Generic[T]):
         self._dispatch()
         return item
 
+    def peek(self) -> Optional[T]:
+        """The item the next ``get`` would return, without removing it.
+
+        O(1) and allocation-free — callers that only need to inspect the
+        head (or check emptiness via ``len``) must not pay for a
+        ``snapshot`` copy of the whole buffer.  Returns ``None`` when
+        empty.  For :class:`PriorityStore` this is the smallest item.
+        """
+        return self.items[0] if self.items else None
+
+    def snapshot(self) -> list[T]:
+        """A shallow copy of the buffered items (explicitly O(n)).
+
+        The copy is intentional — use ``len(store)`` / :meth:`peek` for
+        the cheap queries.  For :class:`PriorityStore` the list is in
+        heap order, not sorted order.
+        """
+        return list(self.items)
+
     def drain(self) -> list[T]:
         """Remove and return all buffered items (no waiter interaction)."""
         items = list(self.items)

@@ -10,6 +10,17 @@ from repro.experiments import fig1_dataflow
 from repro.sim import Environment
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the sweep result cache at a per-test directory.
+
+    Tests that run sweeps must neither read rows cached by earlier tests
+    (or by the developer's own repo-local ``.repro-cache/``) nor leave
+    entries behind.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def env() -> Environment:
     return Environment()

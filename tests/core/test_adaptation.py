@@ -317,3 +317,83 @@ class TestConfigValidation:
     def test_empty_catalog_rejected(self, fig1):
         with pytest.raises(ValueError):
             RuntimeAdaptation(fig1, [])
+
+
+class TestMemoizationParity:
+    """The decision fast paths (ranking/closure/demand memoization) must
+    be invisible: a long-lived adapter that reuses its caches across
+    calls produces exactly the plans a fresh adapter would."""
+
+    def _plan_signature(self, plan):
+        # New VMs carry process-global "planned-N" keys, so compare them
+        # positionally; live VMs keep their instance ids.
+        return (
+            dict(plan.selection),
+            [
+                (
+                    vm.instance_id or f"new#{i}",
+                    vm.vm_class.name,
+                    vm.coefficient,
+                    dict(vm.allocations),
+                    vm.paid_seconds_remaining,
+                )
+                for i, vm in enumerate(plan.cluster.vms)
+            ],
+        )
+
+    @pytest.mark.parametrize("strategy", ["local", "global"])
+    def test_reused_adapter_matches_fresh_adapter(
+        self, fig1, catalog, strategy
+    ):
+        def snapshots():
+            under = make_snapshot(
+                fig1,
+                make_cluster(catalog, [{"E1": 1, "E2": 1, "E3": 1, "E4": 1}]),
+                rate=10.0, omega_last=0.4, omega_average=0.4,
+            )
+            steady = make_snapshot(
+                fig1,
+                make_cluster(catalog, [{"E1": 2, "E2": 2},
+                                       {"E3": 2, "E4": 2}]),
+                rate=5.0, omega_last=0.71, omega_average=0.71,
+            )
+            over = make_snapshot(
+                fig1,
+                make_cluster(catalog, [{"E1": 2, "E2": 2},
+                                       {"E3": 2, "E4": 2}]),
+                rate=2.0, omega_last=0.98, omega_average=0.98,
+                backlogs={n: 0.0 for n in fig1.pe_names},
+            )
+            return [under, steady, over, under, over, steady]
+
+        reused = adapter(fig1, catalog, strategy=strategy)
+        reused_plans = [
+            self._plan_signature(reused.adapt(snap, i))
+            for i, snap in enumerate(snapshots())
+        ]
+        fresh_plans = [
+            self._plan_signature(
+                adapter(fig1, catalog, strategy=strategy).adapt(snap, i)
+            )
+            for i, snap in enumerate(snapshots())
+        ]
+        assert reused_plans == fresh_plans
+
+    def test_repeated_identical_snapshot_is_stable(self, fig1, catalog):
+        a = adapter(fig1, catalog)
+        plans = [
+            self._plan_signature(
+                a.adapt(
+                    make_snapshot(
+                        fig1,
+                        make_cluster(
+                            catalog, [{"E1": 1, "E2": 1, "E3": 1, "E4": 1}]
+                        ),
+                        rate=10.0, omega_last=0.4, omega_average=0.4,
+                    ),
+                    2,
+                )
+            )
+            for _ in range(3)
+        ]
+        assert plans[0] == plans[1] == plans[2]

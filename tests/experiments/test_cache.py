@@ -1,0 +1,179 @@
+"""Tests for the content-addressed result cache (experiments.cache)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import Scenario, sweep
+from repro.experiments import cache
+from repro.experiments.runner import SweepRow
+from repro.util import perf
+
+
+def quick_scenario(**overrides) -> Scenario:
+    base = dict(rate=3.0, seed=5, period=300.0, variability="both")
+    base.update(overrides)
+    return Scenario(**base)
+
+
+@pytest.fixture(autouse=True)
+def _enabled_cache(monkeypatch):
+    """These tests exercise the cache, so force it on regardless of the
+    ambient REPRO_CACHE (the per-test directory comes from conftest).
+    Perf counters are process-global, so start each test from zero."""
+    monkeypatch.setattr(cache, "_enabled", True)
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestBitIdentity:
+    def test_warm_row_equals_cold_row(self):
+        scenario = quick_scenario()
+        with perf.collecting():
+            cold = cache.run_cell(scenario, "local")
+            warm = cache.run_cell(quick_scenario(), "local")
+            counters = perf.snapshot()["counters"]
+        assert warm == cold  # dataclass eq → bit-identical floats
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+
+    def test_sweep_warm_rerun_identical(self):
+        scenarios = [quick_scenario(rate=r) for r in (2.0, 4.0)]
+        cold = sweep(scenarios, ["static-local", "local"])
+        warm = sweep(scenarios, ["static-local", "local"])
+        assert warm == cold
+        assert cache.stats()["entries"] == 4
+
+
+class TestInvalidation:
+    def test_config_change_changes_key(self):
+        base = cache.cache_key(quick_scenario(), "local")
+        assert cache.cache_key(quick_scenario(rate=4.0), "local") != base
+        assert cache.cache_key(quick_scenario(period=600.0), "local") != base
+        assert cache.cache_key(quick_scenario(), "global") != base
+
+    def test_seed_change_changes_key(self):
+        assert cache.cache_key(quick_scenario(seed=5), "local") != \
+            cache.cache_key(quick_scenario(seed=6), "local")
+
+    def test_code_fingerprint_change_invalidates(self, monkeypatch):
+        scenario = quick_scenario()
+        key = cache.cache_key(scenario, "local")
+        cache.run_cell(scenario, "local")
+        assert cache.lookup(key) is not None
+        # Simulate an edit to the simulated stack: new code fingerprint.
+        monkeypatch.setattr(cache, "_code_fp", "0" * 64)
+        new_key = cache.cache_key(scenario, "local")
+        assert new_key != key
+        assert cache.lookup(new_key) is None  # old row not served
+
+    def test_key_is_stable_within_process(self):
+        assert cache.cache_key(quick_scenario(), "local") == \
+            cache.cache_key(quick_scenario(), "local")
+
+
+class TestCorruptionRecovery:
+    def _stored_entry(self) -> tuple[str, SweepRow]:
+        scenario = quick_scenario()
+        key = cache.cache_key(scenario, "local")
+        row = cache.run_cell(scenario, "local")
+        return key, row
+
+    def test_truncated_entry_is_a_miss_and_deleted(self):
+        key, row = self._stored_entry()
+        path = cache.cache_dir() / f"{key}.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.lookup(key) is None
+        assert not path.exists()
+        # The cell simply reruns and repopulates the entry.
+        assert cache.run_cell(quick_scenario(), "local") == row
+        assert cache.lookup(key) == row
+
+    def test_garbage_entry_is_a_miss_and_deleted(self):
+        key, _ = self._stored_entry()
+        path = cache.cache_dir() / f"{key}.json"
+        path.write_text("not json at all")
+        assert cache.lookup(key) is None
+        assert not path.exists()
+
+    def test_wrong_schema_is_a_miss(self):
+        key, row = self._stored_entry()
+        path = cache.cache_dir() / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["schema"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.lookup(key) is None
+
+    def test_bad_row_fields_are_a_miss(self):
+        key, _ = self._stored_entry()
+        path = cache.cache_dir() / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["row"] = {"unexpected": 1}
+        path.write_text(json.dumps(entry))
+        assert cache.lookup(key) is None
+
+
+class TestEviction:
+    def test_size_cap_evicts_oldest_but_never_newest(self, monkeypatch):
+        # A cap of ~1 KiB holds at most one ~600-byte entry.
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.001")
+        keys = []
+        for rate in (2.0, 3.0, 4.0):
+            scenario = quick_scenario(rate=rate)
+            keys.append(cache.cache_key(scenario, "static-local"))
+            cache.run_cell(scenario, "static-local")
+        # The just-written entry always survives eviction.
+        assert cache.lookup(keys[-1]) is not None
+        assert cache.stats()["entries"] < 3
+
+    def test_generous_cap_keeps_everything(self):
+        for rate in (2.0, 3.0, 4.0):
+            cache.run_cell(quick_scenario(rate=rate), "static-local")
+        assert cache.stats()["entries"] == 3
+
+
+class TestBypass:
+    def test_scenario_subclass_is_never_cached(self):
+        class TweakedScenario(Scenario):
+            pass
+
+        with perf.collecting():
+            cache.run_cell(TweakedScenario(rate=3.0, period=300.0), "local")
+            cache.run_cell(TweakedScenario(rate=3.0, period=300.0), "local")
+            counters = perf.snapshot()["counters"]
+        assert counters.get("cache.hits", 0) == 0
+        assert counters.get("cache.misses", 0) == 0
+        assert cache.stats()["entries"] == 0
+
+    def test_disabled_cache_writes_nothing(self, monkeypatch):
+        monkeypatch.setattr(cache, "_enabled", False)
+        row = cache.run_cell(quick_scenario(), "local")
+        assert isinstance(row, SweepRow)
+        assert cache.stats()["entries"] == 0
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self):
+        cache.run_cell(quick_scenario(), "static-local")
+        st = cache.stats()
+        assert st["entries"] == 1
+        assert st["bytes"] > 0
+        assert st["enabled"] is True
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_stored_entry_round_trips_every_field(self):
+        scenario = quick_scenario()
+        key = cache.cache_key(scenario, "local")
+        cold = cache.run_cell(scenario, "local")
+        entry = json.loads((cache.cache_dir() / f"{key}.json").read_text())
+        assert entry["key"] == key
+        assert entry["policy"] == "local"
+        assert SweepRow(**entry["row"]) == cold
+        assert set(entry["row"]) == {
+            f.name for f in dataclasses.fields(SweepRow)
+        }

@@ -212,3 +212,39 @@ class TestContainer:
     def test_rejects_bad_init(self, env):
         with pytest.raises(ValueError):
             Container(env, capacity=5, init=6)
+
+
+class TestPeekAndSnapshot:
+    def test_peek_empty_store(self, env):
+        assert Store(env).peek() is None
+
+    def test_peek_returns_head_without_removing(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert store.peek() == "a"
+        assert store.peek() == "a"
+        assert len(store) == 2
+
+    def test_peek_priority_store_is_smallest(self, env):
+        store = PriorityStore(env)
+        for item in (3, 1, 2):
+            store.put(item)
+        assert store.peek() == 1
+        assert len(store) == 3
+
+    def test_snapshot_is_a_copy(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        snap = store.snapshot()
+        assert snap == ["a", "b"]
+        snap.append("c")
+        assert len(store) == 2
+        assert store.snapshot() == ["a", "b"]
+
+    def test_snapshot_priority_store_contains_all_items(self, env):
+        store = PriorityStore(env)
+        for item in (5, 1, 4, 2):
+            store.put(item)
+        assert sorted(store.snapshot()) == [1, 2, 4, 5]
