@@ -167,6 +167,54 @@ def test_append_entry_leaves_no_temp_file(tmp_path):
     assert [p.name for p in tmp_path.iterdir()] == ["BENCH_tmp.json"]
 
 
+def test_disabled_validate_overhead_negligible():
+    """ISSUE acceptance: a disabled invariant checker must cost one
+    module-global flag test per instrumented site — the exact guard the
+    engine hot loop runs every tick."""
+    from repro.validate import invariants
+
+    invariants.disable()
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if invariants.enabled():  # the call-site guard, always False here
+            invariants.checker()
+    per_call = (time.perf_counter() - t0) / n
+    assert per_call < 2e-6, f"disabled guard costs {per_call * 1e9:.0f} ns"
+
+
+def test_validate_hooks_keep_large_fleet_ticks():
+    """ISSUE acceptance: the checker hooks (disabled) regress the
+    large-fleet fluid tick rate by < 1% against the recorded history.
+
+    Best-of-3 on the live side squeezes scheduling noise out of the
+    measurement; the recorded baseline is a single full-horizon sample.
+    """
+    from repro.validate import invariants
+
+    data = check_bench_json.validate_file(REPO_BENCH_ENGINE)
+    baseline = next(
+        (
+            e["metrics"]["fluid_large_ticks_per_s"]
+            for e in reversed(data["history"])
+            if "fluid_large_ticks_per_s" in e["metrics"]
+        ),
+        None,
+    )
+    assert baseline is not None, "no fluid_large_ticks_per_s recorded"
+    invariants.disable()
+    live = max(
+        bench_engine._fluid_ticks_per_s(
+            50.0, bench_engine.LARGE_FLEET, 300.0
+        )
+        for _ in range(3)
+    )
+    assert live >= 0.99 * baseline, (
+        f"large-fleet tick rate regressed: baseline {baseline:.0f}/s vs "
+        f"live {live:.0f}/s ({live / baseline:.3f}x)"
+    )
+
+
 def test_disabled_tracing_overhead_negligible():
     """ISSUE acceptance: disabled tracing must cost a flag test, not work.
 

@@ -35,6 +35,10 @@ Package layout (see DESIGN.md):
 ``repro.obs``
     Structured run-trace observability: typed sim-time events, JSONL
     traces, the ``repro trace`` CLI.
+``repro.validate``
+    Verification harness: runtime invariant checker (``REPRO_VALIDATE=1``),
+    differential engine/heuristic checks, metamorphic transforms, and the
+    ``repro verify`` CLI.
 """
 
 from . import obs

@@ -15,6 +15,9 @@ Commands
     List the available scheduling policies.
 ``cache``
     Inspect (``stats``) or empty (``clear``) the sweep result cache.
+``verify``
+    Run the verification suite (runtime invariants, differential and
+    metamorphic harnesses — see ``repro.validate``).
 
 Sweep-backed commands (``compare``, ``figures``) consult the
 content-addressed result cache by default; pass ``--no-cache`` (or set
@@ -147,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the sweep result cache"
     )
     cache_p.add_argument("action", choices=("stats", "clear"))
+
+    verify_p = sub.add_parser(
+        "verify", help="run the verification suite (repro.validate)"
+    )
+    verify_p.add_argument(
+        "--scenario", default=None, metavar="S",
+        help="restrict the invariant pillar to one built-in scenario",
+    )
+    verify_p.add_argument(
+        "--level", choices=("quick", "full"), default="quick",
+        help="quick: CI smoke pass; full: every scenario, case, transform",
+    )
     return parser
 
 
@@ -275,6 +290,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .validate import suite
+
+    seen: list[str] = []
+
+    def progress(line: str) -> None:
+        seen.append(line)
+        print(line, flush=True)
+
+    try:
+        report = suite.run(
+            level=args.level, scenario=args.scenario, progress=progress
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # The per-check lines already streamed; finish with the verdict.
+    print()
+    print(report.render().rsplit("\n", 1)[-1])
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -285,6 +322,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "policies": _cmd_policies,
         "cache": _cmd_cache,
+        "verify": _cmd_verify,
     }[args.command]
     try:
         return handler(args)

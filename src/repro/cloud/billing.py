@@ -17,6 +17,7 @@ import math
 from typing import Iterable
 
 from ..obs import collector as _trace
+from ..validate import invariants as _validate
 from .resources import VMInstance
 
 __all__ = [
@@ -104,7 +105,10 @@ class BillingMeter:
         """Cumulative dollar cost μ[t]."""
         if _trace.enabled():
             self._emit_hour_starts(at)
-        return total_cost(self._instances, at)
+        cost = total_cost(self._instances, at)
+        if _validate.enabled():
+            _validate.checker().check_billing(self, at, cost)
+        return cost
 
     def _emit_hour_starts(self, at: float) -> None:
         """Trace every billing hour newly entered since the last query.

@@ -37,6 +37,7 @@ from ..dataflow.metrics import constrained_rates, relative_application_throughpu
 from ..dataflow.patterns import SplitPattern
 from ..dataflow.pe import Alternate
 from ..obs import collector as _trace
+from ..validate import invariants as _validate
 from .deployment import Strategy
 from .state import ClusterView, DeploymentPlan, Snapshot
 
@@ -192,7 +193,10 @@ class RuntimeAdaptation:
                 ),
             )
 
-        return DeploymentPlan(selection=selection, cluster=cluster)
+        plan = DeploymentPlan(selection=selection, cluster=cluster)
+        if _validate.enabled():
+            _validate.checker().check_decision(self, snapshot, plan)
+        return plan
 
     # -- stage 1: alternate selection ------------------------------------------------
 

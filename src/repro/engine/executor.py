@@ -42,6 +42,7 @@ from ..dataflow.patterns import SplitPattern
 from ..obs import collector as _trace
 from ..sim.kernel import Environment
 from ..util import perf
+from ..validate import invariants as _validate
 from ..workloads.rates import RateProfile
 from .messages import IntervalStats
 
@@ -220,6 +221,8 @@ class FluidExecutor:
                 _trace.emit(
                     "alternate_switched", t=self.env.now, switches=switches
                 )
+        if _validate.enabled():
+            _validate.checker().note_selection_change(self)
 
     def _set_selection_arrays(self) -> None:
         df = self.dataflow
@@ -458,6 +461,8 @@ class FluidExecutor:
         if self._started:
             return
         self._started = True
+        if _validate.enabled():
+            _validate.checker().register_executor(self)
         self.env.process(self._run(), name="fluid-executor")
 
     def _run(self):
@@ -468,6 +473,8 @@ class FluidExecutor:
                 perf.add("engine.ticks")
             else:
                 self.step(self.tick)
+            if _validate.enabled():
+                _validate.checker().after_tick(self)
             yield self.env.timeout(self.tick)
 
     # -- interval accounting -----------------------------------------------------------
@@ -515,6 +522,8 @@ class FluidExecutor:
                 lost=sum(stats.lost.values()),
                 backlog=sum(self.backlogs().values()),
             )
+        if _validate.enabled():
+            _validate.checker().after_interval(self, stats)
         return stats
 
     def pe_backlog(self, pe_name: str) -> float:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..cloud.provider import CloudProvider
 from ..cloud.resources import VMInstance
 from ..core.state import DeploymentPlan
+from ..validate import invariants as _validate
 from .executor import FluidExecutor
 
 __all__ = ["ReconcileReport", "apply_plan"]
@@ -102,4 +103,8 @@ def apply_plan(
     # 5. alternates + executor resync.
     executor.set_selection(dict(plan.selection))
     executor.sync(now)
+    if _validate.enabled():
+        _validate.checker().check_reconcile(
+            provider, executor, plan, report, now
+        )
     return report

@@ -48,6 +48,7 @@ from typing import Optional
 
 from ..obs import collector as _trace
 from ..util import perf
+from ..validate import invariants as _validate
 from .runner import SweepRow
 from .scenarios import Scenario, run_policy
 
@@ -259,9 +260,11 @@ def run_cell(scenario: Scenario, policy_name: str) -> SweepRow:
     Both the serial sweep loop and the parallel workers funnel through
     here.  Scenario *subclasses* bypass the cache: they can override
     behaviour (providers, profiles) that the structural fingerprint
-    cannot see, so caching them would risk stale rows.
+    cannot see, so caching them would risk stale rows.  Validation-checked
+    runs (``REPRO_VALIDATE=1``) bypass it too: a cache hit skips the run
+    entirely, so nothing would be checked.
     """
-    if not _enabled or type(scenario) is not Scenario:
+    if not _enabled or type(scenario) is not Scenario or _validate.enabled():
         return SweepRow.from_result(
             scenario, run_policy(scenario, policy_name)
         )

@@ -44,6 +44,8 @@ EVENT_TYPES = frozenset(
         "cache_hit",
         "cache_miss",
         "cache_evicted",
+        # invariant checker (validate.invariants)
+        "validate_failure",
     }
 )
 

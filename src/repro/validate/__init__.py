@@ -1,0 +1,62 @@
+"""Verification harness: runtime invariants, differential and metamorphic
+testing for the simulation substrate (S23).
+
+Three pillars:
+
+* :mod:`repro.validate.invariants` — opt-in runtime
+  :class:`~repro.validate.invariants.InvariantChecker` asserting message
+  conservation, queue sanity, metric ranges, billing discipline, and
+  fleet agreement at the engine's emit points.  Enabled with
+  ``REPRO_VALIDATE=1`` or :func:`~repro.validate.invariants.checking`.
+* :mod:`repro.validate.differential` — the per-message engine vs. the
+  fluid engine on fixed-seed scenarios, and brute-force optimal Θ vs.
+  the deployment heuristics, within documented tolerances.
+* :mod:`repro.validate.metamorphic` — scenario transforms (time scaling,
+  γ value scaling, σ cost scaling, PE renaming) with predicted effects
+  on (Θ, Γ̄, μ, Ω̄) checked after full runs.
+
+:mod:`repro.validate.suite` drives all three behind ``repro verify``.
+
+Only :mod:`.invariants` is imported eagerly: the instrumented engine
+modules import this package, so the heavy pillars (which import the
+engine back) load lazily via module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    checker,
+    checking,
+    disable,
+    enable,
+    enabled,
+    reset,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "checker",
+    "checking",
+    "disable",
+    "enable",
+    "enabled",
+    "reset",
+    "differential",
+    "metamorphic",
+    "suite",
+]
+
+_LAZY = ("differential", "metamorphic", "suite")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

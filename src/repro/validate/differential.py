@@ -1,0 +1,327 @@
+"""Differential verification harness (S23, pillar 2).
+
+Two independent implementations are driven on identical inputs and their
+disagreement is bounded:
+
+* **fluid vs. per-message engines** — the vectorized fluid approximation
+  (drives all large experiments) against the exact per-message
+  discrete-event engine, on small fixed deployments with constant-rate
+  feeds.  The compared statistic is the steady-state relative throughput
+  Ω over a ``HORIZON``-second window; tolerance ``OMEGA_ABS_TOL``
+  absorbs the per-message engine's stochastic routing.
+* **heuristics vs. brute force** — the paper's local/global deployment
+  heuristics against the exhaustive Θ-optimal static search
+  (:mod:`repro.core.bruteforce`) on small graphs.  The heuristic's
+  static Θ must never exceed the optimum (up to float noise) and must
+  stay within ``THETA_GAP_BOUND`` of it — the recorded quality gap of
+  the greedy packing.
+
+Tolerances are part of the repo's documented verification contract (see
+README § Verification); tightening them requires re-running
+``repro verify --level full``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..cloud.provider import CloudProvider
+from ..cloud.variability import ConstantPerformance
+from ..cloud.resources import aws_2013_catalog
+from ..core.bruteforce import BruteForceConfig, BruteForceDeployment
+from ..core.deployment import DeploymentConfig, InitialDeployment
+from ..dataflow.graph import DynamicDataflow
+from ..dataflow.pe import Alternate, ProcessingElement
+from ..engine.executor import FluidExecutor
+from ..engine.permsg import PerMessageExecutor
+from ..experiments.scenarios import fig1_dataflow, standard_spec
+from ..sim.kernel import Environment
+from ..workloads.rates import ConstantRate
+
+__all__ = [
+    "HORIZON",
+    "OMEGA_ABS_TOL",
+    "FULL_CAPACITY_TOL",
+    "THETA_GAP_BOUND",
+    "EngineCase",
+    "EngineDiff",
+    "HeuristicCase",
+    "HeuristicDiff",
+    "chain3_dataflow",
+    "engine_cases",
+    "run_engine_case",
+    "heuristic_cases",
+    "run_heuristic_case",
+]
+
+#: Simulated seconds per engine-differential window.
+HORIZON = 900.0
+
+#: |Ω_fluid − Ω_permsg| bound (stochastic routing noise dominates).
+OMEGA_ABS_TOL = 0.10
+
+#: Both engines' |Ω − 1| bound when deployed for exactly the fed rate.
+FULL_CAPACITY_TOL = 0.05
+
+#: Θ* − Θ_heuristic bound for the greedy heuristics on tiny graphs.
+THETA_GAP_BOUND = 0.15
+
+
+def chain3_dataflow() -> DynamicDataflow:
+    """A minimal 3-PE chain: src → mid → out, one alternate each."""
+    return DynamicDataflow(
+        [
+            ProcessingElement("src", [Alternate("s", value=1.0, cost=0.5)]),
+            ProcessingElement("mid", [Alternate("m", value=1.0, cost=1.0)]),
+            ProcessingElement("out", [Alternate("o", value=1.0, cost=0.5)]),
+        ],
+        [("src", "mid"), ("mid", "out")],
+    )
+
+
+# -- fluid vs. per-message -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineCase:
+    """One fixed small deployment fed at a constant rate."""
+
+    name: str
+    dataflow_factory: Callable[[], DynamicDataflow]
+    #: Rate the initial deployment is sized for, per input PE.
+    deploy_rates: Mapping[str, float]
+    #: Rate actually fed, per input PE.
+    feed_rates: Mapping[str, float]
+    omega_min: float = 0.7
+    tolerance: float = OMEGA_ABS_TOL
+    #: Optional absolute Ω target both engines must also hit.
+    expect_omega: Optional[float] = None
+    expect_tol: float = FULL_CAPACITY_TOL
+
+
+@dataclass(frozen=True)
+class EngineDiff:
+    """Result of one fluid-vs-permsg comparison."""
+
+    case: str
+    omega_fluid: float
+    omega_permsg: float
+    tolerance: float
+    failures: tuple[str, ...]
+
+    @property
+    def divergence(self) -> float:
+        return abs(self.omega_fluid - self.omega_permsg)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        line = (
+            f"[{status}] engine:{self.case}: Ω fluid={self.omega_fluid:.3f} "
+            f"permsg={self.omega_permsg:.3f} "
+            f"|Δ|={self.divergence:.3f} ≤ {self.tolerance}"
+        )
+        for f in self.failures:
+            line += f"\n    {f}"
+        return line
+
+
+def engine_cases() -> list[EngineCase]:
+    """The fixed-seed engine differential suite."""
+    return [
+        EngineCase(
+            "fig1@2", fig1_dataflow, {"E1": 2.0}, {"E1": 2.0}
+        ),
+        EngineCase(
+            "fig1@5", fig1_dataflow, {"E1": 5.0}, {"E1": 5.0}
+        ),
+        EngineCase(
+            "chain3-overload",
+            chain3_dataflow,
+            {"src": 2.0},
+            {"src": 8.0},  # deployed for 2, fed 8 → Ω ≈ 0.25
+        ),
+        EngineCase(
+            "chain3-full-capacity",
+            chain3_dataflow,
+            {"src": 3.0},
+            {"src": 3.0},
+            omega_min=1.0,
+            expect_omega=1.0,
+        ),
+    ]
+
+
+def _provision(provider: CloudProvider, plan) -> None:
+    for view in plan.cluster.vms:
+        vm = provider.provision(view.vm_class, now=0.0)
+        for pe_name, cores in view.allocations.items():
+            vm.allocate(pe_name, cores)
+
+
+def run_engine_case(case: EngineCase) -> EngineDiff:
+    """Run both engines on ``case`` and bound their disagreement."""
+    df = case.dataflow_factory()
+    catalog = aws_2013_catalog()
+    plan = InitialDeployment(
+        df, catalog, DeploymentConfig(strategy="local", omega_min=case.omega_min)
+    ).plan(dict(case.deploy_rates))
+    profiles = {n: ConstantRate(r) for n, r in case.feed_rates.items()}
+
+    omegas = {}
+    for label in ("fluid", "permsg"):
+        env = Environment()
+        provider = CloudProvider(catalog, performance=ConstantPerformance())
+        _provision(provider, plan)
+        if label == "fluid":
+            ex = FluidExecutor(
+                env, df, provider, profiles, selection=plan.selection
+            )
+            ex.sync()
+        else:
+            ex = PerMessageExecutor(
+                env, df, provider, profiles, selection=plan.selection
+            )
+        ex.start()
+        env.run(until=HORIZON)
+        omegas[label] = ex.roll_interval().omega(df.outputs)
+
+    failures = []
+    divergence = abs(omegas["fluid"] - omegas["permsg"])
+    if divergence > case.tolerance:
+        failures.append(
+            f"engines diverge by {divergence:.3f} > {case.tolerance}"
+        )
+    if case.expect_omega is not None:
+        for label, omega in omegas.items():
+            if abs(omega - case.expect_omega) > case.expect_tol:
+                failures.append(
+                    f"{label} Ω={omega:.3f} misses expected "
+                    f"{case.expect_omega} ± {case.expect_tol}"
+                )
+    return EngineDiff(
+        case.name,
+        omegas["fluid"],
+        omegas["permsg"],
+        case.tolerance,
+        tuple(failures),
+    )
+
+
+# -- heuristics vs. brute force ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeuristicCase:
+    """One tiny static-deployment problem solved both ways."""
+
+    name: str
+    dataflow_factory: Callable[[], DynamicDataflow]
+    rates: Mapping[str, float]
+    strategy: str  # "local" | "global"
+    omega_min: float = 0.7
+
+
+@dataclass(frozen=True)
+class HeuristicDiff:
+    """Θ of the heuristic plan vs. the brute-force optimum."""
+
+    case: str
+    theta_optimal: float
+    theta_heuristic: float
+    gap_bound: float
+    failures: tuple[str, ...]
+
+    @property
+    def gap(self) -> float:
+        return self.theta_optimal - self.theta_heuristic
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        line = (
+            f"[{status}] heuristic:{self.case}: Θ*={self.theta_optimal:.4f} "
+            f"Θ_h={self.theta_heuristic:.4f} gap={self.gap:.4f} "
+            f"≤ {self.gap_bound}"
+        )
+        for f in self.failures:
+            line += f"\n    {f}"
+        return line
+
+
+def heuristic_cases() -> list[HeuristicCase]:
+    """The heuristic-vs-bruteforce differential suite."""
+    cases = []
+    for df_name, factory, input_pe in (
+        ("fig1", fig1_dataflow, "E1"),
+        ("chain3", chain3_dataflow, "src"),
+    ):
+        for rate in (2.0, 4.0):
+            for strategy in ("local", "global"):
+                cases.append(
+                    HeuristicCase(
+                        f"{df_name}@{rate:g}-{strategy}",
+                        factory,
+                        {input_pe: rate},
+                        strategy,
+                    )
+                )
+    return cases
+
+
+def _static_theta(df, catalog, plan, sigma: float, period_hours: float) -> float:
+    """Θ of a static plan held for the whole period (brute-force metric)."""
+    gamma = df.application_value(plan.selection)
+    cost = plan.cluster.total_hourly_price() * period_hours
+    return gamma - sigma * cost
+
+
+def run_heuristic_case(case: HeuristicCase) -> HeuristicDiff:
+    """Solve one problem exhaustively and greedily; bound the Θ gap."""
+    df = case.dataflow_factory()
+    catalog = aws_2013_catalog()
+    rate = sum(case.rates.values())
+    spec = standard_spec(rate, df, period=3600.0)
+    period_hours = 1.0
+
+    optimal = BruteForceDeployment(
+        df,
+        catalog,
+        BruteForceConfig(
+            omega_min=case.omega_min,
+            sigma=spec.sigma,
+            period_hours=period_hours,
+        ),
+    ).plan(dict(case.rates))
+    heuristic = InitialDeployment(
+        df,
+        catalog,
+        DeploymentConfig(strategy=case.strategy, omega_min=case.omega_min),
+    ).plan(dict(case.rates))
+
+    theta_opt = _static_theta(df, catalog, optimal, spec.sigma, period_hours)
+    theta_heur = _static_theta(
+        df, catalog, heuristic, spec.sigma, period_hours
+    )
+
+    failures = []
+    if theta_heur > theta_opt + 1e-9:
+        failures.append(
+            f"heuristic Θ={theta_heur:.6f} exceeds brute-force optimum "
+            f"{theta_opt:.6f} — the 'optimum' is not optimal"
+        )
+    if theta_opt - theta_heur > THETA_GAP_BOUND:
+        failures.append(
+            f"heuristic gap {theta_opt - theta_heur:.4f} exceeds the "
+            f"recorded bound {THETA_GAP_BOUND}"
+        )
+    return HeuristicDiff(
+        case.name, theta_opt, theta_heur, THETA_GAP_BOUND, tuple(failures)
+    )

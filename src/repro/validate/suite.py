@@ -1,0 +1,199 @@
+"""The ``repro verify`` driver: runs all three verification pillars.
+
+Pillars (see the sibling modules for what each asserts):
+
+1. **invariants** — full checked runs of the built-in scenarios with the
+   :class:`~repro.validate.invariants.InvariantChecker` enabled,
+2. **differential** — fluid vs. per-message engines and heuristics vs.
+   brute force,
+3. **metamorphic** — scenario transforms with predicted metric effects.
+
+Two levels: ``quick`` (one scenario, the cheap differential cases, the
+exact transforms — a CI-friendly smoke pass) and ``full`` (every
+built-in scenario × policy, every differential case, every transform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..experiments.scenarios import Scenario, run_policy
+from . import differential, invariants, metamorphic
+
+__all__ = ["LEVELS", "VerifySection", "VerifyReport", "scenarios", "run"]
+
+LEVELS = ("quick", "full")
+
+
+def scenarios() -> dict[str, Scenario]:
+    """The built-in verification scenarios.
+
+    Small but shaped to exercise every subsystem the checker watches:
+    steady state, workload waves (alternate switching), infrastructure
+    variability (trace replay), and VM crashes (loss accounting,
+    forced reconciliation).
+    """
+    return {
+        "baseline": Scenario(rate=5.0, period=7200.0, seed=1),
+        "wave": Scenario(
+            rate=20.0, rate_kind="wave", period=7200.0, seed=4
+        ),
+        "variability": Scenario(
+            rate=12.0, variability="both", period=7200.0, seed=9
+        ),
+        "failures": Scenario(
+            rate=15.0, period=10800.0, seed=6, mtbf_hours=2.0
+        ),
+    }
+
+
+@dataclass
+class VerifySection:
+    """One pillar's rendered outcome."""
+
+    title: str
+    lines: list[str] = field(default_factory=list)
+    failures: int = 0
+
+    def record(self, line: str, ok: bool) -> None:
+        self.lines.append(line)
+        if not ok:
+            self.failures += 1
+
+
+@dataclass
+class VerifyReport:
+    """Everything ``repro verify`` observed."""
+
+    level: str
+    sections: list[VerifySection] = field(default_factory=list)
+
+    @property
+    def failures(self) -> int:
+        return sum(s.failures for s in self.sections)
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+    def render(self) -> str:
+        out = [f"repro verify --level {self.level}"]
+        for section in self.sections:
+            out.append("")
+            out.append(f"== {section.title} ==")
+            out.extend(section.lines)
+        out.append("")
+        verdict = "PASS" if self.ok else f"FAIL ({self.failures} failures)"
+        out.append(f"verify: {verdict}")
+        return "\n".join(out)
+
+
+def _checked_run(scenario: Scenario, policy: str, context: str):
+    """One full run under the invariant checker; returns (ok, detail)."""
+    invariants.reset()
+    with invariants.checking() as checker:
+        checker.context = context
+        try:
+            result = run_policy(scenario, policy)
+        except invariants.InvariantViolation as exc:
+            return False, f"{exc.site} at t={exc.t:.1f}s: {exc}"
+    return True, (
+        f"Θ={result.outcome.theta:+.4f} Ω̄={result.outcome.mean_throughput:.3f} "
+        f"μ=${result.outcome.total_cost:.2f}"
+    )
+
+
+def run(
+    level: str = "quick",
+    scenario: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> VerifyReport:
+    """Run the verification suite and return its report.
+
+    Parameters
+    ----------
+    level:
+        ``quick`` or ``full``.
+    scenario:
+        Restrict the invariant pillar to one built-in scenario name.
+    progress:
+        Optional callback receiving one line per completed check (the
+        CLI streams these so long runs are not silent).
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown level {level!r}; known: {LEVELS}")
+    builtin = scenarios()
+    if scenario is not None and scenario not in builtin:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; known: {sorted(builtin)}"
+        )
+    emit = progress or (lambda line: None)
+    report = VerifyReport(level=level)
+
+    # -- pillar 1: runtime invariants ----------------------------------------
+    inv = VerifySection("runtime invariants")
+    report.sections.append(inv)
+    if scenario is not None:
+        names = [scenario]
+    elif level == "quick":
+        names = ["baseline"]
+    else:
+        names = sorted(builtin)
+    policies = ("local", "global") if level == "full" else ("local",)
+    for name in names:
+        for policy in policies:
+            ok, detail = _checked_run(
+                builtin[name],
+                policy,
+                context=f"verify --scenario {name} --level {level}",
+            )
+            status = "ok" if ok else "FAIL"
+            line = f"[{status}] invariants:{name}/{policy}: {detail}"
+            inv.record(line, ok)
+            emit(line)
+
+    # -- pillar 2: differential ----------------------------------------------
+    diff = VerifySection("differential")
+    report.sections.append(diff)
+    engine_cases = differential.engine_cases()
+    heuristic_cases = differential.heuristic_cases()
+    if level == "quick":
+        engine_cases = [
+            c
+            for c in engine_cases
+            if c.name in ("fig1@2", "chain3-full-capacity")
+        ]
+        heuristic_cases = [
+            c
+            for c in heuristic_cases
+            if c.name in ("fig1@2-local", "chain3@2-local")
+        ]
+    for ecase in engine_cases:
+        result = differential.run_engine_case(ecase)
+        diff.record(result.render(), result.passed)
+        emit(result.render())
+    for hcase in heuristic_cases:
+        result = differential.run_heuristic_case(hcase)
+        diff.record(result.render(), result.passed)
+        emit(result.render())
+
+    # -- pillar 3: metamorphic -----------------------------------------------
+    meta = VerifySection("metamorphic")
+    report.sections.append(meta)
+    meta_scenario = builtin["baseline"]
+    transforms = (
+        metamorphic.TRANSFORMS
+        if level == "full"
+        else ("value-scale", "pe-rename")
+    )
+    meta_policies = ("local", "global") if level == "full" else ("local",)
+    for policy in meta_policies:
+        for transform in transforms:
+            result = metamorphic.check_transform(
+                meta_scenario, policy, transform
+            )
+            meta.record(result.render(), result.passed)
+            emit(result.render())
+
+    return report

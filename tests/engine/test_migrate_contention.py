@@ -1,0 +1,145 @@
+"""Regression pin: ``FluidExecutor._migrate`` network pricing.
+
+The fluid engine prices a migration transfer with a *conservative single
+representative*: the slowest link from the drained source VMs (or a
+capped fleet scan) to the PE's **first** remaining host — not a
+per-destination-link model.  The differential harness shows the engines
+agree within tolerance under this shortcut, so these tests pin its exact
+semantics under multi-link contention; if migration pricing is ever made
+link-accurate, they document precisely what changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+from repro.engine import FluidExecutor
+from repro.sim import Environment
+from repro.workloads import ConstantRate
+
+
+class MappedBandwidth:
+    """Performance model with an explicit per-pair bandwidth table."""
+
+    def __init__(self, table, default=float("inf")):
+        self.table = dict(table)
+        self.default = default
+
+    def cpu_coefficient(self, trace_key, t):
+        return 1.0
+
+    def latency_s(self, key_a, key_b, t):
+        return 0.0
+
+    def bandwidth_mbps(self, key_a, key_b, t):
+        return self.table.get((key_a, key_b), self.default)
+
+
+@pytest.fixture
+def deployed(chain3):
+    """src on VMs A and B, mid+out on VM C; links A→C fast, B→C slow."""
+    catalog = aws_2013_catalog()
+    provider = CloudProvider(catalog)
+    a = provider.provision(catalog[0], now=0.0)
+    b = provider.provision(catalog[0], now=0.0)
+    c = provider.provision(catalog[-1], now=0.0)
+    a.allocate("src", 1)
+    b.allocate("src", 1)
+    c.allocate("mid", 1)
+    c.allocate("out", 1)
+    provider.performance = MappedBandwidth(
+        {
+            (a.trace_key, c.trace_key): 100.0,
+            (b.trace_key, c.trace_key): 10.0,
+        }
+    )
+    env = Environment()
+    ex = FluidExecutor(
+        env,
+        chain3,
+        provider,
+        {"src": ConstantRate(1.0)},
+        selection={"src": "s", "mid": "m", "out": "o"},
+    )
+    ex.sync()
+    return ex, a, b, c
+
+
+def _delay(messages, bandwidth_mbps, message_size_mb=0.1):
+    return messages * message_size_mb * 8.0 / bandwidth_mbps
+
+
+def test_contended_links_priced_at_the_slowest_source(deployed):
+    ex, a, b, c = deployed
+    ex._migrate("mid", 100.0, 0.0, sources=[a, b])
+    buf = ex._migrating[-1]
+    assert buf.pe == "mid"
+    assert buf.messages == 100.0
+    # min(100 Mbps, 10 Mbps) → 100 msg × 0.1 MB × 8 b/B / 10 Mbps = 8 s.
+    assert buf.available_at == pytest.approx(_delay(100.0, 10.0))
+
+
+def test_fleet_scan_fallback_sees_every_link(deployed):
+    ex, a, b, c = deployed
+    ex._migrate("mid", 100.0, 5.0)  # no sources: scan the fleet
+    buf = ex._migrating[-1]
+    assert buf.available_at == pytest.approx(5.0 + _delay(100.0, 10.0))
+
+
+def test_network_pair_cap_truncates_the_scan(deployed):
+    """With the scan capped at one link only A→C (fleet order) is priced
+    — the slower B→C link is invisible and the transfer is optimistic."""
+    ex, a, b, c = deployed
+    ex.network_pair_cap = 1
+    ex._migrate("mid", 100.0, 0.0)
+    buf = ex._migrating[-1]
+    assert buf.available_at == pytest.approx(_delay(100.0, 100.0))
+
+
+def test_only_the_first_remaining_host_is_priced(chain3):
+    """Two remaining hosts: the transfer is priced against hosts[0]'s
+    slowest inbound link even when the other host's links are faster."""
+    catalog = aws_2013_catalog()
+    provider = CloudProvider(catalog)
+    a = provider.provision(catalog[0], now=0.0)
+    c = provider.provision(catalog[-1], now=0.0)
+    d = provider.provision(catalog[-1], now=0.0)
+    a.allocate("src", 1)
+    c.allocate("mid", 1)
+    c.allocate("out", 1)
+    d.allocate("mid", 1)
+    provider.performance = MappedBandwidth(
+        {
+            (a.trace_key, c.trace_key): 10.0,     # slow into hosts[0]
+            (a.trace_key, d.trace_key): 1000.0,   # fast into hosts[1]
+        }
+    )
+    env = Environment()
+    ex = FluidExecutor(
+        env,
+        chain3,
+        provider,
+        {"src": ConstantRate(1.0)},
+        selection={"src": "s", "mid": "m", "out": "o"},
+    )
+    ex.sync()
+    ex._migrate("mid", 100.0, 0.0, sources=[a])
+    assert ex._migrating[-1].available_at == pytest.approx(
+        _delay(100.0, 10.0)
+    )
+
+
+def test_unmapped_pairs_transfer_instantly(deployed):
+    ex, a, b, c = deployed
+    ex._migrate("mid", 50.0, 3.0, sources=[c])  # only the target: no links
+    assert ex._migrating[-1].available_at == 3.0
+
+
+def test_hostless_pe_retries_one_tick_later(deployed):
+    ex, a, b, c = deployed
+    c.release("mid")
+    ex._migrate("mid", 5.0, 10.0, sources=[a])
+    buf = ex._migrating[-1]
+    assert buf.messages == 5.0
+    assert buf.available_at == 10.0 + ex.tick

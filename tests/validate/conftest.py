@@ -1,0 +1,21 @@
+"""Fixtures for the verification-harness tests.
+
+The invariant checker is process-global (like the obs collector), so
+every test in this package starts and ends with a pristine, disabled
+checker regardless of what ran before it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate import invariants
+
+
+@pytest.fixture(autouse=True)
+def clean_checker():
+    invariants.reset()
+    invariants.disable()
+    yield
+    invariants.reset()
+    invariants.disable()

@@ -1,0 +1,183 @@
+"""Property suite: the checker never fires on the unmodified engine.
+
+Hypothesis generates small random dataflows (chains and diamonds with
+random alternates, selectivities and split patterns) and rate profiles;
+full managed runs under the invariant checker must finish without an
+:class:`~repro.validate.invariants.InvariantViolation`.  A falsifying
+example here means either a genuine engine bug or an over-strict
+invariant — both are worth a minimized repro.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+from repro.dataflow import Alternate, DynamicDataflow, ProcessingElement
+from repro.dataflow.patterns import SplitPattern
+from repro.experiments.scenarios import Scenario, run_policy
+from repro.validate import invariants
+
+# Full runs are ~0.1–0.5 s each; keep example counts small and disable
+# the per-example deadline (simulation time is legitimate work).
+RUN_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_VALUES = (0.5, 0.75, 1.0)
+_COSTS = (0.25, 0.5, 1.0, 2.0)
+_SELECTIVITIES = (0.5, 1.0, 2.0)
+
+
+@st.composite
+def alternates(draw, pe_index: int):
+    n = draw(st.integers(1, 2))
+    return [
+        Alternate(
+            f"a{pe_index}.{j}",
+            value=draw(st.sampled_from(_VALUES)),
+            cost=draw(st.sampled_from(_COSTS)),
+            selectivity=draw(st.sampled_from(_SELECTIVITIES)),
+        )
+        for j in range(n)
+    ]
+
+
+@st.composite
+def chain_dataflows(draw):
+    n = draw(st.integers(2, 4))
+    pes = [
+        ProcessingElement(f"P{i}", draw(alternates(i))) for i in range(n)
+    ]
+    edges = [(f"P{i}", f"P{i + 1}") for i in range(n - 1)]
+    return DynamicDataflow(pes, edges)
+
+
+@st.composite
+def diamond_dataflows(draw):
+    """src fans out to two branches that re-merge — exercises split
+    factors (and-split duplication vs. even sharing) and multi-merge."""
+    pes = [
+        ProcessingElement(f"P{i}", draw(alternates(i))) for i in range(4)
+    ]
+    edges = [("P0", "P1"), ("P0", "P2"), ("P1", "P3"), ("P2", "P3")]
+    split = draw(st.sampled_from(list(SplitPattern)))
+    return DynamicDataflow(pes, edges, split={"P0": split})
+
+
+@st.composite
+def scenarios(draw):
+    df = draw(st.one_of(chain_dataflows(), diamond_dataflows()))
+    return Scenario(
+        rate=draw(st.sampled_from([1.0, 4.0, 12.0])),
+        rate_kind=draw(st.sampled_from(["constant", "wave", "walk"])),
+        seed=draw(st.integers(0, 10_000)),
+        period=600.0,
+        dataflow=df,
+        mtbf_hours=draw(st.sampled_from([None, 0.1])),
+    )
+
+
+@RUN_SETTINGS
+@given(scenario=scenarios())
+def test_random_runs_never_trip_invariants(scenario):
+    invariants.reset()
+    with invariants.checking() as checker:
+        result = run_policy(scenario, "local")
+    assert checker.violations == 0
+    assert 0.0 <= result.outcome.mean_throughput <= 1.0
+
+
+@RUN_SETTINGS
+@given(
+    rate=st.sampled_from([2.0, 8.0, 30.0]),
+    seed=st.integers(0, 10_000),
+    policy=st.sampled_from(["local", "global", "local-nodyn"]),
+)
+def test_fig1_policies_never_trip_invariants(rate, seed, policy):
+    scenario = Scenario(
+        rate=rate, rate_kind="wave", seed=seed, period=600.0
+    )
+    invariants.reset()
+    with invariants.checking():
+        run_policy(scenario, policy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(0, 3),        # catalog class index
+            st.floats(0.0, 7200.0),   # provision time
+            st.floats(0.0, 7200.0),   # stop/fail offset
+            st.booleans(),            # fail instead of terminate
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    queries=st.lists(st.floats(0.0, 20_000.0), min_size=1, max_size=8),
+)
+def test_billing_lifecycles_never_trip_invariants(events, queries):
+    """Random provision/stop/fail schedules keep μ[t] consistent."""
+    catalog = aws_2013_catalog()
+    provider = CloudProvider(catalog)
+    invariants.reset()
+    with invariants.checking():
+        stops = []
+        for class_idx, at, offset, use_fail in events:
+            vm = provider.provision(catalog[class_idx % len(catalog)], at)
+            stops.append((vm, at + offset, use_fail))
+        # Billing queries must come with non-decreasing `at` (the meter
+        # is queried by a forward-moving run manager).
+        for q in sorted(queries):
+            for vm, stop_at, use_fail in stops:
+                if vm.active and stop_at <= q:
+                    if use_fail:
+                        provider.fail(vm, stop_at)
+                    else:
+                        vm.release_all()
+                        provider.terminate(vm, stop_at)
+            provider.cost_at(q)
+
+
+def test_checker_disabled_is_default():
+    assert not invariants.enabled()
+
+
+def test_checking_context_restores_prior_state():
+    assert not invariants.enabled()
+    with invariants.checking():
+        assert invariants.enabled()
+        with invariants.checking():
+            assert invariants.enabled()
+        assert invariants.enabled()  # inner exit keeps outer enablement
+    assert not invariants.enabled()
+
+
+def test_violation_carries_site_time_and_repro():
+    checker = invariants.checker()
+    with pytest.raises(invariants.InvariantViolation) as exc_info:
+        checker.fail("unit.test", 42.0, "synthetic failure", detail=1)
+    exc = exc_info.value
+    assert exc.site == "unit.test"
+    assert exc.t == 42.0
+    assert exc.details == {"detail": 1}
+    assert "REPRO_VALIDATE=1" in exc.repro or "checking()" in exc.repro
+    assert "unit.test" in str(exc) and "t=42.0" in str(exc)
+
+
+def test_violation_emits_trace_event_when_tracing():
+    from repro.obs import collector
+
+    collector.reset()
+    with collector.tracing():
+        with pytest.raises(invariants.InvariantViolation):
+            invariants.checker().fail("unit.trace", 7.0, "boom")
+        events = [e for e in collector.events() if e.type == "validate_failure"]
+    collector.reset()
+    assert len(events) == 1
+    assert events[0].payload["site"] == "unit.trace"

@@ -1,0 +1,115 @@
+"""Property suite: each metamorphic transform's predicted relation holds.
+
+The exact transforms (value-scale, cost-scale, pe-rename) are checked
+across hypothesis-generated scenarios — their predictions are equalities
+and must hold bit-for-bit.  The approximate time-scale transform is
+checked on fixed scenarios against its documented tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import Scenario
+from repro.validate import metamorphic
+
+RUN_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def scenarios(draw):
+    return Scenario(
+        rate=draw(st.sampled_from([2.0, 6.0, 15.0])),
+        rate_kind=draw(st.sampled_from(["constant", "wave", "walk"])),
+        seed=draw(st.integers(0, 10_000)),
+        period=1800.0,
+    )
+
+
+@RUN_SETTINGS
+@given(scenario=scenarios(), policy=st.sampled_from(["local", "global"]))
+def test_value_scaling_is_invisible(scenario, policy):
+    check = metamorphic.check_transform(scenario, policy, "value-scale")
+    assert check.passed, check.render()
+
+
+@RUN_SETTINGS
+@given(scenario=scenarios(), policy=st.sampled_from(["local", "global"]))
+def test_cost_scaling_scales_mu_exactly(scenario, policy):
+    check = metamorphic.check_transform(scenario, policy, "cost-scale")
+    assert check.passed, check.render()
+    assert check.transformed["mu"] == 4.0 * check.base["mu"]
+
+
+@RUN_SETTINGS
+@given(scenario=scenarios(), policy=st.sampled_from(["local", "global"]))
+def test_pe_renaming_is_invisible(scenario, policy):
+    check = metamorphic.check_transform(scenario, policy, "pe-rename")
+    assert check.passed, check.render()
+
+
+@pytest.mark.parametrize("policy", ["local", "global"])
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(rate=8.0, period=2 * 3600.0, seed=2),
+        dict(rate=20.0, period=2 * 3600.0, seed=4, rate_kind="wave"),
+    ],
+)
+def test_time_scaling_within_documented_tolerances(kwargs, policy):
+    check = metamorphic.check_transform(
+        Scenario(**kwargs), policy, "time-scale"
+    )
+    assert check.passed, check.render()
+
+
+# -- transform mechanics -------------------------------------------------------
+
+
+def test_rename_map_preserves_both_orders():
+    scenario = Scenario(rate=5.0)
+    renamed, nm = metamorphic.rename_pes(scenario)
+    old = scenario.dataflow.pe_names
+    new = renamed.dataflow.pe_names
+    # declaration order preserved positionally...
+    assert [nm[n] for n in old] == list(new)
+    # ...and lexicographic order preserved relationally.
+    old_sorted = sorted(old)
+    new_sorted = sorted(new)
+    assert [nm[n] for n in old_sorted] == new_sorted
+
+
+def test_value_scale_rebuilds_alternates():
+    scenario = Scenario(rate=5.0)
+    scaled = metamorphic.scale_values(scenario, 4.0)
+    for p_old, p_new in zip(scenario.dataflow.pes, scaled.dataflow.pes):
+        for a_old, a_new in zip(p_old.alternates, p_new.alternates):
+            assert a_new.value == 4.0 * a_old.value
+            assert a_new.cost == a_old.cost
+            assert a_new.selectivity == a_old.selectivity
+
+
+def test_cost_scale_rescales_sigma_and_prices():
+    scenario = Scenario(rate=5.0)
+    scaled = metamorphic.scale_costs(scenario, 4.0)
+    assert scaled.spec.sigma == scenario.spec.sigma / 4.0
+    for c_old, c_new in zip(scenario.catalog, scaled.catalog):
+        assert c_new.hourly_price == 4.0 * c_old.hourly_price
+
+
+def test_unknown_transform_rejected():
+    with pytest.raises(ValueError, match="unknown transform"):
+        metamorphic.check_transform(Scenario(rate=5.0), "local", "nope")
+
+
+def test_time_scale_requires_two_hour_base_period():
+    with pytest.raises(ValueError, match="base period"):
+        metamorphic.check_transform(
+            Scenario(rate=5.0, period=1800.0), "local", "time-scale"
+        )
