@@ -39,6 +39,12 @@ import bench_common
 SMALL_FLEET = 4
 LARGE_FLEET = 80
 
+#: Input rate of the steady-state-heavy macro-stepping case: the large
+#: fleet is heavily over-provisioned at this rate, so the fluid state
+#: reaches its fixed point quickly and stays there (jump ratio ≈ 59/60,
+#: capped by the 60 s network-budget refresh).
+STEADY_RATE = 5.0
+
 #: Decision-latency rig shape: a "10's of alternates" scaled dataflow.
 DECISION_STAGES = 4
 DECISION_ALTERNATES = 3
@@ -112,20 +118,29 @@ def _decision_ns(n_decisions: int, strategy: str = "global") -> float:
     return (time.perf_counter() - t0) / n_decisions * 1e9
 
 
-def _kernel_events_per_s(n_events: int) -> float:
-    env = Environment()
-
-    def chain():
-        for _ in range(n_events):
-            yield env.timeout(1.0)
-
-    env.process(chain())
-    t0 = time.perf_counter()
-    env.run()
-    return n_events / (time.perf_counter() - t0)
+#: Repetitions for the kernel microbenchmark: the loop is short enough
+#: that scheduler noise dominates single runs, so the recorded figure is
+#: the best of several (the machine-capability reading).
+KERNEL_REPS = 7
 
 
-def _fluid_ticks_per_s(rate: float, n_vms: int, horizon: float) -> float:
+def _kernel_events_per_s(n_events: int, reps: int = KERNEL_REPS) -> float:
+    def once() -> float:
+        env = Environment()
+
+        def chain():
+            for _ in range(n_events):
+                yield env.timeout(1.0)
+
+        env.process(chain())
+        t0 = time.perf_counter()
+        env.run()
+        return n_events / (time.perf_counter() - t0)
+
+    return max(once() for _ in range(reps))
+
+
+def _fluid_rig(rate: float, n_vms: int, macrostep: bool):
     env = Environment()
     provider = CloudProvider(
         aws_2013_catalog(), performance=ConstantPerformance()
@@ -137,16 +152,30 @@ def _fluid_ticks_per_s(rate: float, n_vms: int, horizon: float) -> float:
         vm.allocate(pes[i % len(pes)], 4)
     ex = FluidExecutor(
         env, df, provider, {"E1": ConstantRate(rate)},
-        selection=df.default_selection(),
+        selection=df.default_selection(), macrostep=macrostep,
     )
     ex.sync()
     ex.start()
+    return env, ex
+
+
+def _fluid_ticks_per_s(
+    rate: float, n_vms: int, horizon: float, macrostep: bool = False
+) -> tuple[float, float]:
+    """(effective grid ticks per wall second, macro jump ratio).
+
+    With ``macrostep=False`` this measures the raw per-tick stepping
+    cost (the historical metric); with ``True`` it measures how fast the
+    macro-stepping engine covers the same grid on a steady-state-heavy
+    scenario — the ledgers are bit-identical either way.
+    """
+    env, ex = _fluid_rig(rate, n_vms, macrostep)
     t0 = time.perf_counter()
     env.run(until=horizon)
     elapsed = time.perf_counter() - t0
     stats = ex.roll_interval()
     assert stats.external_in["E1"] > 0, "engine processed no traffic"
-    return horizon / elapsed
+    return horizon / elapsed, ex.macro_jump_ratio
 
 
 def run_engine_bench(
@@ -156,14 +185,20 @@ def run_engine_bench(
     n_events = 10_000 if quick else 100_000
     horizon = 300.0 if quick else 3600.0
     n_decisions = 100 if quick else 1000
+    # Historical per-tick metrics are measured with macro-stepping off so
+    # the trajectory keeps comparing like with like; the steady-state
+    # case measures the macro-stepping engine on the same large fleet.
+    small, _ = _fluid_ticks_per_s(5.0, SMALL_FLEET, horizon)
+    large, _ = _fluid_ticks_per_s(50.0, LARGE_FLEET, horizon)
+    steady, jump_ratio = _fluid_ticks_per_s(
+        STEADY_RATE, LARGE_FLEET, horizon, macrostep=True
+    )
     metrics = {
         "kernel_events_per_s": _kernel_events_per_s(n_events),
-        "fluid_small_ticks_per_s": _fluid_ticks_per_s(
-            5.0, SMALL_FLEET, horizon
-        ),
-        "fluid_large_ticks_per_s": _fluid_ticks_per_s(
-            50.0, LARGE_FLEET, horizon
-        ),
+        "fluid_small_ticks_per_s": small,
+        "fluid_large_ticks_per_s": large,
+        "fluid_steady_ticks_per_s": steady,
+        "macro_jump_ratio": jump_ratio,
         "decision_ns": _decision_ns(n_decisions),
     }
     meta = {
@@ -171,6 +206,8 @@ def run_engine_bench(
         "host_cpus": os.cpu_count() or 1,
         "small_fleet": SMALL_FLEET,
         "large_fleet": LARGE_FLEET,
+        "steady_rate": STEADY_RATE,
+        "kernel_reps": KERNEL_REPS,
         "horizon_s": horizon,
         "decision_iters": n_decisions,
         "decision_strategy": "global",

@@ -99,6 +99,11 @@ def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
     if "decision_ns" in metrics and metrics["decision_ns"] <= 0:
         _fail(path, f"{where} metric 'decision_ns' must be positive: "
                     f"{metrics['decision_ns']!r}")
+    if "macro_jump_ratio" in metrics:
+        value = metrics["macro_jump_ratio"]
+        if not 0.0 <= value <= 1.0:
+            _fail(path, f"{where} metric 'macro_jump_ratio' must lie in "
+                        f"[0, 1]: {value!r}")
     for name in ("cache_hits", "cache_misses", "cache_entries"):
         if name in meta:
             value = meta[name]

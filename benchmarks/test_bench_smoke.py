@@ -38,9 +38,11 @@ def test_engine_driver_quick(tmp_path):
         "kernel_events_per_s",
         "fluid_small_ticks_per_s",
         "fluid_large_ticks_per_s",
+        "fluid_steady_ticks_per_s",
         "decision_ns",
     ):
         assert result["metrics"][name] > 0
+    assert 0.0 <= result["metrics"]["macro_jump_ratio"] <= 1.0
     data = check_bench_json.validate_file(out)
     assert data["benchmark"] == "engine"
     assert len(data["history"]) == 1
@@ -206,12 +208,83 @@ def test_validate_hooks_keep_large_fleet_ticks():
     live = max(
         bench_engine._fluid_ticks_per_s(
             50.0, bench_engine.LARGE_FLEET, 300.0
-        )
+        )[0]
         for _ in range(3)
     )
     assert live >= 0.99 * baseline, (
         f"large-fleet tick rate regressed: baseline {baseline:.0f}/s vs "
         f"live {live:.0f}/s ({live / baseline:.3f}x)"
+    )
+
+
+def test_macro_steady_state_speedup():
+    """ISSUE acceptance: the macro-stepping engine covers a steady-state
+    large-fleet grid ≥ 3× faster than per-tick stepping (the recorded
+    full-horizon runs show ~9×; the short smoke horizon keeps margin)."""
+    on, ratio = bench_engine._fluid_ticks_per_s(
+        bench_engine.STEADY_RATE, bench_engine.LARGE_FLEET, 600.0,
+        macrostep=True,
+    )
+    off, _ = bench_engine._fluid_ticks_per_s(
+        bench_engine.STEADY_RATE, bench_engine.LARGE_FLEET, 600.0,
+        macrostep=False,
+    )
+    assert ratio > 0.5, f"steady-state rig barely jumped: ratio {ratio:.3f}"
+    assert on >= 3.0 * off, (
+        f"macro-stepping speedup below 3x: {on:.0f}/s vs {off:.0f}/s "
+        f"({on / off:.2f}x)"
+    )
+
+
+def test_macro_gate_overhead_negligible():
+    """ISSUE acceptance: when jumps are impossible (or the feature is
+    off) the macro machinery must cost < 2 µs per tick.
+
+    A periodic-wave profile varies continuously, so the change cap
+    disables every jump and the gate's cheap pre-checks run on every
+    tick — that per-tick delta against a macro-off run of the identical
+    scenario is the whole overhead anyone can observe.
+    """
+    import time as _time
+
+    from repro.cloud import (
+        CloudProvider,
+        ConstantPerformance,
+        aws_2013_catalog,
+    )
+    from repro.engine import FluidExecutor
+    from repro.experiments import fig1_dataflow
+    from repro.sim import Environment
+    from repro.workloads import PeriodicWave
+
+    def per_tick_s(macro: bool) -> float:
+        best = float("inf")
+        for _ in range(3):
+            env = Environment()
+            provider = CloudProvider(
+                aws_2013_catalog(), performance=ConstantPerformance()
+            )
+            df = fig1_dataflow()
+            pes = list(df.pe_names)
+            for i in range(8):
+                vm = provider.provision("m1.xlarge", now=0.0)
+                vm.allocate(pes[i % len(pes)], 4)
+            ex = FluidExecutor(
+                env, df, provider, {"E1": PeriodicWave(5.0)},
+                selection=df.default_selection(), macrostep=macro,
+            )
+            ex.sync()
+            ex.start()
+            t0 = _time.perf_counter()
+            env.run(until=2000.0)
+            best = min(best, (_time.perf_counter() - t0) / 2000.0)
+        return best
+
+    off = per_tick_s(False)
+    on = per_tick_s(True)
+    assert on - off < 2e-6, (
+        f"macro gate overhead {max(0.0, on - off) * 1e6:.2f} µs/tick "
+        f"(off {off * 1e6:.1f} µs, on {on * 1e6:.1f} µs)"
     )
 
 

@@ -22,6 +22,11 @@ Commands
 Sweep-backed commands (``compare``, ``figures``) consult the
 content-addressed result cache by default; pass ``--no-cache`` (or set
 ``REPRO_CACHE=0``) to force fresh runs.
+
+The fluid engine macro-steps through provably stationary stretches by
+default (bit-identical results, large speedups on steady-state-heavy
+scenarios); set ``REPRO_MACROSTEP=0`` to force per-tick stepping, e.g.
+when profiling the per-tick path itself.
 """
 
 from __future__ import annotations

@@ -24,6 +24,43 @@ operation, and interval counters accumulate in NumPy arrays that are
 flushed to the :class:`IntervalStats` dicts once per
 :meth:`roll_interval`.
 
+**Steady-state macro-stepping.**  Long stretches of a run are exactly
+periodic: rates are piecewise-constant, queues are empty or at a fixed
+point, and nothing is scheduled to happen.  When the engine detects such
+a stretch it stops executing ticks and *jumps* to the next interesting
+time, replaying the per-tick accumulator increments it recorded from one
+probe tick so every ledger ends up bit-identical to a tick-by-tick run
+(test-enforced; set ``REPRO_MACROSTEP=0`` to disable).  The mechanism:
+
+* after each tick the engine compares a pre-tick snapshot of the mutable
+  fluid state (backlogs, egress, unhosted, migrations) bitwise against
+  the post-tick state; an unchanged state is a fixed point.  If *only*
+  the backlogs moved (saturated queues growing, or draining at full
+  capacity — the common regime under the paper's Ω̂ < 1 provisioning)
+  the engine enters *linear-drift* mode: it proves by simulating just
+  the three-op processing recurrence that the served amounts stay
+  bit-identical over the jump, then replays that same recurrence at
+  settle time so the backlog trajectory matches a per-tick run float
+  for float,
+* cheap *change caps* bound how far the fixed point provably extends:
+  the next rate-profile breakpoint, CPU-coefficient trace boundary, VM
+  ready time, network-budget refresh, and migration arrival,
+* *event caps* bound how far the engine may sleep: the wake-up must land
+  strictly before every pending foreign kernel event (``env.peek()``,
+  e.g. the failure driver) and at or before every registered boundary
+  (:meth:`add_macro_boundary`: the manager's adaptation interval, VM
+  billing-hour edges), so foreign processes never act mid-jump and the
+  kernel's event order stays identical to normal mode,
+* wake times are produced by the same repeated ``t + tick`` float
+  addition the per-tick loop would have performed and scheduled via
+  :meth:`~repro.sim.kernel.Environment.event_at`, so the engine lands on
+  the exact tick-grid floats of a normal run,
+* the skipped ticks are settled *lazily*: replayed in one batch at the
+  wake-up, or — when a mutation (sync / failure / alternate switch /
+  interval roll) arrives mid-jump — settled up to the mutation time,
+  with the remaining ticks re-executed for real after an interrupt
+  cancels the stale wake-up (the calendar queue's lazy cancellation).
+
 The engine is validated against a per-message discrete-event executor in
 the test suite (``tests/engine/test_fluid_vs_permsg.py``) and against
 frozen pre-vectorization goldens (``tests/engine/test_step_golden.py``).
@@ -31,7 +68,9 @@ frozen pre-vectorization goldens (``tests/engine/test_step_golden.py``).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+import math
+import os
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -40,15 +79,20 @@ from ..cloud.resources import VMInstance
 from ..dataflow.graph import DynamicDataflow
 from ..dataflow.patterns import SplitPattern
 from ..obs import collector as _trace
-from ..sim.kernel import Environment
+from ..sim.kernel import Environment, Interrupt, Process
 from ..util import perf
 from ..validate import invariants as _validate
-from ..workloads.rates import RateProfile
+from ..workloads.rates import RateProfile, next_rate_change
 from .messages import IntervalStats
 
 __all__ = ["FluidExecutor"]
 
 _EPS = 1e-12
+
+
+def _macro_default() -> bool:
+    """Macro-stepping is on unless ``REPRO_MACROSTEP`` disables it."""
+    return os.environ.get("REPRO_MACROSTEP", "1") not in ("", "0", "false")
 
 
 def _reject_synchronize_merges(dataflow: DynamicDataflow) -> None:
@@ -110,6 +154,10 @@ class FluidExecutor:
         estimated from a deterministic subsample (documented
         approximation; keeps large fleets O(cap) per refresh).  The same
         cap bounds the link scan when pricing buffer migrations.
+    macrostep:
+        Enable steady-state macro-stepping (see the module docstring).
+        ``None`` (default) follows the ``REPRO_MACROSTEP`` environment
+        flag, which is on unless set to ``0``.
     """
 
     def __init__(
@@ -123,6 +171,7 @@ class FluidExecutor:
         message_size_mb: float = 0.1,
         network_refresh: float = 60.0,
         network_pair_cap: int = 256,
+        macrostep: Optional[bool] = None,
     ) -> None:
         missing = set(dataflow.inputs) - set(profiles)
         if missing:
@@ -202,11 +251,39 @@ class FluidExecutor:
         self.stats = IntervalStats(start=env.now, end=env.now)
         self._reset_accumulators()
         self._started = False
+        self._process: Optional[Process] = None
+
+        #: Macro-stepping switch and counters (see module docstring).
+        self.macro_enabled = (
+            _macro_default() if macrostep is None else bool(macrostep)
+        )
+        #: Hard cap on ticks skipped per jump (bounds plan/replay work).
+        self.macro_max_skip = 4096
+        self.macro_jumps = 0
+        self.macro_ticks_skipped = 0
+        self.ticks_executed = 0
+        self._macro_boundaries: list[Callable[[float], float]] = []
+        #: Active jump: [start_t, n_skipped, record, wake_event, grid, accounted].
+        self._macro_pending: Optional[list] = None
+        self._macro_record: Optional[tuple] = None
+        self._macro_recording = False
+        self._macro_resume_at: Optional[float] = None
+        self._macro_coef_ok = True
+        self._macro_coef_res: list[float] = []
+        #: Gate backoff: when no constant window can be proven at all (a
+        #: continuously-varying profile, an opaque performance model) the
+        #: situation is almost always permanent, so the gate sleeps for a
+        #: stretch of ticks instead of re-proving the impossibility every
+        #: tick.  Purely an overhead bound — jumps are best-effort.
+        self._macro_backoff_until = -math.inf
+        self._macro_backoff_ticks = 64.0
+        self._input_profiles = [self.profiles[n] for n in dataflow.inputs]
 
     # -- configuration -------------------------------------------------------------
 
     def set_selection(self, selection: Mapping[str, str]) -> None:
         """Switch active alternates (backlogs survive; PEs are stateless)."""
+        self._macro_settle(self.env.now, mutating=True)
         self.dataflow.validate_selection(selection)
         old = self.selection
         self.selection = dict(selection)
@@ -267,6 +344,7 @@ class FluidExecutor:
         migrated (with network delay) to the remaining hosts of their PE.
         """
         t = self.env.now if now is None else now
+        self._macro_settle(t, mutating=True)
         old_vms = self._vms
         old_backlog = self._backlog
         old_egress = self._egress
@@ -344,6 +422,7 @@ class FluidExecutor:
         message counts per PE; they are also recorded in the interval
         stats.
         """
+        self._macro_settle(self.env.now, mutating=True)
         j = self._vm_index.get(instance_id)
         lost: dict[str, float] = {}
         if j is None:
@@ -407,6 +486,22 @@ class FluidExecutor:
             self._coef_res = res
         self._coef_scalar_idx.sort()
 
+        # Macro-stepping metadata: a VM without a series view has an
+        # opaque, possibly continuously-varying coefficient (no jump can
+        # be proven safe); a multi-sample series changes only at its
+        # resolution boundaries; a 1-sample series never changes.
+        ok = True
+        varying: set[float] = set()
+        for view in self._cpu_views:
+            if view is None:
+                ok = False
+                break
+            series, _offset, res = view
+            if series.shape[0] > 1:
+                varying.add(float(res))
+        self._macro_coef_ok = ok
+        self._macro_coef_res = sorted(varying)
+
     def _migrate(
         self,
         pe_name: str,
@@ -463,19 +558,340 @@ class FluidExecutor:
         self._started = True
         if _validate.enabled():
             _validate.checker().register_executor(self)
-        self.env.process(self._run(), name="fluid-executor")
+        self._process = self.env.process(self._run(), name="fluid-executor")
 
     def _run(self):
+        env = self.env
         while True:
+            tick = self.tick
+            t = env.now
+            plan = snap = None
+            if self.macro_enabled and t >= self._macro_backoff_until:
+                plan = self._macro_gate(t)
+                if plan is not None:
+                    snap = self._macro_snapshot()
+                    self._macro_recording = True
             if perf.enabled():
                 with perf.timer("engine.step"):
-                    self.step(self.tick)
+                    self.step(tick)
                 perf.add("engine.ticks")
             else:
-                self.step(self.tick)
+                self.step(tick)
+            self.ticks_executed += 1
             if _validate.enabled():
                 _validate.checker().after_tick(self)
-            yield self.env.timeout(self.tick)
+            if plan is not None:
+                self._macro_recording = False
+                record = self._macro_record
+                self._macro_record = None
+                drift = self._macro_stationary(snap)
+                if record is not None and drift is not None:
+                    wake = self._macro_arm(t, plan, record, drift)
+                    if wake is not None:
+                        try:
+                            yield wake
+                        except Interrupt:
+                            # A mutation truncated the jump: the stale
+                            # wake-up was cancelled; realign onto the
+                            # tick grid and resume stepping for real.
+                            g = self._macro_resume_at
+                            self._macro_resume_at = None
+                            if g is not None and g > env.now:
+                                yield env.event_at(g)
+                            continue
+                        self._macro_wake_settle()
+                        continue
+            yield env.timeout(tick)
+
+    # -- macro-stepping ----------------------------------------------------------------
+
+    def add_macro_boundary(self, fn: Callable[[float], float]) -> None:
+        """Register a wake-up boundary for macro-stepping.
+
+        ``fn(t)`` must return the earliest boundary time strictly after
+        ``t`` (or ``inf``).  A macro jump's wake-up tick lands at or
+        before every registered boundary, so code that runs at such
+        times (the manager's per-interval adaptation, billing-hour
+        edges) always observes an executor that has just executed a real
+        tick, exactly as in per-tick mode.
+        """
+        self._macro_boundaries.append(fn)
+
+    @property
+    def macro_jump_ratio(self) -> float:
+        """Fraction of tick-grid points covered by jumps instead of steps."""
+        total = self.ticks_executed + self.macro_ticks_skipped
+        return self.macro_ticks_skipped / total if total else 0.0
+
+    def _macro_gate(self, t: float) -> Optional[tuple[float, float, float]]:
+        """Cheap pre-step feasibility check for a jump starting at ``t``.
+
+        Returns ``(change_cap, event_peek, boundary_cap)`` when a jump of
+        at least one skipped tick is possible, else ``None`` (the step
+        then runs without the snapshot/record overhead).
+        """
+        tick = self.tick
+        # The executor's own event has already popped: peek() sees only
+        # foreign events.  The smallest useful jump wakes at ~t + 2*tick.
+        peek = self.env.peek()
+        if peek <= t + 2.0 * tick:
+            return None
+        cap = self._macro_change_cap(t)
+        if cap is None:
+            # No constant window can be proven at all — in practice a
+            # permanent property of the scenario (see the backoff note
+            # in __init__), so sleep the gate rather than re-proving
+            # the impossibility on every tick.  Jumps are best-effort:
+            # a missed opportunity never affects equivalence.
+            self._macro_backoff_until = t + self._macro_backoff_ticks * tick
+            return None
+        if cap <= t + tick:
+            return None
+        bound = self.env.run_horizon
+        for fn in self._macro_boundaries:
+            b = fn(t)
+            if b < bound:
+                bound = b
+        if bound < t + 2.0 * tick:
+            return None
+        return (cap, peek, bound)
+
+    def _macro_change_cap(self, t: float) -> Optional[float]:
+        """Earliest future time at which a tick's *inputs* may change.
+
+        Every skipped tick must fall strictly before this: rate-profile
+        breakpoints, CPU-coefficient trace boundaries, VM ready times,
+        the network-budget refresh, and migration arrivals.  ``None``
+        means no constant window can be proven (e.g. a continuously
+        varying rate profile or an opaque performance model).
+        """
+        if not self._macro_coef_ok:
+            return None
+        cap = math.inf
+        for p in self._input_profiles:
+            u = next_rate_change(p, t)
+            if u <= t:
+                return None
+            if u < cap:
+                cap = u
+        for res in self._macro_coef_res:
+            b = (math.floor(t / res) + 1.0) * res
+            if b < cap:
+                cap = b
+        nr = self._next_net_refresh
+        if nr <= t:  # the probe step refreshes and re-arms at t + refresh
+            nr = t + self.network_refresh
+        if nr < cap:
+            cap = nr
+        rt = self._ready_time
+        if rt.size:
+            future = rt[rt > t]
+            if future.size:
+                m = float(future.min())
+                if m < cap:
+                    cap = m
+        for mb in self._migrating:
+            a = mb.available_at
+            if t < a < cap:
+                cap = a
+        return cap
+
+    def _macro_snapshot(self) -> tuple:
+        """Bitwise image of the mutable fluid state (pre-probe)."""
+        return (
+            self._backlog.tobytes(),
+            self._egress.tobytes(),
+            dict(self._unhosted),
+            list(self._migrating),
+        )
+
+    def _macro_stationary(self, snap: tuple) -> Optional[bool]:
+        """Classify the probe tick's effect on the fluid state.
+
+        Returns ``False`` for a bitwise fixed point (nothing changed),
+        ``True`` for the *linear-drift* regime — only the input queues
+        moved (saturated backlogs growing or draining at full capacity,
+        every per-tick increment still constant) — and ``None`` when the
+        state changed in any other way (no jump).
+        """
+        if (
+            self._egress.tobytes() != snap[1]
+            or self._unhosted != snap[2]
+            or self._migrating != snap[3]
+        ):
+            return None
+        return self._backlog.tobytes() != snap[0]
+
+    def _macro_arm(
+        self,
+        t: float,
+        plan: tuple[float, float, float],
+        record: tuple,
+        drift: bool,
+    ) -> Optional[object]:
+        """Arm a jump from the probe tick at ``t``; returns the wake event.
+
+        The tick grid is generated by the same repeated ``g + tick``
+        float addition the per-tick loop performs, so every skipped tick
+        and the wake-up land on the exact floats of a normal run.  Grid
+        point ``k`` (1-based) is skipped for ``k <= n`` and woken at for
+        ``k == n + 1``; skipped ticks must precede the change cap, the
+        wake-up must precede every foreign event strictly and every
+        boundary weakly.  In the drift regime the jump is additionally
+        shortened to the prefix over which the served amounts provably
+        stay bit-identical (:meth:`_macro_drift_check`).
+        """
+        cap, peek, bound = plan
+        tick = self.tick
+        grid: list[float] = []
+        g = t
+        while len(grid) <= self.macro_max_skip:
+            g = g + tick
+            if g >= peek or g > bound:
+                break
+            grid.append(g)
+        if len(grid) < 2:
+            return None
+        n = 0
+        lim = len(grid) - 1
+        while n < lim and grid[n] < cap:
+            n += 1
+        if drift and n >= 1:
+            n = self._macro_drift_check(record, n)
+        if n < 1:
+            return None
+        del grid[n + 1:]
+        wake = self.env.event_at(grid[n])
+        self._macro_pending = [t, n, record, wake, grid, 0, drift]
+        self.macro_jumps += 1
+        if perf.enabled():
+            perf.add("engine.macro_jumps")
+        return wake
+
+    def _macro_drift_check(self, record: tuple, n: int) -> int:
+        """Longest prefix of ``n`` drift ticks with constant served flow.
+
+        With arrivals, capacities and routing frozen by the change cap,
+        the only moving state is the backlog, whose per-tick update is
+        ``queue = backlog + arrivals; served = min(queue, cap);
+        backlog = queue − served``.  Every other quantity a tick
+        computes stays bit-identical as long as ``served`` does — so the
+        recurrence is simulated forward here (three vector ops per tick,
+        no routing/egress work) and the jump truncated at the first tick
+        whose served amounts deviate (a queue newly saturating or
+        draining empty).
+        """
+        arrivals, caps, served = record[5], record[6], record[7]
+        s_bytes = served.tobytes()
+        b = self._backlog
+        k = 0
+        while k < n:
+            queue = b + arrivals
+            s_k = np.minimum(queue, caps)
+            if s_k.tobytes() != s_bytes:
+                break
+            b = queue - s_k
+            k += 1
+        return k
+
+    def _macro_settle(self, now: float, mutating: bool) -> None:
+        """Account skipped ticks up to ``now`` (called before mutations).
+
+        Called from the outside world (manager, failure driver, tests)
+        before anything observes or mutates the engine.  Skipped ticks
+        at or before ``now`` are replayed; if the caller mutates state
+        (``mutating=True``) and skipped ticks remain beyond ``now``,
+        those must be recomputed for real: the stale wake-up is lazily
+        cancelled and the tick process interrupted to realign.
+
+        When no process is active the caller runs at a ``run(until=s)``
+        horizon, *after* the kernel processed every event at ``s`` — in
+        per-tick mode the grid tick at exactly ``s`` has already run, so
+        accounting is inclusive.  A mid-callback caller (some foreign
+        process) acts before a same-timestamp grid tick would have
+        (jumps never span foreign events, so this is defensive), hence
+        exclusive.
+        """
+        pending = self._macro_pending
+        if pending is None:
+            return
+        _start, n, record, wake, grid, acc, drift = pending
+        inclusive = self.env.active_process is None
+        k = acc
+        if inclusive:
+            while k < n and grid[k] <= now:
+                k += 1
+        else:
+            while k < n and grid[k] < now:
+                k += 1
+        if k > acc:
+            self._macro_replay(record, k - acc, drift)
+            pending[5] = k
+        if k >= n:
+            # Fully accounted: the wake-up (a real tick) stays valid even
+            # across a mutation, exactly like per-tick mode's next step.
+            return
+        if mutating:
+            self._macro_pending = None
+            self._macro_resume_at = grid[k]
+            wake.cancel()
+            self._process.interrupt()
+
+    def _macro_wake_settle(self) -> None:
+        """Settle the jump at its wake-up (all skipped ticks replay)."""
+        pending = self._macro_pending
+        self._macro_pending = None
+        _start, n, record, _wake, _grid, acc, drift = pending
+        if n > acc:
+            self._macro_replay(record, n - acc, drift)
+
+    def _macro_replay(self, record: tuple, k: int, drift: bool) -> None:
+        """Replay ``k`` stationary ticks' accumulator increments.
+
+        Elementwise repeated float addition reproduces exactly what the
+        per-tick loop would have computed: a stationary tick's increments
+        are bit-identical from tick to tick, and the accumulators advance
+        by the same ``+=`` sequence.  In the drift regime the backlog is
+        additionally advanced by the exact three-op recurrence of the
+        per-tick processing phase (same operand arrays, same order, so
+        the same floats); :meth:`_macro_drift_check` already proved the
+        served amounts constant over the whole jump.
+        """
+        ext, deliv, arr, proc, delv = record[:5]
+        acc_ext = self._acc_external
+        acc_deliv = self._acc_deliverable
+        acc_arr = self._acc_arrivals
+        acc_proc = self._acc_processed
+        acc_delv = self._acc_delivered
+        if drift:
+            arrivals, caps = record[5], record[6]
+            b = self._backlog
+            for _ in range(k):
+                for col, amt in ext:
+                    acc_ext[col] += amt
+                acc_deliv += deliv
+                acc_arr += arr
+                acc_proc += proc
+                acc_delv += delv
+                queue = b + arrivals
+                served = np.minimum(queue, caps)
+                b = queue - served
+            self._backlog = b
+        else:
+            for _ in range(k):
+                for col, amt in ext:
+                    acc_ext[col] += amt
+                acc_deliv += deliv
+                if arr is not None:
+                    acc_arr += arr
+                    acc_proc += proc
+                    acc_delv += delv
+        self.macro_ticks_skipped += k
+        if perf.enabled():
+            perf.add("engine.ticks", k)
+            perf.add("engine.macro_ticks_skipped", k)
+        if _validate.enabled():
+            _validate.checker().after_macro_jump(self, k)
 
     # -- interval accounting -----------------------------------------------------------
 
@@ -505,6 +921,9 @@ class FluidExecutor:
 
     def roll_interval(self) -> IntervalStats:
         """Close the current interval's counters and start a new one."""
+        # Settle skipped ticks up to now (non-mutating: a jump whose
+        # remaining ticks lie beyond ``now`` stays armed).
+        self._macro_settle(self.env.now, mutating=False)
         self._flush_stats()
         stats = self.stats
         stats.end = self.env.now
@@ -529,6 +948,9 @@ class FluidExecutor:
     def pe_backlog(self, pe_name: str) -> float:
         """Messages pending for a PE: input queues, undelivered egress of
         incoming edges, and in-flight migrations."""
+        # A drift-mode jump advances the input queues lazily: bring them
+        # up to date before reading (no-op outside a jump).
+        self._macro_settle(self.env.now, mutating=False)
         i = self._pe_index[pe_name]
         total = float(self._backlog[i].sum()) if self._backlog.size else 0.0
         if self._egress.size:
@@ -555,7 +977,12 @@ class FluidExecutor:
             rate_vec = np.array(
                 [self.profiles[n].rate_at(t) for n in self.dataflow.inputs]
             )
-            self._acc_deliverable += self._gain @ rate_vec * dt
+            deliv_inc = self._gain @ rate_vec * dt
+            self._acc_deliverable += deliv_inc
+            if self._macro_recording:
+                self._macro_record = (
+                    [], deliv_inc, None, None, None, None, None, None
+                )
             return
 
         # 0. release due migrations into their PE's queues.
@@ -600,12 +1027,15 @@ class FluidExecutor:
         rate_vec = np.array(
             [self.profiles[n].rate_at(t) for n in self.dataflow.inputs]
         )
+        ext_inc = [] if self._macro_recording else None
         for col, name in enumerate(self.dataflow.inputs):
             n = rate_vec[col] * dt
             if n <= 0:
                 continue
             i = self._input_idx[col]
             self._acc_external[col] += n
+            if ext_inc is not None:
+                ext_inc.append((col, n))
             if share_sums[i] > _EPS:
                 arrivals[i] += n * shares[i]
             else:
@@ -617,7 +1047,8 @@ class FluidExecutor:
                 if share_sums[i] > _EPS and pending > _EPS:
                     arrivals[i] += pending * shares[i]
                     del self._unhosted[name]
-        self._acc_deliverable += self._gain @ rate_vec * dt
+        deliv_inc = self._gain @ rate_vec * dt
+        self._acc_deliverable += deliv_inc
 
         # 3. network refresh + edge transfers.
         if t >= self._next_net_refresh:
@@ -656,12 +1087,20 @@ class FluidExecutor:
         queue = self._backlog + arrivals
         served = np.minimum(queue, cap_msgs)
         self._backlog = queue - served
-        self._acc_arrivals += arrivals.sum(axis=1)
-        self._acc_processed += served.sum(axis=1)
+        arr_inc = arrivals.sum(axis=1)
+        proc_inc = served.sum(axis=1)
+        self._acc_arrivals += arr_inc
+        self._acc_processed += proc_inc
 
         # 5. emission.
         out = served * self._selectivity[:, np.newaxis]
-        self._acc_delivered += out[self._output_idx].sum(axis=1)
+        del_inc = out[self._output_idx].sum(axis=1)
+        self._acc_delivered += del_inc
+        if ext_inc is not None:
+            self._macro_record = (
+                ext_inc, deliv_inc, arr_inc, proc_inc, del_inc,
+                arrivals, cap_msgs, served,
+            )
         if eg.size:
             flow = out[self._edge_src] * self._edge_factors[:, np.newaxis]
             grown = flow.sum(axis=1) > _EPS

@@ -10,6 +10,7 @@ the evaluation figures need.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -155,6 +156,29 @@ class RunManager:
             noise_std=self.monitor_noise_std,
             seed=self.monitor_seed,
         )
+        if executor.macro_enabled:
+            # Macro jumps must wake at every time this loop acts on the
+            # run: the adaptation interval boundaries and (so cost
+            # snapshots always follow a real tick) VM billing-hour edges.
+            interval = float(spec.interval)
+            executor.add_macro_boundary(
+                lambda t: (math.floor(t / interval) + 1.0) * interval
+            )
+            provider = self.provider
+
+            def _billing_edges(t: float) -> float:
+                nxt = math.inf
+                for r in provider.active_instances():
+                    b = (
+                        r.started_at
+                        + (math.floor((t - r.started_at) / 3600.0) + 1.0)
+                        * 3600.0
+                    )
+                    if b < nxt:
+                        nxt = b
+                return nxt
+
+            executor.add_macro_boundary(_billing_edges)
 
         reports = [apply_plan(self.provider, executor, plan, env.now)]
         self._trace_reconcile(reports[0], env.now, interval=0)

@@ -88,6 +88,10 @@ class PerMessageExecutor:
         #: Fractional-selectivity accumulators per PE (selectivity < 1
         #: emits one message every 1/s inputs, deterministically).
         self._sel_acc: dict[str, float] = {}
+        #: Per-input deliverable contribution to each output, computed
+        #: once: the selection is fixed for this executor's lifetime, so
+        #: the ideal-rate probe per external message is a constant.
+        self._deliverable_contrib: dict[str, dict[str, float]] = {}
         self.stats = IntervalStats(start=env.now, end=env.now)
         self._sources: list[MessageSource] = []
         self._started = False
@@ -154,49 +158,82 @@ class PerMessageExecutor:
         self.stats.external_in[pe_name] = (
             self.stats.external_in.get(pe_name, 0.0) + 1
         )
-        # Deliverable ledger: ideal per-message contribution to outputs.
-        probe = {n: (1.0 if n == pe_name else 0.0) for n in self.dataflow.inputs}
-        ideal = self.dataflow.ideal_rates(self.selection, probe)
-        for out in self.dataflow.outputs:
-            contribution = ideal[out][1]
-            if contribution > 0:
-                self.stats.deliverable[out] = (
-                    self.stats.deliverable.get(out, 0.0) + contribution
-                )
+        # Deliverable ledger: ideal per-message contribution to outputs
+        # (a constant per input under the fixed selection, cached).
+        contrib = self._deliverable_contrib.get(pe_name)
+        if contrib is None:
+            probe = {
+                n: (1.0 if n == pe_name else 0.0)
+                for n in self.dataflow.inputs
+            }
+            ideal = self.dataflow.ideal_rates(self.selection, probe)
+            contrib = {
+                out: ideal[out][1]
+                for out in self.dataflow.outputs
+                if ideal[out][1] > 0
+            }
+            self._deliverable_contrib[pe_name] = contrib
+        for out, contribution in contrib.items():
+            self.stats.deliverable[out] = (
+                self.stats.deliverable.get(out, 0.0) + contribution
+            )
         self._enqueue(pe_name, Message(seq=seq, created_at=t, size_mb=self.message_size_mb))
 
-    def _enqueue(self, pe_name: str, message: Message) -> None:
-        """Route a message to one of the PE's VMs (capacity-weighted)."""
+    def _enqueue(self, pe_name: str, message: Message, count: int = 1) -> None:
+        """Route ``count`` copies of a message to the PE's VMs.
+
+        Host choice is capacity-weighted per message (one RNG draw each,
+        the same draw sequence as routing the copies one by one); the
+        host scan and weight computation are hoisted out of the loop so a
+        batched drain pays them once.
+        """
         hosts = self._hosts(pe_name)
         if not hosts:
             return  # dropped: PE has no cores (counted as lost throughput)
+        now = self.env.now
         weights = np.array(
             [
                 vm.cores_for(pe_name)
-                * self.provider.effective_core_speed(vm, self.env.now)
+                * self.provider.effective_core_speed(vm, now)
                 for vm in hosts
             ]
         )
         total = weights.sum()
-        if total <= 0:
-            choice = hosts[int(self.rng.integers(len(hosts)))]
-        else:
-            idx = self.rng.choice(len(hosts), p=weights / total)
-            choice = hosts[int(idx)]
-        self.stats.arrivals[pe_name] = self.stats.arrivals.get(pe_name, 0.0) + 1
-        self._queue(pe_name, choice).put(message)
+        n_hosts = len(hosts)
+        p = weights / total if total > 0 else None
+        self.stats.arrivals[pe_name] = (
+            self.stats.arrivals.get(pe_name, 0.0) + count
+        )
+        rng = self.rng
+        for i in range(count):
+            if p is None:
+                choice = hosts[int(rng.integers(n_hosts))]
+            else:
+                choice = hosts[int(rng.choice(n_hosts, p=p))]
+            self._queue(pe_name, choice).put(
+                message
+                if i == 0
+                else Message(
+                    seq=message.seq,
+                    created_at=message.created_at,
+                    size_mb=message.size_mb,
+                )
+            )
 
     def _worker(
         self, pe_name: str, vm: VMInstance, queue: Store
     ) -> Generator[Event, Any, None]:
         """One core: fetch, process at monitored speed, emit."""
         df = self.dataflow
+        # The selection is fixed for this executor's lifetime: resolve
+        # the alternate (and its constant cost) once, not per message.
+        alt = df.active_alternate(self.selection, pe_name)
+        cost = alt.cost
         while True:
             get = queue.get()
             message = yield get
-            alt = df.active_alternate(self.selection, pe_name)
             speed = self.provider.effective_core_speed(vm, self.env.now)
-            yield self.env.timeout(alt.cost / max(speed, 1e-9))
+            yield self.env.timeout(cost / max(speed, 1e-9))
             self.stats.processed[pe_name] = (
                 self.stats.processed.get(pe_name, 0.0) + 1
             )
@@ -229,30 +266,44 @@ class PerMessageExecutor:
         succ = self._succ_targets[pe_name]
         if not succ:
             return
-        # No per-message target-list allocation: an and-split fans out to
-        # the precomputed successor tuple, anything else draws one target.
-        # The RNG call pattern matches the old code exactly (no draw for
-        # and-split), so message trajectories are unchanged.
+        # Same-destination messages of one emit ride a single transfer
+        # process carrying a count: every copy leaves at the same instant
+        # over the same monitored link, so arrival times are unchanged,
+        # and the or-split keeps its one-RNG-draw-per-message pattern.
+        # (No draw for and-split, as before.)
         if self._and_split[pe_name]:
-            for _ in range(emitted):
-                for nxt in succ:
-                    self.env.process(
-                        self._transfer(vm, nxt, message),
-                        name=f"xfer:{pe_name}->{nxt}",
-                    )
+            for nxt in succ:
+                self.env.process(
+                    self._transfer(vm, nxt, message, emitted),
+                    name=f"xfer:{pe_name}->{nxt}",
+                )
+        elif len(succ) == 1:
+            self.env.process(
+                self._transfer(vm, succ[0], message, emitted),
+                name=f"xfer:{pe_name}->{succ[0]}",
+            )
         else:
             n_succ = len(succ)
+            counts: dict[str, int] = {}
             for _ in range(emitted):
                 nxt = succ[int(self.rng.integers(n_succ))]
+                counts[nxt] = counts.get(nxt, 0) + 1
+            for nxt, batched in counts.items():
                 self.env.process(
-                    self._transfer(vm, nxt, message),
+                    self._transfer(vm, nxt, message, batched),
                     name=f"xfer:{pe_name}->{nxt}",
                 )
 
     def _transfer(
-        self, src_vm: VMInstance, dst_pe: str, message: Message
+        self, src_vm: VMInstance, dst_pe: str, message: Message, count: int
     ) -> Generator[Event, Any, None]:
-        """Pay the network cost to the destination PE's pool, if remote."""
+        """Pay the network cost to the destination PE's pool, if remote.
+
+        ``count`` copies travel together: each pays the same per-message
+        bandwidth time in parallel (exactly as the former one-process-
+        per-copy version did), so one process and one queue drain
+        suffice for the whole batch.
+        """
         hosts = self._hosts(dst_pe)
         colocated = any(h.instance_id == src_vm.instance_id for h in hosts)
         if hosts and not colocated:
@@ -267,4 +318,5 @@ class PerMessageExecutor:
                 created_at=message.created_at,
                 size_mb=message.size_mb,
             ),
+            count,
         )

@@ -5,6 +5,7 @@ reproducible random streams.  See :mod:`repro.sim.kernel` for the core
 event loop.
 """
 
+from .calqueue import CalendarQueue
 from .kernel import (
     AllOf,
     AnyOf,
@@ -24,6 +25,7 @@ from .rng import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Condition",
     "Container",
     "Environment",

@@ -1,0 +1,194 @@
+"""Calendar-queue event scheduler for the simulation kernel.
+
+A drop-in replacement for the kernel's former single ``heapq`` that keeps
+the *exact* ``(when, prio, eid)`` total order while making far-future
+scheduling O(1) and revoked-timer cancellation lazy.
+
+Structure
+---------
+Entries are the same 4-tuples the old heap used, ``(when, prio, eid,
+event)``.  They live in one of three places:
+
+* ``_current`` — a binary heap holding every entry with ``when <
+  _hi`` (the end of the calendar's current *day*).  All pops come from
+  here, so the pop order within the window is the heap order, i.e. the
+  historical ``(when, prio, eid)`` order.
+* ``_future`` — a dict of unsorted day buckets keyed by ``int(when *
+  _inv_width)``.  Appending is O(1); a bucket is heapified wholesale
+  into ``_current`` only when the window advances to it.
+* ``_far`` — an unsorted overflow list for astronomically late entries
+  (``when ≥ 1e300``, including ``inf``) whose bucket index would
+  overflow.
+
+Order preservation
+------------------
+Bucketing is monotone in ``when`` (a float multiply then truncation),
+so every entry in a future bucket sorts strictly after every entry that
+can still be in ``_current`` — ties in ``when`` always share a bucket.
+Advancing the window migrates exactly the earliest non-empty bucket, so
+interleaving pops and pushes can never reorder events: the pop sequence
+is bit-identical to the single-heap implementation (property-tested
+against a ``heapq`` reference in ``tests/sim/test_calqueue.py``).
+
+Lazy cancellation
+-----------------
+A cancelled entry is marked by its event's ``callbacks`` being ``None``
+(the same marker as "already processed"; a triggered event is queued at
+most once, so the states cannot collide).  ``cancel`` is therefore O(1):
+the entry stays in place and is discarded for free when it surfaces.
+The queue counts cancelled residents and compacts itself when they are
+both numerous and the majority, so mass-cancellation cannot degrade
+``Environment.run`` beyond a linear sweep.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, Optional
+
+__all__ = ["CalendarQueue", "DEFAULT_WIDTH"]
+
+#: Default calendar-day width in simulated seconds.  Sized so tick loops
+#: (1 s), pollers (30 s) and interval managers (60 s) usually land in the
+#: current day, while hour-scale events take the O(1) bucket path.
+DEFAULT_WIDTH = 64.0
+
+#: Times at or beyond this go to the far-overflow list (bucket indices
+#: would lose integer precision or overflow for ``inf``).
+_FAR_TIME = 1e300
+
+
+class CalendarQueue:
+    """Min-priority calendar queue over ``(when, prio, eid, event)``.
+
+    The event id counter lives here so that entry creation order — the
+    tie-break of the total order — is owned by the structure that
+    enforces it.
+    """
+
+    __slots__ = ("_current", "_future", "_far", "_eid", "_width",
+                 "_inv_width", "_hi", "_ncancelled", "_compact_floor")
+
+    def __init__(self, width: float = DEFAULT_WIDTH) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        self._current: list[tuple[float, int, int, Any]] = []
+        self._future: dict[int, list[tuple[float, int, int, Any]]] = {}
+        self._far: list[tuple[float, int, int, Any]] = []
+        self._eid = 0
+        self._width = float(width)
+        self._inv_width = 1.0 / float(width)
+        #: End of the current day: entries below it heap into _current.
+        self._hi = float(width)
+        self._ncancelled = 0
+        self._compact_floor = 1024
+
+    def __len__(self) -> int:
+        """Resident entries, including not-yet-collected cancelled ones."""
+        return (
+            len(self._current)
+            + sum(len(b) for b in self._future.values())
+            + len(self._far)
+        )
+
+    def push(self, when: float, prio: int, event: Any) -> None:
+        """Insert ``event`` at ``(when, prio)``; eid is assigned here."""
+        eid = self._eid
+        self._eid = eid + 1
+        if when < self._hi:
+            heappush(self._current, (when, prio, eid, event))
+        else:
+            self._push_slow(when, prio, eid, event)
+
+    def _push_slow(self, when: float, prio: int, eid: int, event: Any) -> None:
+        """Off-day insert for an already-allocated eid (see Timeout)."""
+        if when < self._hi:  # pragma: no cover - inline callers pre-check
+            heappush(self._current, (when, prio, eid, event))
+        elif when < _FAR_TIME:
+            idx = int(when * self._inv_width)
+            b = self._future.get(idx)
+            if b is None:
+                self._future[idx] = b = []
+            b.append((when, prio, eid, event))
+        else:
+            self._far.append((when, prio, eid, event))
+
+    def advance(self) -> bool:
+        """Migrate the earliest future bucket into the current heap.
+
+        Returns ``False`` when there is nothing left anywhere.  Only
+        call when the current heap is empty (pops drain days in order).
+        """
+        fut = self._future
+        if fut:
+            k = min(fut)
+            cur = self._current
+            cur.extend(fut.pop(k))
+            heapify(cur)
+            self._hi = (k + 1) * self._width
+            return True
+        if self._far:
+            cur = self._current
+            cur.extend(self._far)
+            self._far = []
+            heapify(cur)
+            self._hi = float("inf")
+            return True
+        return False
+
+    def pop(self) -> Optional[tuple[float, int, int, Any]]:
+        """Pop the minimum live entry, or ``None`` when empty.
+
+        Cancelled entries (``event.callbacks is None``) are discarded on
+        the way out.
+        """
+        cur = self._current
+        while True:
+            if cur:
+                entry = heappop(cur)
+                if entry[3].callbacks is None:
+                    self._ncancelled -= 1
+                    continue
+                return entry
+            if not self.advance():
+                return None
+
+    def peek_when(self) -> float:
+        """Time of the earliest live entry, or ``inf`` when empty.
+
+        Skims off cancelled heads as a side effect (safe: they are
+        invisible to every other operation).
+        """
+        cur = self._current
+        while True:
+            if cur:
+                head = cur[0]
+                if head[3].callbacks is None:
+                    heappop(cur)
+                    self._ncancelled -= 1
+                    continue
+                return head[0]
+            if not self.advance():
+                return float("inf")
+
+    def note_cancel(self) -> None:
+        """Record one lazily-cancelled resident; compact when they dominate."""
+        self._ncancelled += 1
+        n = self._ncancelled
+        if n >= self._compact_floor and 2 * n >= len(self):
+            self.compact()
+
+    def compact(self) -> None:
+        """Physically drop cancelled entries (linear, resets the count)."""
+        self._current = [
+            e for e in self._current if e[3].callbacks is not None
+        ]
+        heapify(self._current)
+        for k in list(self._future):
+            kept = [e for e in self._future[k] if e[3].callbacks is not None]
+            if kept:
+                self._future[k] = kept
+            else:
+                del self._future[k]
+        self._far = [e for e in self._far if e[3].callbacks is not None]
+        self._ncancelled = 0

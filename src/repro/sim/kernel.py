@@ -2,8 +2,9 @@
 
 This module implements a small, dependency-free discrete-event simulation
 (DES) core in the style of SimPy: an :class:`Environment` owns a virtual
-clock and a priority queue of pending events; generator functions are
-wrapped into :class:`Process` objects that advance by yielding events.
+clock and a calendar queue of pending events (:mod:`repro.sim.calqueue`);
+generator functions are wrapped into :class:`Process` objects that advance
+by yielding events.
 
 The kernel is the foundation (substrate S1 in DESIGN.md) for the IaaS cloud
 simulator and the dataflow execution engine.  It supports:
@@ -12,7 +13,13 @@ simulator and the dataflow execution engine.  It supports:
 * generator-based cooperative processes (``yield env.timeout(...)``),
 * event composition (:class:`AllOf`, :class:`AnyOf`),
 * process interruption (:meth:`Process.interrupt`),
+* O(1) lazy cancellation of scheduled events (:meth:`Event.cancel`),
 * bounded runs (``env.run(until=...)``) and step-wise execution.
+
+The event loop is a measured hot path (``kernel_events_per_s`` in
+``BENCH_engine.json``), so the inner functions here trade a little
+repetition for fewer attribute loads, no bound-method churn and inlined
+scheduling on the common same-day path.
 
 Example
 -------
@@ -30,11 +37,11 @@ Example
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop as _heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..obs import collector as _trace
+from .calqueue import CalendarQueue
 
 __all__ = [
     "Environment",
@@ -136,7 +143,7 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        """True once callbacks have run."""
+        """True once callbacks have run (or the event was cancelled)."""
         return self.callbacks is None
 
     @property
@@ -155,11 +162,12 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._queue.push(env._now, NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -169,22 +177,45 @@ class Event:
         on it.  If nothing waits on it, the exception surfaces from
         :meth:`Environment.step` unless :meth:`defused` is set.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._queue.push(env._now, NORMAL, self)
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event (chaining)."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._queue.push(env._now, NORMAL, self)
+
+    def cancel(self) -> bool:
+        """Revoke a scheduled (triggered, not yet processed) event: O(1).
+
+        The queue entry is abandoned in place and discarded lazily when it
+        surfaces (lazy deletion); the event's callbacks never run and the
+        clock never advances *because of* it.  Returns ``False`` if the
+        event was already processed (or already cancelled).
+
+        The caller is responsible for detaching anything parked on the
+        event first (e.g. via :meth:`Process.interrupt`): callbacks of a
+        cancelled event are dropped, so a process still waiting on it
+        would never resume.
+        """
+        if self._value is PENDING:
+            raise SimulationError(f"cannot cancel untriggered {self!r}")
+        if self.callbacks is None:
+            return False
+        self.callbacks = None
+        self.env._queue.note_cancel()
+        return True
 
     # -- composition ------------------------------------------------------
 
@@ -203,11 +234,22 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + same-day scheduling: Timeout creation is
+        # the single most frequent allocation in the simulator.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        q = env._queue
+        when = env._now + delay
+        eid = q._eid
+        q._eid = eid + 1
+        if when < q._hi:
+            heappush(q._current, (when, NORMAL, eid, self))
+        else:
+            q._push_slow(when, NORMAL, eid, self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay:g}>"
@@ -219,11 +261,12 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks = [process._resume]
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._ok = True
         self._value = None
-        env._schedule(self, URGENT, 0.0)
+        self._defused = False
+        env._queue.push(env._now, URGENT, self)
 
 
 class Process(Event):
@@ -234,7 +277,7 @@ class Process(Event):
     uncaught exception.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
 
     def __init__(
         self,
@@ -249,6 +292,10 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on, if any.
         self._target: Optional[Event] = None
+        #: The bound resume callback, created once: appending a fresh
+        #: bound method per yield is measurable churn on the hot path,
+        #: and interrupt() must remove the *same* object it appended.
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     def __repr__(self) -> str:
@@ -281,7 +328,7 @@ class Process(Event):
         event._value = Interrupt(cause)
         event._defused = True
         event.callbacks = [self._resume_interrupt]
-        self.env._schedule(event, URGENT, 0.0)
+        self.env._queue.push(self.env._now, URGENT, event)
 
     # -- internal ----------------------------------------------------------
 
@@ -290,56 +337,63 @@ class Process(Event):
             return  # terminated between interrupt() and delivery: drop it.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - defensive
                 pass
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
-        self._target = None
+        env = self.env
+        env._active_process = self
+        gen = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = gen.send(event._value)
                 else:
                     event._defused = True
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = gen.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, NORMAL, 0.0)
+                self._target = None
+                env._queue.push(env._now, NORMAL, self)
                 break
             except BaseException as error:
                 self._ok = False
                 self._value = error
                 self._defused = False
-                self.env._schedule(self, NORMAL, 0.0)
+                self._target = None
+                env._queue.push(env._now, NORMAL, self)
                 break
 
-            if not isinstance(next_event, Event):
-                proto = Event(self.env)
+            # Exact-class test first: the overwhelming majority of yields
+            # are Timeouts, sparing them the full isinstance scan.
+            if next_event.__class__ is not Timeout and not isinstance(
+                next_event, Event
+            ):
+                proto = Event(env)
                 proto._ok = False
                 proto._value = TypeError(
                     f"process {self.name!r} yielded non-event {next_event!r}"
                 )
                 event = proto
                 continue
-            if next_event.env is not self.env:
+            if next_event.env is not env:
                 raise SimulationError(
                     f"process {self.name!r} yielded event from another environment"
                 )
 
-            if next_event.callbacks is not None:
+            cbs = next_event.callbacks
+            if cbs is not None:
                 # Event not yet processed: park until it fires.
-                next_event.callbacks.append(self._resume)
+                cbs.append(self._resume_cb)
                 self._target = next_event
                 break
             # Already-processed event: resume immediately with its value.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
@@ -420,9 +474,14 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = itertools.count()
+        self._queue = CalendarQueue()
         self._active_process: Optional[Process] = None
+        #: Horizon of the innermost active :meth:`run` call (``inf``
+        #: outside one or for ``run()``/``run(until=event)``).  Processes
+        #: that skip ahead in time (the macro-stepping executor) treat it
+        #: as a wake-up bound so the world is fully settled whenever
+        #: ``run(until=t)`` returns, exactly as in per-event execution.
+        self.run_horizon = float("inf")
         # Sim-time stamping for the observability layer: events emitted
         # without an explicit timestamp are stamped with this clock.
         _trace.bind_clock(lambda: self._now)
@@ -464,14 +523,35 @@ class Environment:
         return AnyOf(self, events)
 
     def schedule_at(self, when: float, value: Any = None) -> Event:
-        """Create an event that succeeds at absolute time ``when``."""
+        """Create an event that succeeds at absolute time ``when``.
+
+        ``when`` is converted to a delay, so the fire time is the float
+        ``now + (when - now)``; use :meth:`event_at` when the *exact*
+        float ``when`` must be hit.
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
         return self.timeout(when - self._now, value)
 
+    def event_at(self, when: float, value: Any = None) -> Event:
+        """Create an event that fires at *exactly* the float time ``when``.
+
+        Unlike :meth:`schedule_at` there is no delay round-trip: the queue
+        entry carries ``when`` verbatim.  The macro-stepping executor
+        relies on this to land wake-ups on the precise tick-grid floats
+        that repeated ``now + tick`` addition would have produced.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._queue.push(when, NORMAL, ev)
+        return ev
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled live event, or ``inf`` if none."""
+        return self._queue.peek_when()
 
     def step(self) -> None:
         """Process the single next event.
@@ -481,14 +561,14 @@ class Environment:
         SimulationError
             If the queue is empty.
         """
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("no more events") from None
+        entry = self._queue.pop()
+        if entry is None:
+            raise SimulationError("no more events")
+        event = entry[3]
 
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None
+        self._now = entry[0]
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
@@ -523,13 +603,40 @@ class Environment:
                         f"until={horizon} lies before current time {self._now}"
                     )
 
+        # The event loop proper.  This duplicates step() deliberately: one
+        # call frame per event is ~15% of the loop's cost, and this loop is
+        # the hottest path in the repository (kernel_events_per_s).
+        queue = self._queue
+        cur = queue._current  # stable alias: advance() extends in place
+        prev_horizon = self.run_horizon
+        self.run_horizon = horizon
         try:
-            while self._queue:
-                if self._queue[0][0] > horizon:
+            while True:
+                if not cur:
+                    if not queue.advance():
+                        break
+                    continue
+                head = cur[0]
+                if head[0] > horizon:
                     break
-                self.step()
+                entry = _heappop(cur)
+                event = entry[3]
+                callbacks = event.callbacks
+                if callbacks is None:
+                    # Lazily-cancelled entry surfacing: discard for free.
+                    queue._ncancelled -= 1
+                    continue
+                self._now = entry[0]
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok:
+                    if not event._defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self.run_horizon = prev_horizon
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -552,6 +659,4 @@ class Environment:
         raise event._value
 
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        self._queue.push(self._now + delay, priority, event)

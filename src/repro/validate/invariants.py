@@ -267,6 +267,24 @@ class InvariantChecker:
                     messages=pending,
                 )
 
+    def after_macro_jump(self, executor, n_skipped: int) -> None:
+        """Ledger hook for the macro-stepping executor settling a jump.
+
+        The engine proved the fluid state bitwise-stationary across the
+        ``n_skipped`` skipped ticks, so a single queue-sanity sweep is
+        exactly equivalent to having run :meth:`after_tick` at each of
+        them; the interval conservation ledger sees the replayed
+        accumulators through the normal :meth:`after_interval` path.
+        """
+        if n_skipped < 0:
+            self.fail(
+                "engine.executor.macro",
+                executor.env.now,
+                "macro jump settled a negative tick count",
+                n_skipped=n_skipped,
+            )
+        self.after_tick(executor)
+
     def note_selection_change(self, executor) -> None:
         """Called from ``set_selection``: if the current interval already
         accumulated work under the old selection, its conservation and

@@ -26,6 +26,7 @@ __all__ = [
     "SteppedRate",
     "ScaledRate",
     "average_rate",
+    "next_rate_change",
 ]
 
 
@@ -53,6 +54,9 @@ class ConstantRate:
 
     def rate_at(self, t: float) -> float:
         return self._rate
+
+    def next_change(self, t: float) -> float:
+        return math.inf
 
     @property
     def mean_rate(self) -> float:
@@ -102,6 +106,10 @@ class PeriodicWave:
             2.0 * math.pi * t / self._period + self._phase
         )
         return max(0.0, self._mean + wave)
+
+    def next_change(self, t: float) -> float:
+        # A live wave varies continuously: no constant window exists.
+        return math.inf if self._amplitude == 0.0 else t
 
     @property
     def mean_rate(self) -> float:
@@ -184,6 +192,11 @@ class RandomWalkRate:
         idx = int(t / self._resolution) % self._path.shape[0]
         return float(self._path[idx])
 
+    def next_change(self, t: float) -> float:
+        # Piecewise-constant at the walk resolution: the rate can only
+        # change at the next resolution boundary.
+        return (math.floor(t / self._resolution) + 1.0) * self._resolution
+
     @property
     def mean_rate(self) -> float:
         return self._mean
@@ -249,6 +262,14 @@ class BurstRate:
         n = rng.poisson(n_expected)
         self._starts = np.sort(rng.uniform(0.0, horizon, size=n))
         self._bursts_per_hour = bursts_per_hour
+        # Sorted burst on/off edges within one horizon window, ending at
+        # the wrap point itself (the schedule restarts there).
+        edges = np.concatenate(
+            [self._starts, self._starts + duration, [horizon]]
+        )
+        self._edges = np.unique(edges[edges <= horizon])
+        if self._edges[-1] < horizon:  # pragma: no cover - defensive
+            self._edges = np.append(self._edges, horizon)
 
     @property
     def burst_starts(self) -> np.ndarray:
@@ -265,6 +286,15 @@ class BurstRate:
 
     def rate_at(self, t: float) -> float:
         return self._base * (self._factor if self.in_burst(t) else 1.0)
+
+    def next_change(self, t: float) -> float:
+        """Next burst on/off edge after ``t`` (conservative: edges where
+        the rate happens to stay flat still count as changes)."""
+        w = t % self._horizon
+        idx = int(np.searchsorted(self._edges, w, side="right"))
+        if idx < self._edges.shape[0]:
+            return t + (float(self._edges[idx]) - w)
+        return t + (self._horizon - w)  # pragma: no cover - edges end at horizon
 
     @property
     def mean_rate(self) -> float:
@@ -308,6 +338,12 @@ class SteppedRate:
                 break
         return rate
 
+    def next_change(self, t: float) -> float:
+        for start, _ in self._steps:
+            if start > t:
+                return start
+        return math.inf
+
     @property
     def mean_rate(self) -> float:
         # Time-weighted mean over the defined span; a single step is just
@@ -333,9 +369,29 @@ class ScaledRate:
     def rate_at(self, t: float) -> float:
         return self._base.rate_at(t) * self._factor
 
+    def next_change(self, t: float) -> float:
+        if self._factor == 0.0:
+            return math.inf
+        return next_rate_change(self._base, t)
+
     @property
     def mean_rate(self) -> float:
         return self._base.mean_rate * self._factor
+
+
+def next_rate_change(profile: RateProfile, t: float) -> float:
+    """Earliest time ``u > t`` at which ``profile`` may change rate.
+
+    Contract: the profile's rate is guaranteed constant on ``[t, u)``.
+    Returning ``t`` itself means "no constant window can be promised"
+    (continuously-varying or unknown profiles) — the conservative answer
+    that disables macro-stepping.  ``inf`` means the rate never changes
+    again.
+    """
+    fn = getattr(profile, "next_change", None)
+    if fn is None:
+        return t
+    return float(fn(t))
 
 
 def average_rate(

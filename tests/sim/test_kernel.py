@@ -428,3 +428,71 @@ class TestRunUntil:
         env.run(until=5.0)
         with pytest.raises(ValueError):
             env.schedule_at(1.0)
+
+
+class TestEventCancellation:
+    """O(1) timer revocation via lazy deletion in the calendar queue."""
+
+    def test_cancel_prevents_callbacks(self, env):
+        fired = []
+        t = env.timeout(5.0)
+        t.callbacks.append(lambda e: fired.append(env.now))
+        assert t.cancel() is True
+        env.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent_and_reports(self, env):
+        t = env.timeout(5.0)
+        assert t.cancel() is True
+        assert t.cancel() is False  # already cancelled
+
+    def test_cancel_processed_event_returns_false(self, env):
+        t = env.timeout(1.0)
+        env.run()
+        assert t.cancel() is False
+
+    def test_cancel_untriggered_event_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().cancel()
+
+    def test_cancelled_event_never_advances_clock(self, env):
+        env.timeout(2.0)
+        late = env.timeout(100.0)
+        late.cancel()
+        env.run()
+        assert env.now == 2.0
+
+    def test_run_skips_cancelled_between_live_events(self, env):
+        fired = []
+        for d in (1.0, 2.0, 3.0, 4.0, 5.0):
+            t = env.timeout(d)
+            t.callbacks.append(lambda e, d=d: fired.append(d))
+            if d in (2.0, 4.0):
+                t.cancel()
+        env.run()
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_mass_cancellation_does_not_degrade_run(self, env):
+        """Revoking ~99% of 100k timers must stay near-linear.
+
+        Lazy deletion plus the calendar queue's auto-compaction keep
+        both the cancel itself and the subsequent ``run()`` cheap; the
+        generous wall-clock bound only trips on complexity regressions
+        (e.g. an O(n) cancel or a heap that never sheds dead entries).
+        """
+        import time
+
+        n = 100_000
+        fired = []
+        start = time.monotonic()
+        timers = [env.timeout(float(i % 977) + 1.0) for i in range(n)]
+        for i, t in enumerate(timers):
+            if i % 100:
+                t.cancel()
+        live = [t for i, t in enumerate(timers) if i % 100 == 0]
+        for t in live:
+            t.callbacks.append(lambda e: fired.append(e))
+        env.run()
+        elapsed = time.monotonic() - start
+        assert len(fired) == len(live)
+        assert elapsed < 5.0

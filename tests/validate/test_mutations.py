@@ -70,6 +70,10 @@ def test_negative_queue_caught_at_next_tick():
     through untouched.)"""
     df = fig1_dataflow()
     env, provider, ex, _ = _deployed(df, {"E1": 4.0})
+    # Out-of-band state pokes bypass the macro-step settle protocol
+    # (real mutators call _macro_settle); per-tick semantics are what
+    # this test is about, so run the engine tick by tick.
+    ex.macro_enabled = False
     with invariants.checking():
         ex.start()
         env.run(until=10.0)
