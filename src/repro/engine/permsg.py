@@ -182,10 +182,17 @@ class PerMessageExecutor:
     def _enqueue(self, pe_name: str, message: Message, count: int = 1) -> None:
         """Route ``count`` copies of a message to the PE's VMs.
 
-        Host choice is capacity-weighted per message (one RNG draw each,
-        the same draw sequence as routing the copies one by one); the
-        host scan and weight computation are hoisted out of the loop so a
-        batched drain pays them once.
+        Host choice is capacity-weighted per copy (one RNG draw each, at
+        the same arrival instant and from the same weights as routing the
+        copies one by one); the host scan and weight computation are
+        hoisted out of the loop so a batched drain pays them once.
+
+        Note on seeded reproducibility: because an emit's copies now
+        arrive grouped per destination batch, the shared RNG's host draws
+        are consumed batch-by-batch rather than interleaved in emission
+        order, so per-copy host trajectories at a fixed seed differ from
+        the historical one-process-per-copy routing (the draw *count* and
+        the per-copy weighting are unchanged).
         """
         hosts = self._hosts(pe_name)
         if not hosts:

@@ -179,11 +179,17 @@ class CalendarQueue:
             self.compact()
 
     def compact(self) -> None:
-        """Physically drop cancelled entries (linear, resets the count)."""
-        self._current = [
-            e for e in self._current if e[3].callbacks is not None
-        ]
-        heapify(self._current)
+        """Physically drop cancelled entries (linear, resets the count).
+
+        ``_current`` is filtered *in place*: ``Environment.run`` keeps a
+        direct alias to the list across callback batches, and a callback
+        that mass-cancels events can land here mid-run — rebinding the
+        attribute to a fresh list would strand the run loop on the old
+        one, silently dropping every later push.
+        """
+        cur = self._current
+        cur[:] = [e for e in cur if e[3].callbacks is not None]
+        heapify(cur)
         for k in list(self._future):
             kept = [e for e in self._future[k] if e[3].callbacks is not None]
             if kept:

@@ -185,6 +185,32 @@ def test_len_counts_residents_and_compact_drops_cancelled():
     assert popped == evs[1::2]
 
 
+def test_compact_preserves_current_list_identity():
+    """The kernel's run loop aliases ``_current``; compact must keep it.
+
+    ``Environment.run`` holds a direct reference to the current-day heap
+    across callback batches, so ``compact()`` has to filter the list in
+    place — rebinding ``_current`` would leave the run loop popping a
+    stale list while new pushes go to the replacement.
+    """
+    cq = CalendarQueue()
+    evs = [_Ev(i) for i in range(8)]
+    for i, ev in enumerate(evs):
+        cq.push(float(i), 1, ev)  # all in the current day
+    alias = cq._current
+    for ev in evs[:6]:
+        ev.callbacks = None
+        cq.note_cancel()
+    cq.compact()
+    assert cq._current is alias
+    assert cq._ncancelled == 0
+    # Pushes after compaction land in the same (aliased) list.
+    keeper = _Ev("keeper")
+    cq.push(3.5, 1, keeper)
+    assert [cq.pop()[3] for _ in range(3)] == [keeper, evs[6], evs[7]]
+    assert cq.pop() is None
+
+
 def test_mass_cancellation_triggers_compaction():
     """Cancelled entries must not accumulate without bound."""
     cq = CalendarQueue()

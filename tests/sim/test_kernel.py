@@ -496,3 +496,31 @@ class TestEventCancellation:
         elapsed = time.monotonic() - start
         assert len(fired) == len(live)
         assert elapsed < 5.0
+
+    def test_mass_cancellation_inside_callback_during_run(self, env):
+        """Compaction fired from a callback must not derail ``run()``.
+
+        A callback that cancels enough events to trigger the calendar
+        queue's auto-compaction exercises the case where compaction runs
+        *while* the event loop is iterating the current-day heap: the
+        loop's alias to that list must stay valid, events scheduled after
+        the compaction must still fire, and the cancelled-entry count
+        must come out exact.
+        """
+        fired = []
+        timers = [env.timeout(10.0 + i * 0.001) for i in range(3000)]
+
+        def canceller(_event):
+            for t in timers:
+                t.cancel()
+            late = env.timeout(5.0)  # pushed after compaction has run
+            late.callbacks.append(lambda e: fired.append("late"))
+
+        trigger = env.timeout(1.0)
+        trigger.callbacks.append(canceller)
+        survivor = env.timeout(50.0)  # in the queue before compaction
+        survivor.callbacks.append(lambda e: fired.append("survivor"))
+        env.run()
+        assert fired == ["late", "survivor"]
+        assert env.now == 50.0
+        assert env._queue._ncancelled == 0
