@@ -5,10 +5,17 @@ figure — serially and with the process-parallel harness, verifies the
 parallel rows are bit-identical to the serial ones, and appends cells/s
 plus the measured speedup to the repo-root ``BENCH_sweep.json``.  The
 serial/parallel sections run with the result cache disabled (reused rows
-would fake the parallel speedup); a third section then measures the
+would fake the parallel speedup); a cache section then measures the
 cache itself — a cold sweep into a fresh cache directory versus the warm
 re-run — and records the warm speedup plus hit/miss counts in the entry
-meta, asserting warm rows stay bit-identical to cold rows.
+meta, asserting warm rows stay bit-identical to cold rows.  A final
+section runs the same grid through the structure-of-arrays batch engine
+(cache off, single process), asserts its rows equal the serial rows
+bitwise, and records ``cells_per_s_batch`` / ``batch_speedup``.
+
+Note: on a single-core host the parallel section degrades to the serial
+loop (``parallel.sweep`` refuses to fork a pool that would time-slice
+one CPU), so ``speedup`` ≈ 1 there; the batch section is unaffected.
 
 Run it directly::
 
@@ -28,6 +35,7 @@ from typing import Iterator, Optional
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments import Scenario, resolve_jobs
+from repro.experiments import batch as batch_mod
 from repro.experiments import cache as result_cache
 from repro.experiments import parallel as parallel_mod
 from repro.experiments import runner
@@ -44,7 +52,10 @@ def _grid(quick: bool) -> tuple[list[Scenario], list[str]]:
         rates, period = (2.0,), 600.0
         policies = ["static-local", "local"]
     else:
-        rates, period = (2.0, 5.0, 10.0), 1800.0
+        # Wide enough (32 cells) for the batch engine's fixed per-tick
+        # cost to amortize; rates stay moderate so no one cell's fleet
+        # width inflates the whole stacked state.
+        rates, period = (2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0), 1800.0
         policies = list(FIG8_POLICIES)
     scenarios = [
         Scenario(
@@ -133,6 +144,21 @@ def run_sweep_bench(
     assert cache_identical, "cached rows diverged from fresh rows"
     cache_warm_speedup = cache_cold_s / max(cache_warm_s, 1e-9)
 
+    # Batch section: the same cold grid through the structure-of-arrays
+    # engine (cache off so every cell is computed), single process.
+    batch_was = batch_mod.enabled()
+    with _cache_env(enabled=False):
+        batch_mod.enable()
+        try:
+            t0 = time.perf_counter()
+            batch_rows = runner.sweep(scenarios, policies, jobs=1)
+            batch_s = time.perf_counter() - t0
+        finally:
+            (batch_mod.enable if batch_was else batch_mod.disable)()
+    batch_identical = batch_rows == serial_rows
+    assert batch_identical, "batch sweep diverged from serial rows"
+    batch_speedup = serial_s / max(batch_s, 1e-9)
+
     metrics = {
         "cells": float(n_cells),
         "serial_s": serial_s,
@@ -143,6 +169,9 @@ def run_sweep_bench(
         "cache_cold_s": cache_cold_s,
         "cache_warm_s": cache_warm_s,
         "cache_warm_speedup": cache_warm_speedup,
+        "batch_s": batch_s,
+        "cells_per_s_batch": n_cells / batch_s,
+        "batch_speedup": batch_speedup,
     }
     meta = {
         "quick": quick,
@@ -153,6 +182,7 @@ def run_sweep_bench(
         "rates": [s.rate for s in scenarios],
         "rows_identical": identical,
         "cache_rows_identical": cache_identical,
+        "batch_rows_identical": batch_identical,
         "cache_warm_speedup": cache_warm_speedup,
         "cache_hits": hits1 - hits0,
         "cache_misses": misses1 - misses0,
@@ -181,9 +211,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     for key, value in result["metrics"].items():
         print(f"{key:>22}: {value:10.3f}")
+    cpus = result["meta"]["host_cpus"]
+    note = (
+        " — single core: parallel section ran serially"
+        if cpus <= 1 < result["meta"]["jobs"] else ""
+    )
     print(f"{'jobs':>22}: {result['meta']['jobs']:10d} "
-          f"(host cpus {result['meta']['host_cpus']}, "
-          f"resolve_jobs default {resolve_jobs(None)})")
+          f"(host cpus {cpus}, "
+          f"resolve_jobs default {resolve_jobs(None)}){note}")
     return 0
 
 

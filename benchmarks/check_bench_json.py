@@ -94,11 +94,20 @@ def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
     ``decision_ns`` is a latency and must be positive; the result-cache
     bookkeeping (``cache_hits``/``cache_misses``/``cache_entries`` meta)
     must be non-negative integers and ``cache_warm_speedup`` a positive
-    finite ratio.
+    finite ratio.  The batch-engine throughput pair
+    (``cells_per_s_batch``/``batch_speedup``) must be positive — a zero
+    or negative value means the timer section never ran.
     """
     if "decision_ns" in metrics and metrics["decision_ns"] <= 0:
         _fail(path, f"{where} metric 'decision_ns' must be positive: "
                     f"{metrics['decision_ns']!r}")
+    for name in ("cells_per_s_batch", "batch_speedup"):
+        if name in metrics and metrics[name] <= 0:
+            _fail(path, f"{where} metric {name!r} must be positive: "
+                        f"{metrics[name]!r}")
+    if "batch_rows_identical" in meta and meta["batch_rows_identical"] is not True:
+        _fail(path, f"{where} meta 'batch_rows_identical' must be true: "
+                    f"{meta['batch_rows_identical']!r}")
     if "macro_jump_ratio" in metrics:
         value = metrics["macro_jump_ratio"]
         if not 0.0 <= value <= 1.0:

@@ -43,9 +43,14 @@ perf.enable()
 def bench_header() -> str:
     """One-line run context: workers, seed, host CPUs, scale, cache state."""
     counters = perf.snapshot()["counters"]
+    cpus = os.cpu_count() or 1
+    jobs = resolve_jobs(None)
+    # parallel.sweep clamps to the core count, so a requested worker
+    # count above it would only record fork overhead, not speedup.
+    note = " (single core: sweeps run serially)" if cpus <= 1 < jobs else ""
     return (
-        f"bench config: jobs={resolve_jobs(None)} seed={DEFAULT_SEED} "
-        f"host_cpus={os.cpu_count() or 1} "
+        f"bench config: jobs={jobs} seed={DEFAULT_SEED} "
+        f"host_cpus={cpus}{note} "
         f"scale={'full' if FULL else 'fast'} "
         f"cache={'on' if result_cache.enabled() else 'off'} "
         f"cache_hits={int(counters.get('cache.hits', 0))} "

@@ -54,10 +54,12 @@ def test_sweep_driver_quick(tmp_path):
     result = bench_sweep.run_sweep_bench(quick=True, jobs=2, output=out)
     assert result["meta"]["rows_identical"] is True
     assert result["meta"]["cache_rows_identical"] is True
+    assert result["meta"]["batch_rows_identical"] is True
     assert result["meta"]["cache_hits"] == 2
     assert result["meta"]["cache_misses"] == 2
     assert result["metrics"]["cells"] == 2.0
     assert result["metrics"]["cache_warm_speedup"] > 1.0
+    assert result["metrics"]["cells_per_s_batch"] > 0
     data = check_bench_json.validate_file(out)
     assert data["benchmark"] == "sweep"
     assert data["history"][0]["metrics"]["speedup"] > 0
@@ -286,6 +288,43 @@ def test_macro_gate_overhead_negligible():
         f"macro gate overhead {max(0.0, on - off) * 1e6:.2f} µs/tick "
         f"(off {off * 1e6:.1f} µs, on {on * 1e6:.1f} µs)"
     )
+
+
+def test_batch_speedup_floor_recorded():
+    """ISSUE acceptance: the recorded cold-sweep batch throughput is
+    ≥ 5× the serial baseline measured in the same entry, and the entry
+    attests the batch rows were bit-identical to the serial rows."""
+    data = check_bench_json.validate_file(
+        check_bench_json.REPO_ROOT / "BENCH_sweep.json"
+    )
+    entry = next(
+        (
+            e
+            for e in reversed(data["history"])
+            if "batch_speedup" in e["metrics"]
+        ),
+        None,
+    )
+    assert entry is not None, "no batch_speedup entry recorded"
+    assert entry["meta"]["batch_rows_identical"] is True
+    speedup = entry["metrics"]["batch_speedup"]
+    assert speedup >= 5.0, f"recorded batch speedup below 5x: {speedup:.2f}"
+
+
+def test_batch_disabled_overhead_negligible():
+    """ISSUE acceptance: with REPRO_BATCH off the sweep pays one
+    module-global flag test per call — the exact guard runner.sweep
+    runs before falling through to the serial/parallel path."""
+    from repro.experiments import batch as batch_mod
+
+    batch_mod.disable()
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if batch_mod.enabled():  # the runner.sweep guard, always False here
+            batch_mod.sweep([], [])
+    per_call = (time.perf_counter() - t0) / n
+    assert per_call < 2e-6, f"disabled batch guard costs {per_call * 1e9:.0f} ns"
 
 
 def test_disabled_tracing_overhead_negligible():

@@ -27,6 +27,13 @@ The fluid engine macro-steps through provably stationary stretches by
 default (bit-identical results, large speedups on steady-state-heavy
 scenarios); set ``REPRO_MACROSTEP=0`` to force per-tick stepping, e.g.
 when profiling the per-tick path itself.
+
+Sweep grids can additionally run through the structure-of-arrays batch
+engine: pass ``--batch`` on ``compare``/``figures`` (or set
+``REPRO_BATCH=1``) to advance every cache-miss grid cell in lockstep
+with one vectorized tick per step.  Rows stay bit-identical to the
+serial sweep; batching takes precedence over ``--jobs`` when both are
+given.
 """
 
 from __future__ import annotations
@@ -102,10 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="bypass the sweep result cache (same as REPRO_CACHE=0)",
         )
 
+    def add_batch_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--batch", action="store_true",
+            help="run the sweep grid through the structure-of-arrays "
+                 "batch engine (same as REPRO_BATCH=1; bit-identical "
+                 "rows, takes precedence over --jobs)",
+        )
+
     run_p = sub.add_parser("run", help="run one policy on one scenario")
     run_p.add_argument("policy", choices=POLICY_NAMES)
     add_scenario_args(run_p)
     add_jobs_arg(run_p)
+    add_batch_arg(run_p)
     run_p.add_argument("--timeline", action="store_true",
                        help="print the per-interval metrics")
     run_p.add_argument("--trace", metavar="PATH", default=None,
@@ -116,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(cmp_p)
     add_jobs_arg(cmp_p)
     add_cache_arg(cmp_p)
+    add_batch_arg(cmp_p)
 
     fig_p = sub.add_parser("figures", help="regenerate evaluation figures")
     fig_p.add_argument(
@@ -126,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="paper-scale configuration (slow)")
     add_jobs_arg(fig_p)
     add_cache_arg(fig_p)
+    add_batch_arg(fig_p)
 
     trace_p = sub.add_parser(
         "trace", help="summarize / filter / dump a JSONL run trace"
@@ -177,6 +195,15 @@ def _apply_no_cache(args: argparse.Namespace) -> None:
         result_cache.disable()
 
 
+def _apply_batch(args: argparse.Namespace) -> None:
+    """Honour ``--batch``: route sweep grids through the batch engine."""
+    if getattr(args, "batch", False):
+        from .experiments import batch as result_batch
+
+        os.environ["REPRO_BATCH"] = "1"
+        result_batch.enable()
+
+
 def _scenario_from(args: argparse.Namespace) -> Scenario:
     return Scenario(
         rate=args.rate,
@@ -189,14 +216,27 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_batch(args)
+
+    def _execute():
+        scenario = _scenario_from(args)
+        if getattr(args, "batch", False):
+            # A batch of one: same RunResult, exercised through the
+            # structure-of-arrays engine.
+            from .engine.batch import BatchRunner
+            from .experiments.batch import _build_manager
+
+            return BatchRunner([_build_manager(scenario, args.policy)]).run()[0]
+        return run_policy(scenario, args.policy)
+
     if args.trace:
         obs.reset()
         with obs.tracing():
-            result = run_policy(_scenario_from(args), args.policy)
+            result = _execute()
         n = obs.flush_jsonl(args.trace)
         print(f"trace: {n} events -> {args.trace}")
     else:
-        result = run_policy(_scenario_from(args), args.policy)
+        result = _execute()
     print(result.summary())
     print(
         f"VMs provisioned={result.vms_provisioned} peak={result.vms_peak} "
@@ -215,6 +255,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     _apply_no_cache(args)
+    _apply_batch(args)
     scenario = _scenario_from(args)
     print(
         f"{'policy':>18}  {'Θ':>8}  {'Γ̄':>6}  {'Ω̄':>6}  {'ok':>3}  "
@@ -232,6 +273,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     _apply_no_cache(args)
+    _apply_batch(args)
     which = args.which or sorted(ALL_FIGURES)
     unknown = [w for w in which if w not in ALL_FIGURES]
     if unknown:

@@ -176,6 +176,7 @@ class TraceLibrary:
         self.cpu_config = cpu or CPUTraceConfig()
         self.network_config = network or NetworkTraceConfig()
         self._streams = RandomStreams(seed)
+        self._assignments: dict[tuple[str, str], tuple[int, int]] = {}
 
         self.cpu_series = np.stack(
             [self._gen_cpu(i) for i in range(n_cpu_series)]
@@ -244,15 +245,29 @@ class TraceLibrary:
         offset = int(gen.integers(self.cpu_series.shape[1]))
         return self.cpu_series[idx], offset
 
-    def network_series_for(
-        self, key_a: str, key_b: str
-    ) -> tuple[np.ndarray, np.ndarray, int]:
-        """(latency, bandwidth, offset) for an unordered VM pair."""
+    def network_assignment(self, key_a: str, key_b: str) -> tuple[int, int]:
+        """(series row, offset_samples) deterministically chosen for a pair.
+
+        Memoized per unordered pair: the spawned stream is a pure function
+        of (library seed, pair), so the cache only skips redundant RNG
+        derivations — it never changes a result.
+        """
         lo, hi = sorted((key_a, key_b))
+        cached = self._assignments.get((lo, hi))
+        if cached is not None:
+            return cached
         rng = self._streams.spawn("assign-net", lo, hi)
         gen = rng.get("pick")
         idx = int(gen.integers(self.n_network_series))
         offset = int(gen.integers(self.latency_series.shape[1]))
+        self._assignments[(lo, hi)] = (idx, offset)
+        return idx, offset
+
+    def network_series_for(
+        self, key_a: str, key_b: str
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """(latency, bandwidth, offset) for an unordered VM pair."""
+        idx, offset = self.network_assignment(key_a, key_b)
         return self.latency_series[idx], self.bandwidth_series[idx], offset
 
     # -- persistence ----------------------------------------------------------
@@ -299,6 +314,7 @@ def load_trace_library(path) -> TraceLibrary:
         duration_s=latency_series.shape[1] * net_res, resolution_s=net_res
     )
     library._streams = RandomStreams(seed)
+    library._assignments = {}
     library.cpu_series = cpu_series
     library.latency_series = latency_series
     library.bandwidth_series = bandwidth_series
@@ -331,6 +347,10 @@ class TraceReplayPerformance:
         self._cpu_cache: dict[str, tuple[np.ndarray, int]] = {}
         self._net_cache: dict[
             tuple[str, str], tuple[np.ndarray, np.ndarray, int]
+        ] = {}
+        self._pair_table_cache: dict[
+            tuple[tuple[str, ...], tuple[str, ...]],
+            tuple[np.ndarray, np.ndarray],
         ] = {}
 
     def _sample(self, series: np.ndarray, offset: int, t: float, res: float) -> float:
@@ -391,6 +411,48 @@ class TraceReplayPerformance:
         return self._sample(
             bw, offset, t, self.library.network_config.resolution_s
         )
+
+    def bandwidth_matrix(
+        self, keys_a: list, keys_b: list, t: float
+    ) -> np.ndarray:
+        """Pairwise bandwidth as one ``(A, B)`` array (vectorization hook).
+
+        Every entry equals the corresponding :meth:`bandwidth_mbps` call
+        exactly: the per-pair series-row/offset assignments are resolved
+        once (and memoized per key tuple) so the whole matrix reduces to a
+        single fancy-index gather from the stacked bandwidth series.
+        """
+        A, B = len(keys_a), len(keys_b)
+        table_key = (tuple(keys_a), tuple(keys_b))
+        entry = self._pair_table_cache.get(table_key)
+        if entry is None:
+            assignment = self.library.network_assignment
+            pairs = [
+                assignment(ka, kb) for ka in keys_a for kb in keys_b
+            ]
+            eq = np.equal.outer(
+                np.asarray(keys_a, dtype=object),
+                np.asarray(keys_b, dtype=object),
+            )
+            entry = (
+                np.array([p[0] for p in pairs], dtype=np.intp),
+                np.array([p[1] for p in pairs], dtype=np.intp),
+                eq if eq.any() else None,
+            )
+            self._pair_table_cache[table_key] = entry
+        rows, offsets, eq = entry
+        if not self.network_enabled:
+            mat = np.full(
+                (A, B), float(self.library.network_config.bandwidth_base_mbps)
+            )
+        else:
+            series = self.library.bandwidth_series
+            res = self.library.network_config.resolution_s
+            pos = (offsets + int(t / res)) % series.shape[1]
+            mat = series[rows, pos].reshape(A, B)
+        if eq is not None:
+            mat[eq] = float("inf")
+        return mat
 
 
 def trace_statistics(series: np.ndarray) -> dict[str, float]:

@@ -125,6 +125,14 @@ class DynamicDataflow:
                     raise ValueError(f"merge override for unknown PE {n!r}")
                 self._merge[n] = pat
 
+        #: Memo for :meth:`ideal_rates` — the adaptation loop re-evaluates
+        #: candidate deployments against a fixed (selection, input rates)
+        #: pair many times per interval.
+        self._ideal_cache: dict[tuple, dict[str, tuple[float, float]]] = {}
+        #: Lazily compiled traversal plan for rate propagation (see
+        #: :meth:`compiled_flow_plan`).
+        self._flow_plan: Optional[list[tuple]] = None
+
         unreachable = set(names) - set(self.forward_bfs_order())
         if unreachable:
             raise ValueError(
@@ -307,6 +315,38 @@ class DynamicDataflow:
 
     # -- rate propagation ---------------------------------------------------------
 
+    def compiled_flow_plan(self) -> list[tuple]:
+        """Topological traversal plan with per-node structure prefetched.
+
+        One tuple per PE, in topological order:
+        ``(name, is_input, preds, merge_pat, succs, split_pat,
+        selectivities)`` where ``selectivities`` maps alternate name →
+        selectivity.  The graph is immutable after construction, so the
+        plan is built once; rate-propagation hot loops (the adaptation
+        stages call :func:`~repro.dataflow.metrics.constrained_rates`
+        once per candidate deployment) iterate it instead of paying one
+        method call per structural lookup per node per evaluation.
+        """
+        plan = self._flow_plan
+        if plan is None:
+            plan = [
+                (
+                    n,
+                    n in self._inputs,
+                    tuple(self._pred[n]),
+                    self._merge[n],
+                    tuple(self._succ[n]),
+                    self._split[n],
+                    {
+                        a.name: a.selectivity
+                        for a in self._pes[n].alternates
+                    },
+                )
+                for n in self._topo
+            ]
+            self._flow_plan = plan
+        return plan
+
     def ideal_rates(
         self,
         selection: AlternateSelection,
@@ -327,6 +367,14 @@ class DynamicDataflow:
         dict
             ``{pe_name: (arrival_rate, output_rate)}``.
         """
+        key = (
+            tuple(sorted(selection.items())),
+            tuple(sorted(input_rates.items())),
+        )
+        cached = self._ideal_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+
         self.validate_selection(selection)
         for n in self._inputs:
             if n not in input_rates:
@@ -351,7 +399,11 @@ class DynamicDataflow:
                 for m, r in zip(succ, rates):
                     edge_rate[(n, m)] = r
 
-        return {n: (arrivals[n], outputs[n]) for n in self._pes}
+        result = {n: (arrivals[n], outputs[n]) for n in self._pes}
+        if len(self._ideal_cache) >= 256:
+            self._ideal_cache.clear()
+        self._ideal_cache[key] = result
+        return dict(result)
 
     # -- global heuristic support ---------------------------------------------------
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from .graph import AlternateSelection, DynamicDataflow
-from .patterns import merge_rate, split_rates
+from .patterns import MergePattern, SplitPattern, merge_rate, split_rates
 
 __all__ = [
     "FlowState",
@@ -76,36 +76,44 @@ def constrained_rates(
     ``min(arrival, capacity) · selectivity``.  Backlogged messages are
     accounted by the execution engine, not here.
     """
-    dataflow.validate_selection(selection)
-    ideal = dataflow.ideal_rates(selection, input_rates)
+    ideal = dataflow.ideal_rates(selection, input_rates)  # validates
 
     arrivals: dict[str, float] = {}
     processed: dict[str, float] = {}
     outputs: dict[str, float] = {}
     edge_rate: dict[tuple[str, str], float] = {}
 
-    for n in dataflow.topological_order():
-        external = (
-            float(input_rates.get(n, 0.0)) if n in dataflow.inputs else 0.0
-        )
-        incoming = [edge_rate[(p, n)] for p in dataflow.predecessors(n)]
+    # The compiled plan prefetches each node's structure; the paper-
+    # default patterns (multi-merge, and-split) are inlined because this
+    # is the adaptation loop's innermost evaluation.  The float math is
+    # identical to the uncompiled traversal, term for term.
+    for n, is_input, preds, merge_pat, succs, split_pat, sel_of in (
+        dataflow.compiled_flow_plan()
+    ):
+        external = float(input_rates.get(n, 0.0)) if is_input else 0.0
         arrival = external
-        if incoming:
-            arrival += merge_rate(dataflow.merge_pattern(n), incoming)
+        if preds:
+            incoming = [edge_rate[(p, n)] for p in preds]
+            if merge_pat is MergePattern.MULTI_MERGE:
+                arrival += float(sum(incoming))
+            else:
+                arrival += merge_rate(merge_pat, incoming)
         capacity = max(0.0, float(capacities.get(n, 0.0)))
         served = min(arrival, capacity)
-        alt = dataflow.active_alternate(selection, n)
-        out = served * alt.selectivity
+        out = served * sel_of[selection[n]]
 
         arrivals[n] = arrival
         processed[n] = served
         outputs[n] = out
 
-        succ = dataflow.successors(n)
-        if succ:
-            rates = split_rates(dataflow.split_pattern(n), out, len(succ))
-            for m, r in zip(succ, rates):
-                edge_rate[(n, m)] = r
+        if succs:
+            if split_pat is SplitPattern.AND_SPLIT:
+                for m in succs:
+                    edge_rate[(n, m)] = out
+            else:
+                rates = split_rates(split_pat, out, len(succs))
+                for m, r in zip(succs, rates):
+                    edge_rate[(n, m)] = r
 
     return FlowState(
         arrivals=arrivals,

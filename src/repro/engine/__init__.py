@@ -1,5 +1,6 @@
 """Dataflow execution engine on the simulated cloud (S5 + S6)."""
 
+from .batch import BatchRunner
 from .executor import FluidExecutor
 from .failures import FailureDriver
 from .latency import LatencySummary, LatencyTracker, fluid_latency_estimate
@@ -10,6 +11,7 @@ from .permsg import PerMessageExecutor
 from .reconcile import ReconcileReport, apply_plan
 
 __all__ = [
+    "BatchRunner",
     "FailureDriver",
     "FluidExecutor",
     "IntervalStats",

@@ -1,6 +1,6 @@
 """Experiment harness (S14): scenarios, sweeps, per-figure reproducers."""
 
-from . import cache
+from . import batch, cache
 from .figures import (
     ALL_FIGURES,
     FigureResult,
@@ -31,6 +31,7 @@ from .scenarios import (
 
 __all__ = [
     "ALL_FIGURES",
+    "batch",
     "cache",
     "EPSILON",
     "MESSAGE_SIZE_MB",

@@ -97,6 +97,9 @@ def sweep(
     cells = [(scenario, policy) for scenario in scenarios for policy in policies]
     perf.add("sweep.cells", len(cells))
     jobs = resolve_jobs(jobs)
+    # A single-core host gains nothing from a process pool — the workers
+    # would time-slice one CPU while paying fork + IPC on every chunk.
+    jobs = min(jobs, os.cpu_count() or 1)
     if jobs <= 1 or len(cells) <= 1:
         return [_run_cell(c) for c in cells]
 

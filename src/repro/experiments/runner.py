@@ -76,6 +76,12 @@ def sweep(
     :mod:`repro.experiments.parallel`; results are bit-identical to the
     serial loop, in the same scenario-major/policy-minor order.
 
+    With ``REPRO_BATCH=1`` (or the CLI ``--batch`` flag) the grid runs
+    through the structure-of-arrays batch engine instead
+    (:mod:`repro.experiments.batch`) — one process advancing every
+    cache-miss cell in lockstep, still bit-identical to this loop.
+    Batching takes precedence over ``jobs``.
+
     Cells run through the content-addressed result cache
     (:mod:`repro.experiments.cache`) unless it is disabled, so repeated
     sweeps of unchanged configurations reuse their stored rows.
@@ -83,6 +89,10 @@ def sweep(
     from . import cache
     from .parallel import resolve_jobs
 
+    from . import batch
+
+    if batch.enabled():
+        return batch.sweep(scenarios, policies)
     if resolve_jobs(jobs) > 1:
         from . import parallel
 

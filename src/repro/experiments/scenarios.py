@@ -19,6 +19,7 @@ Defines the experimental setup every figure shares:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Literal, Optional
 
 from ..cloud.failures import FailureModel
@@ -194,7 +195,20 @@ def make_performance(
     """
     if mode in ("none", "data"):
         return ConstantPerformance()
-    return TraceReplayPerformance(TraceLibrary(seed=seed))
+    return TraceReplayPerformance(_trace_library(seed))
+
+
+@lru_cache(maxsize=8)
+def _trace_library(seed: int) -> TraceLibrary:
+    """Memoized synthetic trace library.
+
+    Generating the series costs tens of milliseconds; a sweep builds one
+    provider per cell, so without memoization that cost repeats for every
+    cell.  ``TraceLibrary`` is immutable after construction (the replay
+    caches live on ``TraceReplayPerformance``, which stays per-provider),
+    so sharing one instance per seed is safe.
+    """
+    return TraceLibrary(seed=seed)
 
 
 @dataclass

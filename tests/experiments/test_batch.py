@@ -1,0 +1,228 @@
+"""Batched sweep execution (experiments.batch + engine.batch, S25).
+
+The batch engine's contract is *bit-identity*: every row it produces
+must equal the serial sweep's row exactly (dataclass equality compares
+floats bitwise).  These tests pin that contract across variability
+modes, policies, heterogeneous topologies and cache interleavings, and
+pin the harness routing (REPRO_BATCH gating, validation fallback,
+failure-cell fallback).
+"""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.batch import BatchRunner
+from repro.experiments import Scenario, sweep
+from repro.experiments import batch as batch_mod
+from repro.experiments import cache
+from repro.experiments.batch import _build_manager
+from repro.experiments.runner import SweepRow
+from repro.experiments.scenarios import run_policy, scaled_dataflow
+from repro.util import perf
+from repro.validate import invariants as _validate
+
+FIG8_POLICIES = ["global", "global-nodyn", "local", "local-nodyn"]
+
+
+def quick_scenario(**overrides) -> Scenario:
+    base = dict(rate=3.0, seed=5, period=300.0, variability="both")
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def serial_rows(scenarios, policies) -> list[SweepRow]:
+    return [
+        SweepRow.from_result(s, run_policy(s, p))
+        for s in scenarios
+        for p in policies
+    ]
+
+
+def batch_rows(scenarios, policies) -> list[SweepRow]:
+    cells = [(s, p) for s in scenarios for p in policies]
+    managers = [_build_manager(s, p) for s, p in cells]
+    results = BatchRunner(
+        managers, rate_keys=[id(s) for s, _p in cells]
+    ).run()
+    return [
+        SweepRow.from_result(s, r) for (s, _p), r in zip(cells, results)
+    ]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "variability", ["none", "data", "infra", "both"]
+    )
+    def test_all_variability_modes_all_policies(self, variability):
+        """Batch rows equal serial rows bitwise, per variability mode,
+        across the four fig8 policies."""
+        scenarios = [
+            quick_scenario(rate=r, variability=variability)
+            for r in (2.0, 5.0)
+        ]
+        assert batch_rows(scenarios, FIG8_POLICIES) == serial_rows(
+            scenarios, FIG8_POLICIES
+        )
+
+    def test_heterogeneous_topologies_in_one_batch(self):
+        """Cells with different dataflow shapes (fig1 + a scaled diamond
+        chain) stack into one batch without cross-talk."""
+        scenarios = [
+            quick_scenario(rate=3.0),
+            quick_scenario(
+                rate=2.0, dataflow=scaled_dataflow(stages=2, alternates=2)
+            ),
+        ]
+        policies = ["local", "static-local"]
+        assert batch_rows(scenarios, policies) == serial_rows(
+            scenarios, policies
+        )
+
+    def test_single_cell_batch(self):
+        scenarios = [quick_scenario()]
+        assert batch_rows(scenarios, ["global"]) == serial_rows(
+            scenarios, ["global"]
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        rate=st.floats(min_value=1.0, max_value=12.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        kind=st.sampled_from(["constant", "wave", "walk"]),
+    )
+    def test_property_random_cells_identical(self, rate, seed, kind):
+        """Any (rate, seed, profile) cell batches bit-identically."""
+        scenario = Scenario(
+            rate=rate, rate_kind=kind, variability="both", seed=seed,
+            period=300.0,
+        )
+        assert batch_rows([scenario], ["local"]) == serial_rows(
+            [scenario], ["local"]
+        )
+
+
+class TestBatchRunnerContract:
+    def test_rejects_mixed_clock_grids(self):
+        managers = [
+            _build_manager(quick_scenario(period=300.0), "local"),
+            _build_manager(quick_scenario(period=600.0), "local"),
+        ]
+        with pytest.raises(ValueError, match="interval"):
+            BatchRunner(managers)
+
+    def test_rejects_failure_cells(self):
+        manager = _build_manager(
+            quick_scenario(mtbf_hours=0.05), "local"
+        )
+        with pytest.raises(ValueError, match="failure"):
+            BatchRunner([manager])
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            BatchRunner([])
+
+
+class TestSweepRouting:
+    @pytest.fixture(autouse=True)
+    def _batch_on(self, monkeypatch):
+        monkeypatch.setattr(batch_mod, "_enabled", True)
+        monkeypatch.setattr(cache, "_enabled", True)
+        perf.reset()
+        yield
+        perf.reset()
+
+    def test_runner_sweep_routes_through_batch(self):
+        scenarios = [quick_scenario(rate=r) for r in (2.0, 4.0)]
+        with perf.collecting():
+            rows = sweep(scenarios, ["local", "static-local"])
+            counters = perf.snapshot()["counters"]
+        assert counters.get("batch.cells") == 4
+        assert rows == serial_rows(scenarios, ["local", "static-local"])
+
+    def test_mid_sweep_cache_hits_are_served_not_recomputed(self):
+        """Pre-cached cells are hits; the batch computes only misses,
+        and the assembled rows still match the fully serial grid."""
+        scenarios = [quick_scenario(rate=r) for r in (2.0, 4.0, 6.0)]
+        # Warm exactly one scenario's cells through the serial path.
+        batch_mod.disable()
+        warmed = sweep([scenarios[1]], ["local"])
+        batch_mod.enable()
+        with perf.collecting():
+            rows = sweep(scenarios, ["local"])
+            counters = perf.snapshot()["counters"]
+        assert counters.get("cache.hits") == 1
+        assert counters.get("batch.cells") == 2
+        assert rows[1] == warmed[0]
+        assert rows == serial_rows(scenarios, ["local"])
+
+    def test_batch_rows_are_stored_as_cache_entries(self):
+        scenarios = [quick_scenario(rate=2.0)]
+        sweep(scenarios, ["local"])
+        key = cache.cache_key(scenarios[0], "local")
+        assert cache.lookup(key) is not None
+        # A later serial sweep hits on the batch-produced entry.
+        batch_mod.disable()
+        with perf.collecting():
+            again = sweep(scenarios, ["local"])
+            counters = perf.snapshot()["counters"]
+        assert counters.get("cache.hits") == 1
+        assert again == [cache.lookup(key)]
+
+    def test_failure_cells_fall_back_to_serial(self):
+        scenario = quick_scenario(rate=2.0, mtbf_hours=0.05)
+        rows = sweep([scenario], ["local"])
+        assert rows == serial_rows([scenario], ["local"])
+
+    def test_validation_bypasses_batch_and_cache(self, monkeypatch):
+        """REPRO_VALIDATE=1 must route every cell serially (the hooks
+        only exist there) and must not store unvalidated batch rows."""
+        monkeypatch.setattr(_validate, "_enabled", True)
+        scenarios = [quick_scenario(rate=2.0)]
+        with perf.collecting():
+            rows = sweep(scenarios, ["static-local"])
+            counters = perf.snapshot()["counters"]
+        assert counters.get("batch.cells", 0) == 0
+        assert cache.stats()["entries"] == 0
+        monkeypatch.setattr(_validate, "_enabled", False)
+        assert rows == serial_rows(scenarios, ["static-local"])
+
+    def test_disabled_env_keeps_serial_path(self, monkeypatch):
+        monkeypatch.setattr(batch_mod, "_enabled", False)
+        scenarios = [quick_scenario(rate=2.0)]
+        with perf.collecting():
+            sweep(scenarios, ["static-local"])
+            counters = perf.snapshot()["counters"]
+        assert counters.get("batch.cells", 0) == 0
+
+    def test_mixed_clock_grid_forms_separate_batches(self):
+        scenarios = [
+            quick_scenario(rate=2.0, period=300.0),
+            quick_scenario(rate=2.0, period=600.0),
+        ]
+        with perf.collecting():
+            rows = sweep(scenarios, ["local"])
+            counters = perf.snapshot()["counters"]
+        assert counters.get("batch.groups") == 2
+        assert rows == serial_rows(scenarios, ["local"])
+
+
+class TestRunResultParity:
+    def test_full_result_fields_match_serial(self):
+        """Beyond SweepRow: the timeline, peak and adaptation counters
+        of the batch RunResult match the serial run exactly."""
+        scenario = quick_scenario(rate=4.0)
+        serial = run_policy(scenario, "global")
+        batched = BatchRunner([_build_manager(scenario, "global")]).run()[0]
+        assert batched.outcome == serial.outcome
+        assert batched.vms_peak == serial.vms_peak
+        assert batched.adaptations == serial.adaptations
+        assert batched.final_selection == serial.final_selection
+        assert len(batched.timeline) == len(serial.timeline)
+        for a, b in zip(batched.timeline, serial.timeline):
+            assert a == b
+        assert math.isfinite(batched.outcome.theta)

@@ -38,7 +38,11 @@ class TestSerialParallelEquivalence:
 
 
 class TestFallbacks:
-    def test_unpicklable_cells_fall_back_to_serial(self):
+    def test_unpicklable_cells_fall_back_to_serial(self, monkeypatch):
+        # Pin a multi-core host so the single-core clamp doesn't short-
+        # circuit before the pickle probe (the warning under test).
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+
         # A locally defined subclass cannot be pickled for worker dispatch.
         class LocalScenario(Scenario):
             pass
@@ -57,6 +61,20 @@ class TestFallbacks:
             [Scenario(rate=2.0, seed=3, period=600.0)], ["static-local"], jobs=8
         )
         assert len(rows) == 1
+
+    def test_single_core_host_never_forks_a_pool(self, monkeypatch):
+        """On a 1-CPU host the pool would time-slice one core while
+        paying fork + IPC per chunk; jobs must clamp to serial."""
+
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("pool constructed on a single-core host")
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _no_pool)
+        scenarios = [Scenario(rate=2.0, seed=3, period=600.0)]
+        policies = ["static-local", "static-global"]
+        rows = parallel.sweep(scenarios, policies, jobs=4)
+        assert rows == runner.sweep(scenarios, policies)
 
 
 class TestResolveJobs:
