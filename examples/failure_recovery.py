@@ -40,7 +40,7 @@ def main() -> None:
           f"{'crashes':>7}  {'msgs lost':>9}")
     for policy, result in results.items():
         o = result.outcome
-        lost = sum(n for _, _, n in result.crashes)
+        lost = sum(c.lost_messages for c in result.crashes)
         print(
             f"{policy:>14}  {o.mean_throughput:6.3f}  "
             f"{'✓' if o.constraint_met else '✗':>3}  {o.total_cost:7.2f}  "
@@ -50,12 +50,13 @@ def main() -> None:
     print()
     adaptive = results["global"]
     if adaptive.crashes:
-        t, vm, lost = adaptive.crashes[0]
+        first = adaptive.crashes[0]
         print(
-            f"first crash under 'global': {vm} at t={t / 60:.1f} min "
-            f"({lost:.0f} queued messages destroyed) — the next interval's "
-            f"snapshot showed the missing capacity and the heuristic "
-            f"re-provisioned."
+            f"first crash under 'global': {first.instance_id} at "
+            f"t={first.t / 60:.1f} min "
+            f"({first.lost_messages:.0f} queued messages destroyed) — the "
+            f"next interval's snapshot showed the missing capacity and the "
+            f"heuristic re-provisioned."
         )
     static = results["static-local"].outcome
     print(

@@ -5,11 +5,17 @@ façade, and the performance-variability trace substrate (synthetic
 FutureGrid-like generation plus replay).
 """
 
-from .failures import FailureModel
+from .failures import FailureModel, SpotRevocationModel
 from .billing import HOUR, BillingMeter, instance_cost, total_cost
 from .network import LinkQuality, NetworkModel, migration_time
 from .provider import CloudProvider, ProvisioningError
-from .resources import STANDARD_CORE_SPEED, VMClass, VMInstance, aws_2013_catalog
+from .resources import (
+    STANDARD_CORE_SPEED,
+    VMClass,
+    VMInstance,
+    aws_2013_catalog,
+    spot_variants,
+)
 from .traces import (
     CPUTraceConfig,
     NetworkTraceConfig,
@@ -33,6 +39,7 @@ __all__ = [
     "NetworkTraceConfig",
     "PerformanceModel",
     "ProvisioningError",
+    "SpotRevocationModel",
     "TraceLibrary",
     "TraceReplayPerformance",
     "VMClass",
@@ -40,6 +47,7 @@ __all__ = [
     "aws_2013_catalog",
     "instance_cost",
     "load_trace_library",
+    "spot_variants",
     "migration_time",
     "total_cost",
     "trace_statistics",

@@ -9,6 +9,11 @@ accumulated cost of instance ``r_i`` at time ``t`` is
 
 with the convention that an instance that has just started (zero elapsed
 time) is already liable for its first hour.
+
+Spot instances (``VMClass.spot``) follow the spot-market convention
+instead: per-second metering, ``μ_i[t] = (min(t_off, t) − t_start)/3600 ·
+ξ_i``, so a revoked instance is never billed past its forced stop (the
+hour-ceiling rule would charge for time the cloud itself took away).
 """
 
 from __future__ import annotations
@@ -49,6 +54,11 @@ def instance_cost(instance: VMInstance, at: float) -> float:
     if at < instance.started_at:
         return 0.0
     elapsed = min(instance.stopped_at, at) - instance.started_at
+    if instance.vm_class.spot:
+        # Per-second spot metering: monotone in t and capped by the stop
+        # time, so a revocation (stopped_at = revoked_at) ends billing
+        # exactly at the forced stop.
+        return (elapsed / HOUR) * instance.vm_class.hourly_price
     return billed_hours(elapsed) * instance.vm_class.hourly_price
 
 
@@ -65,6 +75,10 @@ def remaining_paid_seconds(instance: VMInstance, at: float) -> float:
     saves nothing within a paid hour).
     """
     if not instance.active or at < instance.started_at:
+        return 0.0
+    if instance.vm_class.spot:
+        # Per-second billing has no pre-paid window: stopping a spot VM
+        # saves money immediately, so idle ones should not be parked.
         return 0.0
     elapsed = at - instance.started_at
     hours = billed_hours(elapsed) if elapsed > 0 else 1
@@ -118,8 +132,8 @@ class BillingMeter:
         the granularity the adaptation heuristics themselves see.
         """
         for r in self._instances:
-            if at < r.started_at:
-                continue
+            if at < r.started_at or r.vm_class.spot:
+                continue  # spot bills per second; there are no hour starts
             elapsed = min(r.stopped_at, at) - r.started_at
             hours = billed_hours(elapsed)
             seen = self._hours_seen.get(r.instance_id, 0)

@@ -1,24 +1,33 @@
-"""VM failure model (paper §9 future work: fault tolerance).
+"""VM failure and spot-revocation models (paper §9 future work: fault
+tolerance; S26 reliability pack).
 
 The paper's conclusion proposes investigating "the application of
 dynamic tasks to support enhanced fault tolerance and recovery
 mechanisms in continuous dataflow".  This module provides the substrate:
 a deterministic per-VM failure process with exponential inter-arrival
-times (memoryless crashes, the standard cloud assumption).
+times (memoryless crashes, the standard cloud assumption), plus a
+spot-revocation twin that forcibly stops *spot* instances with an
+advance notice, modelling preemptible/spot VM classes.
 
 Failure times are derived from the VM's trace key and a seed, so a given
 instance fails at the same simulated times in every run regardless of
-what else happens — keeping failure experiments bit-reproducible.
+what else happens — keeping failure experiments bit-reproducible.  The
+per-key schedule is extended lazily: each extension continues the same
+cached RNG stream, so the first ``max_failures_per_vm`` times are
+bit-identical whether or not the schedule was ever extended, and a VM
+that outlives its precomputed schedule keeps failing instead of becoming
+silently immortal.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Optional
 
 from ..sim.rng import RandomStreams
 from .resources import VMInstance
 
-__all__ = ["FailureModel"]
+__all__ = ["FailureModel", "SpotRevocationModel"]
 
 
 class FailureModel:
@@ -32,8 +41,15 @@ class FailureModel:
     seed:
         Determinism root.
     max_failures_per_vm:
-        Safety cap on precomputed failure times per instance.
+        Chunk size for lazily extending a VM's failure schedule, and the
+        scan bound per :meth:`next_failure` call.  The schedule itself is
+        unbounded: querying past the last precomputed time draws another
+        chunk from the *same* RNG stream, so earlier times never change.
     """
+
+    #: RandomStreams namespace; subclasses use a disjoint stream so a
+    #: crash process and a revocation process never share draws.
+    _stream_name = "failures"
 
     def __init__(
         self,
@@ -48,45 +64,58 @@ class FailureModel:
         self.mtbf_hours = mtbf_hours
         self._streams = RandomStreams(seed)
         self._max = max_failures_per_vm
-        self._schedules: dict[str, tuple[float, ...]] = {}
+        self._schedules: dict[str, list[float]] = {}
 
     @property
     def enabled(self) -> bool:
         return self.mtbf_hours is not None
 
-    def _schedule_for(self, trace_key: str) -> tuple[float, ...]:
-        """Failure *ages* (seconds since boot) for one VM, ascending."""
+    def _extend(self, trace_key: str, sched: list[float]) -> None:
+        """Append one chunk of failure ages, continuing the key's stream.
+
+        ``RandomStreams.get`` returns the *same* generator object per
+        key, so successive chunks continue one deterministic stream:
+        the ages appended here do not depend on when (or whether) the
+        schedule was previously queried, only on how many chunks have
+        been drawn for this key.
+        """
+        rng = self._streams.get(self._stream_name, trace_key)
+        gaps = rng.exponential(self.mtbf_hours * 3600.0, size=self._max)
+        acc = sched[-1] if sched else 0.0
+        for g in gaps:
+            acc += float(g)
+            sched.append(acc)
+
+    def _schedule_for(self, trace_key: str, min_age: float = 0.0) -> list[float]:
+        """Failure *ages* (seconds since boot) for one VM, ascending.
+
+        Extended lazily until the last precomputed age exceeds
+        ``min_age`` — a long-lived VM keeps a live schedule forever.
+        """
+        if not self.enabled:
+            return []
         sched = self._schedules.get(trace_key)
         if sched is None:
-            if not self.enabled:
-                sched = ()
-            else:
-                rng = self._streams.get("failures", trace_key)
-                gaps = rng.exponential(
-                    self.mtbf_hours * 3600.0, size=self._max
-                )
-                ages = []
-                acc = 0.0
-                for g in gaps:
-                    acc += float(g)
-                    ages.append(acc)
-                sched = tuple(ages)
+            sched = []
             self._schedules[trace_key] = sched
+            self._extend(trace_key, sched)
+        while sched[-1] <= min_age:
+            self._extend(trace_key, sched)
         return sched
 
     def next_failure(self, instance: VMInstance, now: float) -> Optional[float]:
-        """Absolute time of the instance's next crash after ``now``.
+        """Absolute time of the instance's next crash strictly after ``now``.
 
-        Returns ``None`` when failures are disabled or the cap on
-        precomputed failures is exhausted.
+        Returns ``None`` only when failures are disabled: the schedule
+        extends past any horizon, so an enabled model always has a next
+        failure.
         """
         if not self.enabled:
             return None
         age_now = max(0.0, now - instance.started_at)
-        for age in self._schedule_for(instance.trace_key):
-            if age > age_now:
-                return instance.started_at + age
-        return None
+        sched = self._schedule_for(instance.trace_key, min_age=age_now)
+        i = bisect.bisect_right(sched, age_now)
+        return instance.started_at + sched[i]
 
     def fails_within(
         self, instance: VMInstance, t0: float, t1: float
@@ -98,3 +127,38 @@ class FailureModel:
         if nxt is not None and nxt <= t1:
             return nxt
         return None
+
+
+class SpotRevocationModel(FailureModel):
+    """Deterministic revocation process for spot/preemptible instances.
+
+    Revocations behave like crashes (the VM is forcibly stopped and its
+    buffered state destroyed) but come with an advance warning: the
+    failure driver emits a ``vm_revocation_notice`` trace event
+    ``notice_s`` seconds before the forced stop, mirroring real clouds'
+    interruption notices.  Only instances of a :class:`~repro.cloud.resources.VMClass`
+    with ``spot=True`` are ever revoked; on-demand VMs see ``None``.
+
+    Revocation times draw from a ``"revocations"`` stream disjoint from
+    the crash model's ``"failures"`` stream, so combining both models
+    under one seed keeps each bit-reproducible.
+    """
+
+    _stream_name = "revocations"
+
+    def __init__(
+        self,
+        mtbf_hours: Optional[float],
+        seed: int = 0,
+        notice_s: float = 120.0,
+        max_failures_per_vm: int = 64,
+    ) -> None:
+        super().__init__(mtbf_hours, seed, max_failures_per_vm)
+        if notice_s < 0:
+            raise ValueError("notice_s must be ≥ 0")
+        self.notice_s = float(notice_s)
+
+    def next_failure(self, instance: VMInstance, now: float) -> Optional[float]:
+        if not getattr(instance.vm_class, "spot", False):
+            return None
+        return super().next_failure(instance, now)

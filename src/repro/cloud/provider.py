@@ -157,18 +157,24 @@ class CloudProvider:
                 vm_class=instance.vm_class.name,
             )
 
-    def fail(self, instance: VMInstance, now: float) -> dict[str, int]:
+    def fail(
+        self, instance: VMInstance, now: float, revoked: bool = False
+    ) -> dict[str, int]:
         """Crash an instance: allocations are forcibly released.
 
         Unlike :meth:`terminate`, a crash may happen while PEs are hosted;
-        the cores simply vanish.  Billing still rounds up to the started
-        hour (clouds charge for crashed instances' elapsed time).  Returns
-        the allocations that were lost.
+        the cores simply vanish.  On-demand billing still rounds up to the
+        started hour (clouds charge for crashed instances' elapsed time);
+        a spot ``revoked`` stop marks :attr:`VMInstance.revoked_at` so the
+        meter never bills past the forced stop.  Returns the allocations
+        that were lost.
         """
         if instance.instance_id not in self._fleet:
             raise ProvisioningError(f"unknown instance {instance.instance_id!r}")
         lost = instance.release_all()
         instance.stop(now)
+        if revoked:
+            instance.revoked_at = float(now)
         self._failed_ids.add(instance.instance_id)
         return lost
 

@@ -18,7 +18,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["VMClass", "VMInstance", "aws_2013_catalog", "STANDARD_CORE_SPEED"]
+__all__ = [
+    "VMClass",
+    "VMInstance",
+    "aws_2013_catalog",
+    "spot_variants",
+    "STANDARD_CORE_SPEED",
+]
 
 #: Normalized processing power of the "standard" reference core (π = 1).
 STANDARD_CORE_SPEED = 1.0
@@ -45,6 +51,10 @@ class VMClass:
         Rated network bandwidth in megabits/second.
     hourly_price:
         On-demand dollar price ξ per (started) hour.
+    spot:
+        Preemptible/spot capacity: discounted, billed per second, and
+        subject to forced revocation by a
+        :class:`~repro.cloud.failures.SpotRevocationModel`.
     """
 
     # order key first: total capacity, then name to break ties.
@@ -54,6 +64,7 @@ class VMClass:
     core_speed: float = field(compare=False, default=1.0)
     bandwidth_mbps: float = field(compare=False, default=100.0)
     hourly_price: float = field(compare=False, default=0.1)
+    spot: bool = field(compare=False, default=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -126,6 +137,32 @@ def aws_2013_catalog() -> list[VMClass]:
     )
 
 
+def spot_variants(
+    catalog: list[VMClass], discount: float = 0.7
+) -> list[VMClass]:
+    """Spot twins of an on-demand catalog.
+
+    Each variant keeps its template's hardware but carries a ``-spot``
+    name suffix, a price multiplied by ``1 - discount`` (the 2013-era
+    spot market cleared around 70–85% below on-demand), and the ``spot``
+    flag making it revocable and billed per second.
+    """
+    if not 0.0 < discount < 1.0:
+        raise ValueError("discount must be in (0, 1)")
+    return [
+        VMClass(
+            name=f"{c.name}-spot",
+            cores=c.cores,
+            core_speed=c.core_speed,
+            bandwidth_mbps=c.bandwidth_mbps,
+            hourly_price=c.hourly_price * (1.0 - discount),
+            spot=True,
+        )
+        for c in catalog
+        if not c.spot
+    ]
+
+
 class VMInstance:
     """A concrete VM: the tuple ``r = (C, t_start, t_off)`` plus core state.
 
@@ -147,6 +184,9 @@ class VMInstance:
         self.vm_class = vm_class
         self.started_at = float(started_at)
         self.stopped_at: float = float("inf")
+        #: Set when the provider force-stops this instance as a spot
+        #: revocation; billing never extends past this time.
+        self.revoked_at: Optional[float] = None
         self.instance_id = instance_id or f"vm-{next(self._ids)}"
         #: Key selecting which variability trace stream this VM replays.
         self.trace_key = trace_key or self.instance_id

@@ -5,7 +5,7 @@ runtime adaptation (Alg. 2), the brute-force static baseline, and the
 named policy registry used by the evaluation.
 """
 
-from .adaptation import AdaptationConfig, RuntimeAdaptation
+from .adaptation import AdaptationConfig, HedgedAdaptation, RuntimeAdaptation
 from .binpack import (
     Bin,
     BinClass,
@@ -39,6 +39,7 @@ __all__ = [
     "DeploymentConfig",
     "DeploymentPlan",
     "EvaluationOutcome",
+    "HedgedAdaptation",
     "InitialDeployment",
     "DynamicPathSet",
     "ObjectiveSpec",

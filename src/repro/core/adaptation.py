@@ -28,7 +28,7 @@ resource cost:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from ..cloud.resources import VMClass
@@ -41,7 +41,7 @@ from ..validate import invariants as _validate
 from .deployment import Strategy
 from .state import ClusterView, DeploymentPlan, Snapshot
 
-__all__ = ["AdaptationConfig", "RuntimeAdaptation"]
+__all__ = ["AdaptationConfig", "RuntimeAdaptation", "HedgedAdaptation"]
 
 _EPS = 1e-9
 
@@ -629,3 +629,88 @@ class RuntimeAdaptation:
         self._prev_snapshot = snapshot
         self._prev_input_demand = out
         return dict(out)
+
+
+class HedgedAdaptation(RuntimeAdaptation):
+    """Reliability-aware adaptation (S26): hedge against predicted crashes.
+
+    Extends the base heuristic with a *hedging pre-pass* driven by
+    :attr:`~repro.core.state.Snapshot.doomed` — the instances the failure
+    oracle predicts will stop (revocation or crash) within its horizon.
+    Before the ordinary two-stage heuristic runs, every doomed VM is
+
+    1. removed from the planning cluster (the reconciler then drains its
+       buffered state over the network *before* the crash destroys it),
+    2. and its per-PE cores are re-placed: survivors' free (already-paid)
+       cores first, then replacement VMs — preferring the *durable* (non
+       spot) catalog twin of the doomed VM's class so the replacement is
+       not itself on the revocation clock.
+
+    The base stages then run on the hedged snapshot, so scale-out sizing,
+    alternate selection and idle-VM retirement all see the post-hedge
+    fleet.  With nothing doomed this is exactly the base heuristic.
+    """
+
+    def adapt(self, snapshot: Snapshot, interval_index: int) -> DeploymentPlan:
+        doomed = {
+            key: t
+            for key, t in snapshot.doomed.items()
+            if key in snapshot.cluster
+        }
+        if not doomed:
+            return super().adapt(snapshot, interval_index)
+
+        cluster = snapshot.cluster.clone()
+        displaced: list[tuple[str, VMClass]] = []
+        for key in sorted(doomed):
+            vm = cluster.remove(key)
+            for pe_name, cores in sorted(vm.allocations.items()):
+                displaced.extend([(pe_name, vm.vm_class)] * cores)
+
+        replaced = 0
+        for pe_name, klass in displaced:
+            neighbours = set(self.dataflow.successors(pe_name)) | set(
+                self.dataflow.predecessors(pe_name)
+            )
+            free = sorted(
+                cluster.with_free_cores(),
+                key=lambda vm: (
+                    pe_name not in vm.allocations,
+                    not any(n in vm.allocations for n in neighbours),
+                    -vm.core_units(),
+                ),
+            )
+            if free:
+                free[0].allocate(pe_name, 1)
+            else:
+                cluster.new_vm(self._durable_twin(klass)).allocate(pe_name, 1)
+                replaced += 1
+
+        if _trace.enabled():
+            _trace.emit(
+                "hedge_preprovision",
+                t=snapshot.time,
+                doomed={k: float(v) for k, v in sorted(doomed.items())},
+                displaced_cores=len(displaced),
+                replacement_vms=replaced,
+            )
+
+        hedged = replace(snapshot, cluster=cluster, doomed={})
+        return super().adapt(hedged, interval_index)
+
+    def _durable_twin(self, vm_class: VMClass) -> VMClass:
+        """The non-spot catalog class matching ``vm_class``'s shape.
+
+        Falls back to ``vm_class`` itself when no durable twin exists
+        (e.g. an all-spot catalog).
+        """
+        if not getattr(vm_class, "spot", False):
+            return vm_class
+        for klass in self.catalog:
+            if (
+                not klass.spot
+                and klass.cores == vm_class.cores
+                and klass.core_speed == vm_class.core_speed
+            ):
+                return klass
+        return vm_class

@@ -14,6 +14,7 @@ name                   meaning
 ``global``             global deployment + global runtime adaptation
 ``local-nodyn``        local, alternates pinned to maximum value
 ``global-nodyn``       global, alternates pinned to maximum value
+``hedged``             global + reliability hedging against predicted crashes
 =====================  ==========================================================
 """
 
@@ -24,7 +25,7 @@ from typing import Mapping, Optional
 
 from ..cloud.resources import VMClass
 from ..dataflow.graph import DynamicDataflow
-from .adaptation import AdaptationConfig, RuntimeAdaptation
+from .adaptation import AdaptationConfig, HedgedAdaptation, RuntimeAdaptation
 from .bruteforce import BruteForceConfig, BruteForceDeployment
 from .deployment import DeploymentConfig, InitialDeployment
 from .objective import ObjectiveSpec
@@ -40,6 +41,7 @@ POLICY_NAMES = (
     "global",
     "local-nodyn",
     "global-nodyn",
+    "hedged",
 )
 
 
@@ -116,7 +118,11 @@ def make_policy(
     static = name.startswith("static-")
     base = name.removeprefix("static-")
     dynamism = not base.endswith("-nodyn")
-    strategy = "global" if base.startswith("global") else "local"
+    # Hedged rides on the global strategy: best-fit provisioning and
+    # paid-hour parking are what make pre-provisioned replacements cheap.
+    strategy = (
+        "global" if base.startswith("global") or base == "hedged" else "local"
+    )
 
     deployer = InitialDeployment(
         dataflow,
@@ -139,5 +145,6 @@ def make_policy(
         epsilon=spec.epsilon,
         interval=spec.interval,
     )
-    adapter = RuntimeAdaptation(dataflow, catalog, acfg)
+    adapter_cls = HedgedAdaptation if name == "hedged" else RuntimeAdaptation
+    adapter = adapter_cls(dataflow, catalog, acfg)
     return Policy(name=name, deployer=deployer, adapter=adapter)

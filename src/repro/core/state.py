@@ -290,3 +290,9 @@ class Snapshot:
     backlogs: Mapping[str, float]
     #: Cumulative dollar cost μ[t].
     cumulative_cost: float
+    #: Instance id → predicted stop time (s) within the reliability
+    #: oracle's horizon.  Empty when no oracle is wired (the common case)
+    #: or when nothing is predicted to fail soon.  Revocation notices and
+    #: published spot-reclaim schedules make this observable in a real
+    #: deployment, so it stays within the "no peeking" contract.
+    doomed: Mapping[str, float] = field(default_factory=dict)

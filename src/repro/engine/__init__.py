@@ -2,7 +2,7 @@
 
 from .batch import BatchRunner
 from .executor import FluidExecutor
-from .failures import FailureDriver
+from .failures import CrashRecord, FailureDriver, FailureOracle
 from .latency import LatencySummary, LatencyTracker, fluid_latency_estimate
 from .manager import RunManager, RunResult
 from .messages import IntervalStats, Message
@@ -12,7 +12,9 @@ from .reconcile import ReconcileReport, apply_plan
 
 __all__ = [
     "BatchRunner",
+    "CrashRecord",
     "FailureDriver",
+    "FailureOracle",
     "FluidExecutor",
     "IntervalStats",
     "LatencySummary",

@@ -171,11 +171,20 @@ class FluidExecutor:
         When a PE edge spans more VM pairs than this, link bandwidth is
         estimated from a deterministic subsample (documented
         approximation; keeps large fleets O(cap) per refresh).  The same
-        cap bounds the link scan when pricing buffer migrations.
+        cap bounds how many source links are priced individually when a
+        buffer migration drains many hosts at once.
     macrostep:
         Enable steady-state macro-stepping (see the module docstring).
         ``None`` (default) follows the ``REPRO_MACROSTEP`` environment
         flag, which is on unless set to ``0``.
+    checkpoint_interval:
+        Seconds between periodic checkpoints of every hosted PE's input
+        backlog (``None`` disables checkpointing).  When a VM crashes,
+        backlog up to its last checkpoint is *restored* instead of lost,
+        re-entering the dataflow after ``restore_latency``.
+    restore_latency:
+        Seconds a recovered PE's restored backlog waits before it is
+        processable again (state re-load/replay cost).
     """
 
     def __init__(
@@ -190,6 +199,8 @@ class FluidExecutor:
         network_refresh: float = 60.0,
         network_pair_cap: int = 256,
         macrostep: Optional[bool] = None,
+        checkpoint_interval: Optional[float] = None,
+        restore_latency: float = 0.0,
     ) -> None:
         missing = set(dataflow.inputs) - set(profiles)
         if missing:
@@ -199,6 +210,10 @@ class FluidExecutor:
         _reject_synchronize_merges(dataflow)
         if message_size_mb <= 0:
             raise ValueError("message size must be positive")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive (or None)")
+        if restore_latency < 0:
+            raise ValueError("restore_latency must be ≥ 0")
         self.env = env
         self.dataflow = dataflow
         self.provider = provider
@@ -207,6 +222,17 @@ class FluidExecutor:
         self.message_size_mb = float(message_size_mb)
         self.network_refresh = float(network_refresh)
         self.network_pair_cap = int(network_pair_cap)
+        self.checkpoint_interval = (
+            None if checkpoint_interval is None else float(checkpoint_interval)
+        )
+        self.restore_latency = float(restore_latency)
+        #: instance_id → {pe: backlog at the last checkpoint sweep}.
+        self._ckpt: dict[str, dict[str, float]] = {}
+        self._next_ckpt = (
+            math.inf
+            if self.checkpoint_interval is None
+            else env.now + self.checkpoint_interval
+        )
 
         self._pe_names = list(dataflow.pe_names)
         self._pe_index = {n: i for i, n in enumerate(self._pe_names)}
@@ -416,14 +442,14 @@ class FluidExecutor:
         self._build_coefficient_gather()
 
         # Carry state over, collecting orphans (and the hosts they drain
-        # from, to price the migration transfer) for migration.
+        # from, with per-host amounts, to price the migration transfer).
         new_backlog = np.zeros((P, V))
         orphans: dict[str, float] = {}
-        orphan_sources: dict[str, list[VMInstance]] = {}
+        orphan_sources: dict[str, list[tuple[VMInstance, float]]] = {}
 
         def _orphan(pe_name: str, amount: float, source: VMInstance) -> None:
             orphans[pe_name] = orphans.get(pe_name, 0.0) + amount
-            orphan_sources.setdefault(pe_name, []).append(source)
+            orphan_sources.setdefault(pe_name, []).append((source, amount))
 
         for i, pe_name in enumerate(self._pe_names):
             for old_j, r in enumerate(old_vms):
@@ -462,24 +488,46 @@ class FluidExecutor:
         self._net_plan = None
         self._sync_sig = sig
 
-    def fail_vm(self, instance_id: str) -> dict[str, float]:
-        """Destroy a crashed VM's buffered state (messages are lost).
+    def fail_vm(
+        self, instance_id: str
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """Destroy a crashed VM's buffered state, restoring checkpoints.
 
-        Call *before* :meth:`sync` when a VM crashes: its input queues and
-        pending egress vanish instead of migrating.  Returns the lost
-        message counts per PE; they are also recorded in the interval
-        stats.
+        Call *before* :meth:`sync` when a VM crashes.  Input backlog up
+        to the VM's last checkpoint re-enters the dataflow after
+        :attr:`restore_latency` (via the migration buffer, so it lands on
+        the PE's surviving hosts); everything accumulated since the
+        checkpoint — and all pending egress, which is never checkpointed
+        — is lost.  Returns ``(lost, restored)`` message counts per PE;
+        losses are also recorded in the interval stats.
         """
-        self._macro_settle(self.env.now, mutating=True)
+        now = self.env.now
+        self._macro_settle(now, mutating=True)
         j = self._vm_index.get(instance_id)
         lost: dict[str, float] = {}
+        restored: dict[str, float] = {}
         if j is None:
-            return lost
+            return lost, restored
+        ckpt = self._ckpt.pop(instance_id, {})
         for i, pe_name in enumerate(self._pe_names):
             amount = float(self._backlog[i, j]) if self._backlog.size else 0.0
-            if amount > _EPS:
-                lost[pe_name] = lost.get(pe_name, 0.0) + amount
-                self._backlog[i, j] = 0.0
+            if amount <= _EPS:
+                continue
+            # A checkpoint can only restore what the queue actually held
+            # at sweep time; backlog may have drained since, so clamp to
+            # the current amount (never create messages).
+            recovered = min(ckpt.get(pe_name, 0.0), amount)
+            dropped = amount - recovered
+            if dropped > _EPS:
+                lost[pe_name] = lost.get(pe_name, 0.0) + dropped
+            if recovered > _EPS:
+                restored[pe_name] = restored.get(pe_name, 0.0) + recovered
+                self._migrating.append(
+                    _MigratingBuffer(
+                        pe_name, recovered, now + self.restore_latency
+                    )
+                )
+            self._backlog[i, j] = 0.0
         if self._egress.size:
             for k, (_u, w) in enumerate(self._edges):
                 amount = float(self._egress[k, j])
@@ -490,7 +538,27 @@ class FluidExecutor:
             self.stats.lost[pe_name] = (
                 self.stats.lost.get(pe_name, 0.0) + amount
             )
-        return lost
+        return lost, restored
+
+    def _take_checkpoints(self, t: float) -> None:
+        """Sweep a checkpoint of every hosted PE's per-VM input backlog.
+
+        Rebuilt wholesale each sweep, which also prunes entries of VMs
+        that left the fleet; a VM provisioned after the last sweep has no
+        checkpoint yet, so an early crash loses its full backlog — the
+        cost the checkpoint interval knob trades against sweep overhead.
+        """
+        ckpt: dict[str, dict[str, float]] = {}
+        if self._backlog.size:
+            for j, r in enumerate(self._vms):
+                held = {
+                    pe_name: float(self._backlog[i, j])
+                    for i, pe_name in enumerate(self._pe_names)
+                    if self._backlog[i, j] > _EPS
+                }
+                if held:
+                    ckpt[r.instance_id] = held
+        self._ckpt = ckpt
 
     def _cpu_view(
         self, vm: VMInstance
@@ -555,15 +623,22 @@ class FluidExecutor:
         pe_name: str,
         messages: float,
         t: float,
-        sources: Optional[Sequence[VMInstance]] = None,
+        sources: Optional[Sequence[tuple[VMInstance, float]]] = None,
     ) -> None:
         """Queue migrated messages, delayed by the network transfer time.
 
-        ``sources`` are the VMs the messages drain from (the released
-        hosts); only their links to the target are priced.  Without
-        sources (e.g. a retry of an unhosted buffer) the scan falls back
-        to the current fleet, capped at ``network_pair_cap`` links so a
-        large fleet never turns one migration into an O(V) probe.
+        ``sources`` are ``(vm, amount)`` pairs — the released hosts the
+        messages drain from and how much buffered state each one held.
+        Each source's transfer is priced on *its own* monitored link to
+        the target, with the delay scaling with the bytes it moves
+        (``amount × message size / bandwidth``), so a host buried in
+        backlog takes proportionally longer to drain than an idle one.
+        Only the first ``network_pair_cap`` sources get individual link
+        probes; any overflow ships at the slowest priced delay (a
+        conservative bound that keeps huge fleets O(cap) per migration).
+        Without sources (e.g. an externally injected transfer) the whole
+        amount is priced against the fleet's slowest link to the target,
+        same cap.
         """
         if messages <= _EPS:
             return
@@ -575,24 +650,47 @@ class FluidExecutor:
                 _MigratingBuffer(pe_name, messages, t + self.tick)
             )
             return
-        # Price the transfer against the first remaining host's slowest
-        # link — a conservative single representative.
         target = hosts[0]
-        scan = sources if sources else self._vms
-        scan = [r for r in scan if r is not target][: self.network_pair_cap]
-        bandwidth = min(
-            (
-                self.provider.performance.bandwidth_mbps(
-                    r.trace_key, target.trace_key, t
+        bandwidth_mbps = self.provider.performance.bandwidth_mbps
+        per_msg_mbit = self.message_size_mb * 8.0
+        if sources:
+            pairs = [(r, amt) for r, amt in sources if amt > _EPS]
+            priced, overflow = (
+                pairs[: self.network_pair_cap],
+                pairs[self.network_pair_cap :],
+            )
+            worst = 0.0
+            for r, amt in priced:
+                if r is target:
+                    delay = 0.0  # buffers already on the surviving host
+                else:
+                    bw = bandwidth_mbps(r.trace_key, target.trace_key, t)
+                    if bw == float("inf") or bw <= 0:
+                        delay = 0.0
+                    else:
+                        delay = amt * per_msg_mbit / bw
+                if delay > worst:
+                    worst = delay
+                self._migrating.append(
+                    _MigratingBuffer(pe_name, amt, t + delay)
                 )
-                for r in scan
-            ),
+            if overflow:
+                rest = 0.0
+                for _r, amt in overflow:
+                    rest += amt
+                self._migrating.append(
+                    _MigratingBuffer(pe_name, rest, t + worst)
+                )
+            return
+        scan = [r for r in self._vms if r is not target][: self.network_pair_cap]
+        bandwidth = min(
+            (bandwidth_mbps(r.trace_key, target.trace_key, t) for r in scan),
             default=float("inf"),
         )
         if bandwidth == float("inf") or bandwidth <= 0:
             delay = 0.0
         else:
-            delay = messages * self.message_size_mb * 8.0 / bandwidth
+            delay = messages * per_msg_mbit / bandwidth
         self._migrating.append(
             _MigratingBuffer(pe_name, messages, t + delay)
         )
@@ -731,6 +829,14 @@ class FluidExecutor:
             nr = t + self.network_refresh
         if nr < cap:
             cap = nr
+        # Checkpoint sweeps must run at their scheduled ticks: a crash
+        # mid-jump would otherwise restore from a checkpoint a per-tick
+        # run would have refreshed.
+        nc = self._next_ckpt
+        if nc <= t:  # the probe step sweeps and re-arms past t
+            nc = t + self.checkpoint_interval
+        if nc < cap:
+            cap = nc
         rt = self._ready_time
         if rt.size:
             future = rt[rt > t]
@@ -1017,6 +1123,10 @@ class FluidExecutor:
     def step(self, dt: float) -> None:
         """Advance the fluid model by ``dt`` seconds."""
         t = self.env.now
+        if t >= self._next_ckpt:
+            self._take_checkpoints(t)
+            while self._next_ckpt <= t:
+                self._next_ckpt += self.checkpoint_interval
         P, V = self._alloc.shape
 
         if V == 0:

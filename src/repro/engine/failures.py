@@ -1,39 +1,69 @@
 """Failure injection driver (paper §9 future work: fault tolerance).
 
-Connects a :class:`~repro.cloud.failures.FailureModel` to a live run:
-a background simulation process watches the active fleet, crashes VMs at
-their scheduled failure times (buffered messages are destroyed, cores
-vanish), and leaves recovery to the runtime adaptation — which observes
-the missing capacity through the monitor and re-provisions.
+Connects a :class:`~repro.cloud.failures.FailureModel` (and optionally a
+:class:`~repro.cloud.failures.SpotRevocationModel`) to a live run: a
+background simulation process watches the active fleet, crashes VMs at
+their scheduled failure times (checkpointed state is restored after a
+latency, the rest is destroyed), emits advance ``vm_revocation_notice``
+events for doomed spot instances, and leaves recovery to the runtime
+adaptation — which observes the missing capacity through the monitor and
+re-provisions.
+
+Each instance fails at most once (a failed VM never restarts), so its
+stop time is fixed the moment it is provisioned: the first scheduled
+failure after ``started_at``.  The driver therefore scans from each
+instance's boot time rather than from "now" — a failure whose time
+passed while the driver slept (because the VM was provisioned mid-sleep)
+fires *late* at the next wake-up instead of being silently skipped.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Mapping, NamedTuple, Optional
 
-from ..cloud.failures import FailureModel
+from ..cloud.failures import FailureModel, SpotRevocationModel
 from ..cloud.provider import CloudProvider
+from ..cloud.resources import VMInstance
 from ..obs import collector as _trace
 from ..sim.kernel import Environment, Event
 from .executor import FluidExecutor
 
-__all__ = ["FailureDriver"]
+__all__ = ["CrashRecord", "FailureDriver", "FailureOracle"]
+
+
+class CrashRecord(NamedTuple):
+    """One VM crash, as recorded by :class:`FailureDriver`.
+
+    Unpacks like the historical ``(t, instance_id, lost)`` triple for
+    the first three fields.
+    """
+
+    t: float
+    instance_id: str
+    lost_messages: float
+    restored_messages: float = 0.0
+    revoked: bool = False
 
 
 class FailureDriver:
-    """Crashes VMs according to a failure model during a run.
+    """Crashes VMs according to failure/revocation models during a run.
 
     Parameters
     ----------
     env, provider, executor:
         The live run's simulation pieces.
     model:
-        The failure schedule.
+        The crash schedule (may be ``None`` or disabled).
     poll_interval:
         How often the driver re-scans the fleet for newly provisioned
-        instances (seconds).  Failure times themselves are hit exactly;
-        the poll only bounds how late a *new* VM's schedule is noticed,
-        and MTBFs are hours, so the default is ample.
+        instances (seconds).  Failure times themselves are hit exactly
+        for instances visible at scan time; the poll only bounds how
+        *late* a mid-sleep provision's earlier failure fires.
+    revocations:
+        Optional spot-revocation schedule.  Revocations force a ``fail``
+        like crashes, but are announced ``notice_s`` seconds ahead via a
+        ``vm_revocation_notice`` trace event and flagged so billing can
+        stop at the forced stop time.
     """
 
     def __init__(
@@ -41,8 +71,9 @@ class FailureDriver:
         env: Environment,
         provider: CloudProvider,
         executor: FluidExecutor,
-        model: FailureModel,
+        model: Optional[FailureModel],
         poll_interval: float = 30.0,
+        revocations: Optional[SpotRevocationModel] = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
@@ -50,55 +81,162 @@ class FailureDriver:
         self.provider = provider
         self.executor = executor
         self.model = model
+        self.revocations = revocations
         self.poll_interval = poll_interval
-        #: (time, instance_id, lost message count) per crash, for reports.
-        self.crashes: list[tuple[float, str, float]] = []
+        #: One :class:`CrashRecord` per crash, in firing order.
+        self.crashes: list[CrashRecord] = []
+        #: (notice time, instance_id, scheduled revocation time).
+        self.notices: list[tuple[float, str, float]] = []
+        self._noticed: set[str] = set()
         self._started = False
 
     def start(self) -> None:
         """Begin watching the fleet (idempotent, no-op when disabled)."""
-        if self._started or not self.model.enabled:
+        if self._started:
+            return
+        active_models = [
+            m for m in (self.model, self.revocations) if m is not None and m.enabled
+        ]
+        if not active_models:
             return
         self._started = True
         self.env.process(self._run(), name="failure-driver")
 
+    def _stop_time(self, instance: VMInstance) -> tuple[Optional[float], bool]:
+        """The instance's fixed stop time and whether it is a revocation.
+
+        Scans from ``started_at`` — an instance fails at most once, so
+        its first scheduled failure after boot is *the* failure, and a
+        time already in the past simply means the driver fires late.
+        The ``now`` fallback keeps clock-keyed stub models (used in
+        tests) working: the real model never returns ``None`` when
+        enabled.
+        """
+        now = self.env.now
+        t_fail = None
+        if self.model is not None:
+            t_fail = self.model.next_failure(instance, instance.started_at)
+            if t_fail is None:
+                t_fail = self.model.next_failure(instance, now)
+        t_rev = None
+        if self.revocations is not None:
+            t_rev = self.revocations.next_failure(instance, instance.started_at)
+            if t_rev is None:
+                t_rev = self.revocations.next_failure(instance, now)
+        if t_rev is not None and (t_fail is None or t_rev <= t_fail):
+            return t_rev, True
+        return t_fail, False
+
     def _run(self) -> Generator[Event, Any, None]:
         while True:
             now = self.env.now
-            next_time = None
-            victim = None
+            due: list[tuple[float, VMInstance, bool]] = []
+            wake = None
             for r in self.provider.active_instances():
-                t = self.model.next_failure(r, now)
-                if t is not None and (next_time is None or t < next_time):
-                    next_time = t
-                    victim = r
-            if next_time is None:
+                t, revoked = self._stop_time(r)
+                if t is None:
+                    continue
+                if revoked and r.instance_id not in self._noticed:
+                    notice_at = t - self.revocations.notice_s
+                    if notice_at <= now + 1e-9:
+                        self._noticed.add(r.instance_id)
+                        self.notices.append((now, r.instance_id, t))
+                        if _trace.enabled():
+                            _trace.emit(
+                                "vm_revocation_notice",
+                                t=now,
+                                instance_id=r.instance_id,
+                                vm_class=r.vm_class.name,
+                                revoke_at=t,
+                            )
+                    elif wake is None or notice_at < wake:
+                        wake = notice_at
+                if t <= now + 1e-9:
+                    due.append((t, r, revoked))
+                elif wake is None or t < wake:
+                    wake = t
+            if due:
+                # Always yield, even for a failure due *right now*:
+                # crashing inside the same kernel callback would starve
+                # same-timestamp processes (the executor tick).  A
+                # zero-delay timeout re-enters *behind* every event
+                # already queued at this timestamp; then every overdue
+                # failure fires (late is correct; skipped is not).
+                yield self.env.timeout(0.0)
+                for _t, victim, revoked in sorted(
+                    due, key=lambda d: (d[0], d[1].instance_id)
+                ):
+                    if victim.active:
+                        self._fire(victim, revoked)
+                continue
+            if wake is None:
                 yield self.env.timeout(self.poll_interval)
-                continue
-            # Always yield, even for a failure due *right now*: a model
-            # returning ``now`` would otherwise crash the VM inside the
-            # same kernel callback, starving same-timestamp processes
-            # (the executor tick) and risking an unyielding spin through
-            # the rescan ``continue`` paths below.  A zero-delay timeout
-            # re-enters the loop *behind* every event already queued at
-            # this timestamp.
-            wait = min(next_time - now, self.poll_interval)
-            yield self.env.timeout(max(wait, 0.0))
-            if victim is None or not victim.active:
-                continue
-            if self.env.now + 1e-9 < next_time:
-                continue  # woke early to rescan the fleet
-            lost = self.executor.fail_vm(victim.instance_id)
-            self.provider.fail(victim, self.env.now)
-            self.executor.sync(self.env.now)
-            if _trace.enabled():
-                _trace.emit(
-                    "vm_failed",
-                    t=self.env.now,
-                    instance_id=victim.instance_id,
-                    vm_class=victim.vm_class.name,
-                    lost_messages=sum(lost.values()),
+            else:
+                # Cap at the poll interval so VMs provisioned mid-sleep
+                # are noticed within one poll of their failure time.
+                yield self.env.timeout(
+                    max(min(wake - now, self.poll_interval), 0.0)
                 )
-            self.crashes.append(
-                (self.env.now, victim.instance_id, sum(lost.values()))
+
+    def _fire(self, victim: VMInstance, revoked: bool) -> None:
+        now = self.env.now
+        lost, restored = self.executor.fail_vm(victim.instance_id)
+        self.provider.fail(victim, now, revoked=revoked)
+        self.executor.sync(now)
+        lost_total = sum(lost.values())
+        restored_total = sum(restored.values())
+        if _trace.enabled():
+            _trace.emit(
+                "vm_failed",
+                t=now,
+                instance_id=victim.instance_id,
+                vm_class=victim.vm_class.name,
+                lost_messages=lost_total,
+                restored_messages=restored_total,
+                revoked=revoked,
             )
+        self.crashes.append(
+            CrashRecord(now, victim.instance_id, lost_total, restored_total, revoked)
+        )
+
+
+class FailureOracle:
+    """Predicts which active instances are doomed within a horizon.
+
+    The hedged adaptation policy (S26) consults this before each
+    decision: clouds expose exactly this information through spot
+    interruption notices and scheduled-maintenance feeds, and the
+    paper's §9 future work assumes a recovery mechanism can anticipate
+    capacity loss.  The oracle reads the same deterministic schedules
+    the :class:`FailureDriver` enforces, so "predicted" stop times are
+    the true ones.
+    """
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        model: Optional[FailureModel] = None,
+        revocations: Optional[SpotRevocationModel] = None,
+        horizon: float = 120.0,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.provider = provider
+        self.model = model
+        self.revocations = revocations
+        self.horizon = horizon
+
+    def doomed(self, now: float) -> Mapping[str, float]:
+        """instance_id → predicted stop time within ``(now, now+horizon]``."""
+        out: dict[str, float] = {}
+        for r in self.provider.active_instances():
+            times = []
+            for m in (self.model, self.revocations):
+                if m is None or not m.enabled:
+                    continue
+                t = m.fails_within(r, now, now + self.horizon)
+                if t is not None:
+                    times.append(t)
+            if times:
+                out[r.instance_id] = min(times)
+        return out

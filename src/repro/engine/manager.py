@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
-from ..cloud.failures import FailureModel
+from ..cloud.failures import FailureModel, SpotRevocationModel
 from ..cloud.provider import CloudProvider
 from ..core.objective import EvaluationOutcome, ObjectiveSpec
 from ..core.policies import Policy
@@ -25,7 +25,7 @@ from ..sim.kernel import Environment
 from ..util import perf
 from ..workloads.rates import RateProfile
 from .executor import FluidExecutor
-from .failures import FailureDriver
+from .failures import CrashRecord, FailureDriver, FailureOracle
 from .monitor import Monitor
 from .reconcile import ReconcileReport, apply_plan
 
@@ -49,8 +49,12 @@ class RunResult:
     final_selection: dict[str, str]
     #: Per-interval reconciliation reports (index 0 = initial deployment).
     reports: list[ReconcileReport] = field(default_factory=list)
-    #: (time, instance_id, lost messages) per injected VM crash.
-    crashes: list[tuple[float, str, float]] = field(default_factory=list)
+    #: One :class:`~repro.engine.failures.CrashRecord` per injected crash.
+    crashes: list[CrashRecord] = field(default_factory=list)
+    #: Recovery time per crash, parallel to :attr:`crashes`: sim-seconds
+    #: from the crash to the end of the first interval whose throughput
+    #: clears Ω̂ again, or ``None`` if the run never recovers.
+    recovery_times: list[Optional[float]] = field(default_factory=list)
 
     @property
     def total_cost(self) -> float:
@@ -59,6 +63,12 @@ class RunResult:
     @property
     def theta(self) -> float:
         return self.outcome.theta
+
+    @property
+    def mean_recovery_s(self) -> Optional[float]:
+        """Mean recovery time over the crashes that did recover."""
+        done = [r for r in self.recovery_times if r is not None]
+        return sum(done) / len(done) if done else None
 
     def summary(self) -> str:
         return f"[{self.policy_name}] {self.outcome}"
@@ -87,6 +97,15 @@ class RunManager:
     estimated_rates:
         Input-rate estimates given to the initial deployment; defaults to
         each profile's ``mean_rate``.
+    revocations:
+        Optional spot-revocation model; forced stops for spot VMs with an
+        advance ``vm_revocation_notice``.
+    checkpoint_interval / restore_latency:
+        Periodic PE-state checkpointing (see
+        :class:`~repro.engine.executor.FluidExecutor`); ``None`` disables.
+    hedge_horizon:
+        Look-ahead (seconds) of the failure oracle feeding
+        ``Snapshot.doomed``; defaults to two adaptation intervals.
     """
 
     def __init__(
@@ -102,6 +121,10 @@ class RunManager:
         failures: Optional[FailureModel] = None,
         monitor_noise_std: float = 0.0,
         monitor_seed: int = 0,
+        revocations: Optional[SpotRevocationModel] = None,
+        checkpoint_interval: Optional[float] = None,
+        restore_latency: float = 0.0,
+        hedge_horizon: Optional[float] = None,
     ) -> None:
         self.dataflow = dataflow
         self.profiles = dict(profiles)
@@ -118,6 +141,16 @@ class RunManager:
         self.failures = failures
         self.monitor_noise_std = monitor_noise_std
         self.monitor_seed = monitor_seed
+        self.revocations = revocations
+        self.checkpoint_interval = checkpoint_interval
+        self.restore_latency = restore_latency
+        if hedge_horizon is not None and hedge_horizon <= 0:
+            raise ValueError("hedge_horizon must be positive")
+        # The oracle must see past the *next* interval boundary, or the
+        # adaptation loop learns of a doomed VM only after it stopped.
+        self.hedge_horizon = (
+            hedge_horizon if hedge_horizon is not None else 2.0 * spec.interval
+        )
 
     @staticmethod
     def _trace_reconcile(report, now: float, interval: int) -> None:
@@ -148,13 +181,34 @@ class RunManager:
             selection=plan.selection,
             tick=self.tick,
             message_size_mb=self.message_size_mb,
+            checkpoint_interval=self.checkpoint_interval,
+            restore_latency=self.restore_latency,
         )
+        failures = (
+            self.failures
+            if self.failures is not None and self.failures.enabled
+            else None
+        )
+        revocations = (
+            self.revocations
+            if self.revocations is not None and self.revocations.enabled
+            else None
+        )
+        oracle: Optional[FailureOracle] = None
+        if failures is not None or revocations is not None:
+            oracle = FailureOracle(
+                self.provider,
+                model=failures,
+                revocations=revocations,
+                horizon=self.hedge_horizon,
+            )
         monitor = Monitor(
             self.dataflow,
             self.provider,
             executor,
             noise_std=self.monitor_noise_std,
             seed=self.monitor_seed,
+            oracle=oracle,
         )
         if executor.macro_enabled:
             # Macro jumps must wake at every time this loop acts on the
@@ -185,9 +239,13 @@ class RunManager:
         executor.start()
 
         failure_driver: Optional[FailureDriver] = None
-        if self.failures is not None and self.failures.enabled:
+        if failures is not None or revocations is not None:
             failure_driver = FailureDriver(
-                env, self.provider, executor, self.failures
+                env,
+                self.provider,
+                executor,
+                failures,
+                revocations=revocations,
             )
             failure_driver.start()
 
@@ -230,6 +288,7 @@ class RunManager:
             peak = max(peak, len(self.provider.active_instances()))
 
         outcome = EvaluationOutcome.from_timeline(timeline, spec)
+        crashes = list(failure_driver.crashes) if failure_driver else []
         return RunResult(
             policy_name=self.policy.name,
             spec=spec,
@@ -240,5 +299,33 @@ class RunManager:
             adaptations=adaptations,
             final_selection=selection,
             reports=reports,
-            crashes=list(failure_driver.crashes) if failure_driver else [],
+            crashes=crashes,
+            recovery_times=self._recovery_times(crashes, timeline),
         )
+
+    def _recovery_times(
+        self,
+        crashes: list[CrashRecord],
+        timeline: MetricsTimeline,
+    ) -> list[Optional[float]]:
+        """Sim-time from each crash until throughput clears Ω̂ again.
+
+        A crash "recovers" at the end of the first interval that finishes
+        after it with Ω ≥ Ω̂; a crash the run never digests gets ``None``.
+        The interval granularity is deliberate — the monitor only observes
+        Ω at interval boundaries, so that is when recovery is detectable.
+        """
+        spec = self.spec
+        out: list[Optional[float]] = []
+        for crash in crashes:
+            recovered: Optional[float] = None
+            for m in timeline:
+                end = m.t + spec.interval
+                if (
+                    end > crash.t + 1e-9
+                    and m.throughput >= spec.omega_min - 1e-9
+                ):
+                    recovered = end - crash.t
+                    break
+            out.append(recovered)
+        return out

@@ -43,6 +43,11 @@ class Monitor:
         sweeps this.
     seed:
         Determinism root for the noise stream.
+    oracle:
+        Optional :class:`~repro.engine.failures.FailureOracle`.  When
+        set, each snapshot carries the instances predicted to stop
+        within the oracle's horizon (``Snapshot.doomed``), which
+        reliability-aware policies use to hedge before the crash.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class Monitor:
         executor: FluidExecutor,
         noise_std: float = 0.0,
         seed: int = 0,
+        oracle=None,
     ) -> None:
         if noise_std < 0:
             raise ValueError("noise_std must be non-negative")
@@ -59,6 +65,7 @@ class Monitor:
         self.provider = provider
         self.executor = executor
         self.noise_std = float(noise_std)
+        self.oracle = oracle
         self._rng = np.random.default_rng(seed)
 
     def _probe_coefficient(self, instance, now: float) -> float:
@@ -125,4 +132,7 @@ class Monitor:
             omega_average=omega_average,
             backlogs=self.executor.backlogs(),
             cumulative_cost=self.provider.cost_at(now),
+            doomed=(
+                dict(self.oracle.doomed(now)) if self.oracle is not None else {}
+            ),
         )

@@ -12,6 +12,7 @@ from .figures import (
     figure7,
     figure8,
     figure9,
+    figure_storm,
 )
 from .parallel import resolve_jobs
 from .report import generate_report, write_report
@@ -21,6 +22,7 @@ from .scenarios import (
     MESSAGE_SIZE_MB,
     OMEGA_MIN,
     Scenario,
+    failure_storm_scenario,
     fig1_dataflow,
     make_performance,
     make_profile,
@@ -39,8 +41,10 @@ __all__ = [
     "FigureResult",
     "Scenario",
     "SweepRow",
+    "failure_storm_scenario",
     "fig1_dataflow",
     "figure2",
+    "figure_storm",
     "figure3",
     "figure4",
     "figure5",

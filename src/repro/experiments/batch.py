@@ -18,8 +18,9 @@ composes transparently with the result cache:
 Cells the batch engine cannot take are routed through the ordinary
 serial path (:func:`repro.experiments.cache.run_cell`):
 
-* scenarios with failure injection (the failure driver is a foreign
-  kernel process),
+* scenarios using any reliability machinery — failure injection, spot
+  revocation, checkpointing (the drivers are foreign kernel processes
+  and the batch step has no checkpoint sweep),
 * every cell when run-invariant validation is on (``REPRO_VALIDATE=1``):
   the validation hooks are a serial-engine feature, so the batch
   defers entirely rather than skip the checks — and since
@@ -118,8 +119,10 @@ def sweep(
                 _trace_cache(True, key, policy)
                 rows[i] = row
                 continue
-        if scenario.failures() is not None:
-            # Failure injection is a serial-engine feature.
+        if scenario.uses_reliability:
+            # Failure injection, spot revocation and checkpointing are
+            # serial-engine features (the drivers are foreign kernel
+            # processes and the batch step has no checkpoint sweep).
             rows[i] = cache.run_cell(scenario, policy)
             continue
         batchable.append(i)

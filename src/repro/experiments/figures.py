@@ -22,7 +22,7 @@ import numpy as np
 from ..cloud.traces import TraceLibrary, trace_statistics
 from ..util.tables import format_table
 from .runner import SweepRow, average_rows, sweep
-from .scenarios import Scenario
+from .scenarios import Scenario, failure_storm_scenario
 
 __all__ = [
     "FigureResult",
@@ -34,6 +34,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "figure_storm",
     "ALL_FIGURES",
 ]
 
@@ -472,6 +473,68 @@ def figure9(
     )
 
 
+# ---------------------------------------------------------------------------
+# Beyond the paper: the S26 reliability benchmark
+# ---------------------------------------------------------------------------
+
+_STORM_POLICIES = ("static-global", "local", "global", "hedged")
+
+
+def figure_storm(
+    rate: float = 10.0,
+    fast: bool = False,
+    seed: int = 3,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Failure storm: policies on a cheap-but-revocable spot tier.
+
+    Not a figure of the paper — it exercises the fault-tolerance future
+    work its conclusion proposes.  Every policy deploys against a
+    catalog with a 70%-discounted spot tier whose VMs are forcibly
+    revoked (~20 min mean time between revocations per spot VM, 2 min
+    notice).  The ``hedged`` policy reads the notices and drains doomed
+    VMs in advance; the paper's heuristics only react after the crash.
+    """
+    period = _FAST_PERIOD if fast else 2 * 3600.0
+    scenario = failure_storm_scenario(rate=rate, period=period, seed=seed)
+    rows_raw = sweep([scenario], list(_STORM_POLICIES), jobs=jobs)
+    rows = [
+        [
+            r.policy,
+            r.omega,
+            r.theta,
+            r.cost,
+            r.crashes,
+            r.lost_messages,
+            r.mean_recovery_s if r.mean_recovery_s is not None else "—",
+            r.constraint_met,
+        ]
+        for r in rows_raw
+    ]
+    return FigureResult(
+        figure="Failure storm",
+        title=f"reliability under spot revocations (rate={rate:g} msg/s)",
+        headers=[
+            "policy", "Ω̄", "Θ", "cost $", "crashes", "msgs lost",
+            "mean recovery s", "Ω̄≥Ω̂-ε",
+        ],
+        rows=rows,
+        expectation=(
+            "the static deployment bleeds capacity with every revocation; "
+            "the paper's adaptive heuristics recover but pay in lost "
+            "messages and post-crash catch-up; the hedged policy drains "
+            "doomed VMs before the revocation fires, holding the highest "
+            "Θ at a comparable dollar cost"
+        ),
+        notes=(
+            "beyond the paper (its conclusion's fault-tolerance future "
+            "work); spot tier at 30% of on-demand price, checkpoints "
+            "every 120 s"
+        ),
+        sweep_rows=rows_raw,
+    )
+
+
 ALL_FIGURES = {
     "fig2": figure2,
     "fig3": figure3,
@@ -481,4 +544,5 @@ ALL_FIGURES = {
     "fig7": figure7,
     "fig8": figure8,
     "fig9": figure9,
+    "storm": figure_storm,
 }

@@ -32,6 +32,10 @@ class SweepRow:
     constraint_met: bool
     vms_peak: int
     adaptations: int
+    #: Reliability columns (S26); defaults keep cached pre-S26 rows valid.
+    crashes: int = 0
+    lost_messages: float = 0.0
+    mean_recovery_s: Optional[float] = None
 
     @classmethod
     def from_result(cls, scenario: Scenario, result: RunResult) -> "SweepRow":
@@ -49,6 +53,9 @@ class SweepRow:
             constraint_met=o.constraint_met,
             vms_peak=result.vms_peak,
             adaptations=result.adaptations,
+            crashes=len(result.crashes),
+            lost_messages=sum(c.lost_messages for c in result.crashes),
+            mean_recovery_s=result.mean_recovery_s,
         )
 
     def as_tuple(self) -> tuple:
@@ -61,6 +68,9 @@ class SweepRow:
             self.cost,
             self.theta,
             self.constraint_met,
+            self.crashes,
+            self.lost_messages,
+            self.mean_recovery_s,
         )
 
 
@@ -127,6 +137,9 @@ def average_rows(per_seed: Sequence[Sequence[SweepRow]]) -> list[SweepRow]:
     n = len(per_seed)
     for group in zip(*per_seed):
         first = group[0]
+        recoveries = [
+            r.mean_recovery_s for r in group if r.mean_recovery_s is not None
+        ]
         out.append(
             SweepRow(
                 policy=first.policy,
@@ -142,6 +155,11 @@ def average_rows(per_seed: Sequence[Sequence[SweepRow]]) -> list[SweepRow]:
                 vms_peak=max(r.vms_peak for r in group),
                 adaptations=round(
                     sum(r.adaptations for r in group) / n
+                ),
+                crashes=round(sum(r.crashes for r in group) / n),
+                lost_messages=sum(r.lost_messages for r in group) / n,
+                mean_recovery_s=(
+                    sum(recoveries) / len(recoveries) if recoveries else None
                 ),
             )
         )

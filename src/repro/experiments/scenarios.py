@@ -22,9 +22,9 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Literal, Optional
 
-from ..cloud.failures import FailureModel
+from ..cloud.failures import FailureModel, SpotRevocationModel
 from ..cloud.provider import CloudProvider
-from ..cloud.resources import VMClass, aws_2013_catalog
+from ..cloud.resources import VMClass, aws_2013_catalog, spot_variants
 from ..cloud.traces import TraceLibrary, TraceReplayPerformance
 from ..cloud.variability import ConstantPerformance, PerformanceModel
 from ..core.objective import ObjectiveSpec, sigma_from_expectations
@@ -46,6 +46,7 @@ __all__ = [
     "make_profile",
     "make_performance",
     "Scenario",
+    "failure_storm_scenario",
     "run_policy",
     "RateKind",
     "VariabilityMode",
@@ -232,6 +233,19 @@ class Scenario:
     startup_delay: float = 0.0
     #: Mean time between VM failures in hours (None disables crashes).
     mtbf_hours: Optional[float] = None
+    #: Periodic PE-state checkpoint interval in seconds (None disables).
+    checkpoint_interval: Optional[float] = None
+    #: Latency before checkpoint-restored state processes again (seconds).
+    restore_latency: float = 0.0
+    #: Mean time between spot revocations in hours (None = no spot tier;
+    #: setting it adds discounted ``-spot`` twins to the catalog).
+    spot_mtbf_hours: Optional[float] = None
+    #: Advance warning before a spot revocation (seconds).
+    spot_notice_s: float = 120.0
+    #: Spot price discount off on-demand, as a fraction in (0, 1).
+    spot_discount: float = 0.7
+    #: Failure-oracle look-ahead in seconds (None = 2 × interval).
+    hedge_horizon: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -250,21 +264,60 @@ class Scenario:
         profile = make_profile(self.rate_kind, self.rate, seed=self.seed)
         return {name: profile for name in self.dataflow.inputs}
 
+    def effective_catalog(self) -> list[VMClass]:
+        """The catalog runs actually deploy against.
+
+        With a spot tier configured, the discounted ``-spot`` twins join
+        the on-demand classes.  Spot twins are concatenated *first* so
+        the stable capacity sort places each twin just before its
+        on-demand sibling: best-fit provisioning (first class covering a
+        deficit) then prefers the cheaper spot class, while "the largest
+        class" (``catalog[-1]``, the local strategy's pick) stays
+        on-demand.
+        """
+        if self.spot_mtbf_hours is None:
+            return list(self.catalog)
+        return sorted(
+            spot_variants(self.catalog, self.spot_discount)
+            + list(self.catalog)
+        )
+
     def provider(self) -> CloudProvider:
         return CloudProvider(
-            self.catalog,
+            self.effective_catalog(),
             performance=make_performance(self.variability, seed=self.seed),
             startup_delay=self.startup_delay,
         )
 
     def policy(self, name: str) -> Policy:
-        return make_policy(name, self.dataflow, self.catalog, self.spec)
+        return make_policy(
+            name, self.dataflow, self.effective_catalog(), self.spec
+        )
 
     def failures(self) -> Optional[FailureModel]:
         """Failure model for this scenario (None when mtbf_hours unset)."""
         if self.mtbf_hours is None:
             return None
         return FailureModel(self.mtbf_hours, seed=self.seed)
+
+    def revocations(self) -> Optional[SpotRevocationModel]:
+        """Spot-revocation model (None when no spot tier is configured)."""
+        if self.spot_mtbf_hours is None:
+            return None
+        return SpotRevocationModel(
+            self.spot_mtbf_hours,
+            seed=self.seed,
+            notice_s=self.spot_notice_s,
+        )
+
+    @property
+    def uses_reliability(self) -> bool:
+        """True when any failure/recovery machinery is active."""
+        return (
+            self.mtbf_hours is not None
+            or self.spot_mtbf_hours is not None
+            or self.checkpoint_interval is not None
+        )
 
     def fingerprint(self) -> dict:
         """Canonical structural identity for the result cache (S22).
@@ -286,6 +339,12 @@ class Scenario:
             "tick": self.tick,
             "startup_delay": self.startup_delay,
             "mtbf_hours": self.mtbf_hours,
+            "checkpoint_interval": self.checkpoint_interval,
+            "restore_latency": self.restore_latency,
+            "spot_mtbf_hours": self.spot_mtbf_hours,
+            "spot_notice_s": self.spot_notice_s,
+            "spot_discount": self.spot_discount,
+            "hedge_horizon": self.hedge_horizon,
             "dataflow": [
                 {
                     "pe": p.name,
@@ -301,10 +360,37 @@ class Scenario:
             ],
             "catalog": [
                 [c.name, c.cores, c.core_speed, c.bandwidth_mbps,
-                 c.hourly_price]
+                 c.hourly_price, c.spot]
                 for c in self.catalog
             ],
         }
+
+
+def failure_storm_scenario(
+    rate: float = 10.0,
+    period: float = 3600.0,
+    seed: int = 3,
+) -> Scenario:
+    """The S26 reliability benchmark: a spot-revocation storm.
+
+    A spot tier 70% below on-demand price with a ~20-minute mean time
+    between revocations per spot VM (a storm: several forced stops per
+    hour of fleet time), two-minute revocation notices, periodic PE
+    checkpoints and a short restore latency.  Cost-driven heuristics
+    deploy onto the cheap spot tier and then live with the consequences;
+    the ``hedged`` policy uses the notices to drain doomed VMs first.
+    """
+    return Scenario(
+        rate=rate,
+        variability="none",
+        period=period,
+        seed=seed,
+        spot_mtbf_hours=1.0 / 3.0,
+        spot_notice_s=120.0,
+        spot_discount=0.7,
+        checkpoint_interval=120.0,
+        restore_latency=10.0,
+    )
 
 
 def run_policy(
@@ -327,5 +413,9 @@ def run_policy(
         tick=scenario.tick,
         message_size_mb=MESSAGE_SIZE_MB,
         failures=scenario.failures(),
+        revocations=scenario.revocations(),
+        checkpoint_interval=scenario.checkpoint_interval,
+        restore_latency=scenario.restore_latency,
+        hedge_horizon=scenario.hedge_horizon,
     )
     return manager.run()

@@ -32,10 +32,12 @@ EVENT_TYPES = frozenset(
         "vm_provisioned",
         "vm_stopped",
         "vm_failed",
+        "vm_revocation_notice",
         # billing (cloud.billing)
         "billing_hour_started",
         # runtime decisions (core.adaptation / engine.manager / executor)
         "adaptation_decision",
+        "hedge_preprovision",
         "allocation_changed",
         "alternate_switched",
         # periodic accounting (engine.executor)

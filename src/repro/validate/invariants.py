@@ -162,8 +162,9 @@ class _MeterLedger:
     def __init__(self) -> None:
         self.last_at = -math.inf
         self.last_cost = 0.0
-        #: instance_id → billed hours at the previous query.
-        self.hours: dict[str, int] = {}
+        #: instance_id → billed hours at the previous query (fractional
+        #: for per-second spot instances).
+        self.hours: dict[str, float] = {}
 
 
 class _AdapterLedger:
@@ -557,12 +558,27 @@ class InvariantChecker:
             unique[r.instance_id] = r
 
         expected = 0.0
-        hours_now: dict[str, int] = {}
+        hours_now: dict[str, float] = {}
         for r in unique.values():
             if at < r.started_at:
                 continue
-            elapsed = min(r.stopped_at, at) - r.started_at
-            hours = max(1, math.ceil(elapsed / _HOUR - 1e-9))
+            billed_until = min(r.stopped_at, at)
+            revoked_at = getattr(r, "revoked_at", None)
+            if revoked_at is not None and billed_until > revoked_at + 1e-9:
+                self.fail(
+                    f"{site}.revocation",
+                    at,
+                    "billing window extends past the spot revocation",
+                    instance=r.instance_id,
+                    billed_until=billed_until,
+                    revoked_at=revoked_at,
+                )
+            elapsed = billed_until - r.started_at
+            if r.vm_class.spot:
+                # Spot bills per second: fractional "hours", no ceiling.
+                hours = elapsed / _HOUR
+            else:
+                hours = max(1, math.ceil(elapsed / _HOUR - 1e-9))
             hours_now[r.instance_id] = hours
             expected += hours * r.vm_class.hourly_price
         if abs(cost - expected) > 1e-9 * max(1.0, expected) + 1e-9:
@@ -585,7 +601,8 @@ class InvariantChecker:
                     previous_at=state.last_at,
                 )
             # Charges may only appear when some instance enters a new
-            # billed hour (including a new instance's first hour).
+            # billed hour (including a new instance's first hour) or a
+            # spot instance accrues per-second usage.
             charged = cost - state.last_cost
             delta = 0.0
             for instance_id, hours in hours_now.items():

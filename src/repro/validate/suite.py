@@ -18,7 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..experiments.scenarios import Scenario, run_policy
+from ..experiments.scenarios import (
+    Scenario,
+    failure_storm_scenario,
+    run_policy,
+)
 from . import differential, invariants, metamorphic
 
 __all__ = ["LEVELS", "VerifySection", "VerifyReport", "scenarios", "run"]
@@ -31,8 +35,9 @@ def scenarios() -> dict[str, Scenario]:
 
     Small but shaped to exercise every subsystem the checker watches:
     steady state, workload waves (alternate switching), infrastructure
-    variability (trace replay), and VM crashes (loss accounting,
-    forced reconciliation).
+    variability (trace replay), VM crashes (loss accounting, forced
+    reconciliation), and the S26 failure storm (spot revocations,
+    checkpoints, hedging).
     """
     return {
         "baseline": Scenario(rate=5.0, period=7200.0, seed=1),
@@ -45,6 +50,7 @@ def scenarios() -> dict[str, Scenario]:
         "failures": Scenario(
             rate=15.0, period=10800.0, seed=6, mtbf_hours=2.0
         ),
+        "failure-storm": failure_storm_scenario(period=3600.0),
     }
 
 
@@ -142,7 +148,12 @@ def run(
         names = sorted(builtin)
     policies = ("local", "global") if level == "full" else ("local",)
     for name in names:
-        for policy in policies:
+        run_policies = policies
+        if name == "failure-storm" and level == "full":
+            # The storm exists to exercise the reliability path end to
+            # end, including the hedging policy.
+            run_policies = policies + ("hedged",)
+        for policy in run_policies:
             ok, detail = _checked_run(
                 builtin[name],
                 policy,

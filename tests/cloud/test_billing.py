@@ -82,6 +82,54 @@ class TestRemainingPaidSeconds:
         assert remaining_paid_seconds(vm, at=200.0) == 0.0
 
 
+def make_spot_vm(price=0.072, started_at=0.0):
+    klass = VMClass(
+        name="t-spot", cores=2, core_speed=2.0, hourly_price=price, spot=True
+    )
+    return VMInstance(klass, started_at=started_at)
+
+
+class TestSpotBilling:
+    """S26: spot instances meter per second, never past revocation."""
+
+    def test_per_second_metering(self):
+        vm = make_spot_vm(price=0.072)
+        assert instance_cost(vm, at=0.0) == 0.0
+        assert instance_cost(vm, at=1800.0) == pytest.approx(0.036)
+        assert instance_cost(vm, at=HOUR) == pytest.approx(0.072)
+
+    def test_no_hour_ceiling(self):
+        # The same lifetime on-demand would bill a full hour.
+        spot = make_spot_vm(price=0.24)
+        demand = make_vm(price=0.24)
+        spot.stop(at=60.0)
+        demand.stop(at=60.0)
+        assert instance_cost(demand, at=HOUR) == 0.24
+        assert instance_cost(spot, at=HOUR) == pytest.approx(0.24 / 60.0)
+
+    def test_revoked_never_billed_past_stop(self):
+        vm = make_spot_vm(price=0.072, started_at=100.0)
+        vm.stop(at=100.0 + 1800.0)
+        vm.revoked_at = 100.0 + 1800.0
+        frozen = instance_cost(vm, at=100.0 + 1800.0)
+        assert frozen == pytest.approx(0.036)
+        for later in (2 * HOUR, 10 * HOUR, 100 * HOUR):
+            assert instance_cost(vm, at=later) == frozen
+
+    def test_no_prepaid_window(self):
+        # Stopping a spot VM saves money immediately, so the keep-idle
+        # heuristic must never park one.
+        vm = make_spot_vm()
+        assert remaining_paid_seconds(vm, at=0.0) == 0.0
+        assert remaining_paid_seconds(vm, at=1000.0) == 0.0
+
+    def test_meter_mixes_spot_and_demand(self):
+        meter = BillingMeter()
+        meter.register(make_vm(price=0.24))
+        meter.register(make_spot_vm(price=0.072))
+        assert meter.cost_at(1800.0) == pytest.approx(0.24 + 0.036)
+
+
 class TestModuleExports:
     def test_star_import_exposes_billing_helpers(self):
         # Regression: __all__ used to omit the two query helpers, so a

@@ -8,6 +8,7 @@ from repro.cloud import (
     CloudProvider,
     FailureModel,
     ProvisioningError,
+    SpotRevocationModel,
     VMClass,
     VMInstance,
     aws_2013_catalog,
@@ -17,6 +18,16 @@ from repro.cloud import (
 def make_vm(started_at=0.0):
     return VMInstance(
         VMClass(name="t", cores=2, core_speed=1.0, hourly_price=0.1),
+        started_at=started_at,
+    )
+
+
+def make_spot_vm(started_at=0.0):
+    return VMInstance(
+        VMClass(
+            name="t-spot", cores=2, core_speed=1.0, hourly_price=0.03,
+            spot=True,
+        ),
         started_at=started_at,
     )
 
@@ -73,6 +84,86 @@ class TestFailureModel:
             FailureModel(0.0)
         with pytest.raises(ValueError):
             FailureModel(1.0, max_failures_per_vm=0)
+
+
+class TestLazyScheduleExtension:
+    """S26: schedules extend past ``max_failures_per_vm`` bit-identically."""
+
+    def march(self, model, vm, n):
+        times, t = [], 0.0
+        for _ in range(n):
+            t = model.next_failure(vm, t)
+            times.append(t)
+        return times
+
+    def test_schedule_extends_past_cap(self):
+        # A cap of 4 used to make VMs silently immortal after the 4th
+        # crash; now the schedule keeps going.
+        model = FailureModel(0.01, seed=7, max_failures_per_vm=4)
+        times = self.march(model, make_vm(), 20)
+        assert len(times) == 20
+        assert times == sorted(times)
+        assert len(set(times)) == 20
+
+    def test_extension_prefix_bit_identical(self):
+        # Marching far past the cap must not perturb the early times:
+        # compare against a fresh model that is queried the same way.
+        a = FailureModel(0.01, seed=7, max_failures_per_vm=4)
+        b = FailureModel(0.01, seed=7, max_failures_per_vm=4)
+        vm = make_vm()  # one VM: schedules are keyed by trace key
+        long = self.march(a, vm, 40)
+        short = self.march(b, vm, 8)
+        assert long[:8] == short
+
+    def test_chunk_size_does_not_change_times(self):
+        # The same seed with a huge chunk size yields the exact same
+        # schedule: extension continues one RNG stream per key.
+        small = FailureModel(0.01, seed=7, max_failures_per_vm=4)
+        big = FailureModel(0.01, seed=7, max_failures_per_vm=256)
+        vm = make_vm()
+        assert self.march(small, vm, 30) == self.march(big, vm, 30)
+
+    def test_fails_within_past_old_cap(self):
+        model = FailureModel(0.01, seed=3, max_failures_per_vm=2)
+        vm = make_vm()
+        t = 0.0
+        for _ in range(10):
+            nxt = model.fails_within(vm, t, t + 1e9)
+            assert nxt is not None and nxt > t
+            t = nxt
+
+
+class TestSpotRevocationModel:
+    def test_on_demand_never_revoked(self):
+        model = SpotRevocationModel(1.0, seed=1)
+        assert model.next_failure(make_vm(), 0.0) is None
+
+    def test_spot_is_revoked(self):
+        model = SpotRevocationModel(1.0, seed=1)
+        t = model.next_failure(make_spot_vm(started_at=50.0), 50.0)
+        assert t is not None and t > 50.0
+
+    def test_stream_disjoint_from_failures(self):
+        # Same seed, same trace key: revocation times must not collide
+        # with crash times (disjoint RandomStreams namespaces).
+        failures = FailureModel(1.0, seed=5)
+        revocations = SpotRevocationModel(1.0, seed=5)
+        vm, spot = make_vm(), make_spot_vm()
+        spot.trace_key = vm.trace_key  # force identical keys
+        assert failures.next_failure(vm, 0.0) != revocations.next_failure(
+            spot, 0.0
+        )
+
+    def test_deterministic(self):
+        a = SpotRevocationModel(0.5, seed=2)
+        b = SpotRevocationModel(0.5, seed=2)
+        vm = make_spot_vm()
+        assert a.next_failure(vm, 0.0) == b.next_failure(vm, 0.0)
+
+    def test_notice_validation(self):
+        with pytest.raises(ValueError):
+            SpotRevocationModel(1.0, notice_s=-1.0)
+        assert SpotRevocationModel(1.0, notice_s=0.0).notice_s == 0.0
 
 
 class TestProviderFail:

@@ -1,0 +1,107 @@
+"""Tests for PE-state checkpoint/restore in the fluid executor (S26)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+from repro.engine import FluidExecutor
+from repro.sim import Environment
+from repro.validate import invariants
+from repro.workloads import ConstantRate
+
+
+def rig(chain3, checkpoint_interval=None, restore_latency=0.0):
+    """Undersized ``mid`` on vm1 so backlog builds there; ``out`` + one
+    more ``mid`` core survive on vm2."""
+    env = Environment()
+    provider = CloudProvider(aws_2013_catalog())
+    vm = provider.provision("m1.xlarge", now=0.0)
+    vm.allocate("src", 2)
+    vm.allocate("mid", 1)
+    vm2 = provider.provision("m1.xlarge", now=0.0)
+    vm2.allocate("out", 1)
+    vm2.allocate("mid", 1)
+    ex = FluidExecutor(
+        env,
+        chain3,
+        provider,
+        {"src": ConstantRate(8.0)},
+        selection=chain3.default_selection(),
+        checkpoint_interval=checkpoint_interval,
+        restore_latency=restore_latency,
+    )
+    ex.sync()
+    ex.start()
+    return env, provider, ex, vm
+
+
+class TestCheckpointRestore:
+    def test_checkpoint_bounds_crash_loss(self, chain3):
+        env, provider, ex, vm = rig(
+            chain3, checkpoint_interval=60.0, restore_latency=5.0
+        )
+        env.run(until=300.0)
+        before = ex.pe_backlog("mid")
+        assert before > 100
+        lost, restored = ex.fail_vm(vm.instance_id)
+        provider.fail(vm, env.now)
+        ex.sync()
+        assert restored.get("mid", 0.0) > 0
+        # Conservation: backlog shrinks by exactly what was declared
+        # lost — restored messages stay visible (in the restore buffer).
+        assert ex.pe_backlog("mid") == pytest.approx(
+            before - lost.get("mid", 0.0)
+        )
+        # A checkpoint never conjures messages: it restores at most what
+        # the VM actually held.
+        assert restored["mid"] < before
+
+    def test_restore_beats_no_checkpoint(self, chain3):
+        # Same crash, with and without checkpointing: the checkpointed
+        # run must lose strictly fewer messages.
+        losses = {}
+        for interval in (None, 60.0):
+            env, provider, ex, vm = rig(chain3, checkpoint_interval=interval)
+            env.run(until=300.0)
+            lost, restored = ex.fail_vm(vm.instance_id)
+            provider.fail(vm, env.now)
+            losses[interval] = sum(lost.values())
+            if interval is None:
+                assert restored == {}
+        assert losses[60.0] < losses[None]
+
+    def test_checkpoint_is_point_in_time(self, chain3):
+        # Messages arriving after the last checkpoint are not restored:
+        # crash just before the next checkpoint (t=119 with 60 s
+        # interval) and the restored amount reflects the t=60 state,
+        # strictly less than the backlog that built since.
+        env, provider, ex, vm = rig(chain3, checkpoint_interval=60.0)
+        env.run(until=119.0)
+        before = ex.pe_backlog("mid")
+        lost, restored = ex.fail_vm(vm.instance_id)
+        provider.fail(vm, env.now)
+        assert 0 < restored.get("mid", 0.0) < before
+        assert lost.get("mid", 0.0) > 0
+
+    def test_parameter_validation(self, chain3):
+        with pytest.raises(ValueError):
+            rig(chain3, checkpoint_interval=0.0)
+        with pytest.raises(ValueError):
+            rig(chain3, restore_latency=-1.0)
+
+    def test_crash_restore_passes_invariant_checker(self, chain3):
+        # The S23 conservation invariant accounts for crash-destroyed
+        # and checkpoint-restored messages: a checked crash-and-restore
+        # run must not trip it.
+        invariants.reset()
+        with invariants.checking():
+            env, provider, ex, vm = rig(
+                chain3, checkpoint_interval=60.0, restore_latency=5.0
+            )
+            env.run(until=300.0)
+            lost, restored = ex.fail_vm(vm.instance_id)
+            provider.fail(vm, env.now)
+            ex.sync()
+            env.run(until=600.0)
+        assert restored.get("mid", 0.0) > 0

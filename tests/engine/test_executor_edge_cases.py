@@ -137,14 +137,14 @@ class TestFailVmEdgeCases:
         env, provider, ex = build(
             chain3, [{"src": 1, "mid": 2, "out": 1}], {"src": ConstantRate(1.0)}
         )
-        assert ex.fail_vm("ghost-id") == {}
+        assert ex.fail_vm("ghost-id") == ({}, {})
 
     def test_fail_vm_without_backlog_loses_nothing(self, chain3):
         env, provider, ex = build(
             chain3, [{"src": 1, "mid": 2, "out": 1}], {"src": ConstantRate(0.0)}
         )
         vm = provider.active_instances()[0]
-        assert ex.fail_vm(vm.instance_id) == {}
+        assert ex.fail_vm(vm.instance_id) == ({}, {})
 
 
 class TestSynchronizeRejected:

@@ -3,12 +3,27 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cloud import CloudProvider, FailureModel, aws_2013_catalog
+from repro.dataflow import Alternate, DynamicDataflow, ProcessingElement
 from repro.engine import FailureDriver, FluidExecutor
 from repro.experiments import Scenario, run_policy
 from repro.sim import Environment
 from repro.workloads import ConstantRate
+
+
+def make_chain3() -> DynamicDataflow:
+    """The chain3 fixture as a plain function (hypothesis-friendly)."""
+    return DynamicDataflow(
+        [
+            ProcessingElement("src", [Alternate("s", value=1.0, cost=0.5)]),
+            ProcessingElement("mid", [Alternate("m", value=1.0, cost=1.0)]),
+            ProcessingElement("out", [Alternate("o", value=1.0, cost=0.5)]),
+        ],
+        [("src", "mid"), ("mid", "out")],
+    )
 
 
 class TestFailureDriver:
@@ -38,8 +53,8 @@ class TestFailureDriver:
         env.run(until=3 * 3600.0)
         assert driver.crashes, "expected at least one crash in 3 h at 12 min MTBF"
         assert provider.failed_instances()
-        for t, _vm, _lost in driver.crashes:
-            assert 0 < t <= 3 * 3600.0
+        for crash in driver.crashes:
+            assert 0 < crash.t <= 3 * 3600.0
 
     def test_disabled_model_never_crashes(self, chain3):
         env, provider, ex, driver = self.rig(chain3, mtbf_hours=None)
@@ -67,10 +82,11 @@ class TestFailureDriver:
         ex.start()
         env.run(until=300.0)
         assert ex.pe_backlog("mid") > 100
-        lost = ex.fail_vm(vm.instance_id)
+        lost, restored = ex.fail_vm(vm.instance_id)
         provider.fail(vm, env.now)
         ex.sync()
         assert lost.get("mid", 0.0) > 0
+        assert restored == {}  # no checkpointing configured
         assert ex.stats.lost["mid"] == pytest.approx(lost["mid"])
 
 
@@ -137,7 +153,132 @@ class TestZeroWaitFailure:
     def test_crash_still_lands_on_the_wakeup_time(self, chain3):
         env, vm, driver = self.rig(chain3, poll_interval=30.0)
         env.run(until=120.0)
-        assert [t for t, _vm, _lost in driver.crashes] == [30.0]
+        assert [c.t for c in driver.crashes] == [30.0]
+
+
+class _ScriptedFailures:
+    """Stub model with an explicit failure schedule per VM boot time.
+
+    Keyed by ``started_at`` rather than instance id so tests stay
+    immune to the global VM id counter.
+    """
+
+    enabled = True
+
+    def __init__(self, by_start: dict[float, list[float]]) -> None:
+        self.by_start = {k: sorted(v) for k, v in by_start.items()}
+
+    def next_failure(self, record, now):
+        for t in self.by_start.get(record.started_at, ()):
+            if t > now:
+                return t
+        return None
+
+
+class TestMidSleepProvision:
+    """Regression (S26): a VM provisioned while the driver slept, whose
+    scheduled failure also falls inside that sleep, must crash *late* at
+    the next wake-up — the driver used to scan from ``now``, see nothing
+    due, and silently drop the crash, leaving the VM immortal."""
+
+    def rig(self, chain3, schedule):
+        env = Environment()
+        provider = CloudProvider(aws_2013_catalog())
+        vm = provider.provision("m1.xlarge", now=0.0)
+        for pe, cores in (("src", 1), ("mid", 2), ("out", 1)):
+            vm.allocate(pe, cores)
+        ex = FluidExecutor(
+            env,
+            chain3,
+            provider,
+            {"src": ConstantRate(2.0)},
+            selection=chain3.default_selection(),
+        )
+        ex.sync()
+        ex.start()
+        driver = FailureDriver(
+            env, provider, ex, _ScriptedFailures(schedule),
+            poll_interval=30.0,
+        )
+        driver.start()
+
+        def provision_late():
+            yield env.timeout(45.0)
+            provider.provision("m1.small", now=env.now)
+
+        env.process(provision_late())
+        return env, driver
+
+    def test_missed_failure_fires_late_not_never(self, chain3):
+        # VM A boots at 0 and fails at 200.  VM B boots at t=45 (mid
+        # driver sleep, wake-ups at 30/60/...) with its failure already
+        # scheduled for t=50.  The fixed driver scans from started_at,
+        # finds the overdue failure at its t=60 wake-up, and fires it
+        # late — exactly once.  Pre-fix it scanned from now=60, found
+        # nothing due, and B never crashed.
+        env, driver = self.rig(
+            chain3, {0.0: [200.0], 45.0: [50.0]}
+        )
+        env.run(until=300.0)
+        assert [c.t for c in driver.crashes] == [60.0, 200.0]
+        assert len({c.instance_id for c in driver.crashes}) == 2
+
+    def test_future_failure_of_late_vm_fires_exactly(self, chain3):
+        # Same mid-sleep provision, but the failure is still in the
+        # future at the next wake-up: it must land on its exact time.
+        env, driver = self.rig(chain3, {45.0: [70.0]})
+        env.run(until=300.0)
+        assert [c.t for c in driver.crashes] == [70.0]
+
+
+class TestCrashScheduleProperty:
+    """Property (S26): the multiset of fired crash times equals the
+    scheduled failure times intersected with the active windows — one
+    crash per VM, at its first scheduled failure after boot, iff that
+    time falls inside the run."""
+
+    @given(
+        mtbf_hours=st.floats(min_value=0.05, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_vms=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fired_times_match_schedule(self, mtbf_hours, seed, n_vms):
+        horizon = 1800.0
+        chain3 = make_chain3()
+        env = Environment()
+        provider = CloudProvider(aws_2013_catalog())
+        vms = [provider.provision("m1.xlarge", now=0.0) for _ in range(n_vms)]
+        for pe, cores in (("src", 1), ("mid", 2), ("out", 1)):
+            vms[0].allocate(pe, cores)
+        ex = FluidExecutor(
+            env,
+            chain3,
+            provider,
+            {"src": ConstantRate(2.0)},
+            selection=chain3.default_selection(),
+        )
+        ex.sync()
+        ex.start()
+        driver = FailureDriver(
+            env, provider, ex, FailureModel(mtbf_hours, seed=seed)
+        )
+        driver.start()
+        env.run(until=horizon)
+
+        # A twin model reads the same deterministic schedules: each VM's
+        # single crash is its first scheduled failure after boot.
+        twin = FailureModel(mtbf_hours, seed=seed)
+        expected = sorted(
+            t
+            for t in (twin.next_failure(vm, vm.started_at) for vm in vms)
+            if t < horizon
+        )
+        fired = sorted(c.t for c in driver.crashes)
+        assert fired == pytest.approx(expected)
+        # Every crash hit a distinct VM, inside the run window.
+        assert len({c.instance_id for c in driver.crashes}) == len(fired)
+        assert all(0.0 < t < horizon for t in fired)
 
 
 class TestRecovery:

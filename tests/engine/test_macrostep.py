@@ -132,7 +132,7 @@ class TestExecutorEdgeCases:
 
             def saboteur():
                 yield env.timeout(120.0)
-                lost.update(ex.fail_vm(victim))
+                lost.update(ex.fail_vm(victim)[0])
 
             env.process(saboteur(), name="saboteur")
             env.run(until=90.0)

@@ -1,12 +1,14 @@
-"""Regression pin: ``FluidExecutor._migrate`` network pricing.
+"""Regression pin: ``FluidExecutor._migrate`` network pricing (S26).
 
-The fluid engine prices a migration transfer with a *conservative single
-representative*: the slowest link from the drained source VMs (or a
-capped fleet scan) to the PE's **first** remaining host — not a
-per-destination-link model.  The differential harness shows the engines
-agree within tolerance under this shortcut, so these tests pin its exact
-semantics under multi-link contention; if migration pricing is ever made
-link-accurate, they document precisely what changed.
+The fluid engine prices a migration transfer *per drained source*: each
+``(vm, amount)`` pair ships on its own monitored link to the PE's
+**first** remaining host, with the delay scaling with the bytes that
+source actually buffered (``amount × message size / bandwidth``).  Only
+``network_pair_cap`` sources get individual probes; overflow sources
+ship at the slowest priced delay.  Without sources, the whole amount is
+priced against the fleet's slowest link to the target (conservative
+representative).  These tests pin those semantics under multi-link
+contention.
 """
 
 from __future__ import annotations
@@ -70,14 +72,24 @@ def _delay(messages, bandwidth_mbps, message_size_mb=0.1):
     return messages * message_size_mb * 8.0 / bandwidth_mbps
 
 
-def test_contended_links_priced_at_the_slowest_source(deployed):
+def test_each_source_pays_for_its_own_buffered_state(deployed):
     ex, a, b, c = deployed
-    ex._migrate("mid", 100.0, 0.0, sources=[a, b])
-    buf = ex._migrating[-1]
-    assert buf.pe == "mid"
-    assert buf.messages == 100.0
-    # min(100 Mbps, 10 Mbps) → 100 msg × 0.1 MB × 8 b/B / 10 Mbps = 8 s.
-    assert buf.available_at == pytest.approx(_delay(100.0, 10.0))
+    ex._migrate("mid", 100.0, 0.0, sources=[(a, 70.0), (b, 30.0)])
+    bufs = ex._migrating[-2:]
+    assert [m.pe for m in bufs] == ["mid", "mid"]
+    assert [m.messages for m in bufs] == [70.0, 30.0]
+    # A ships 70 msg over its 100 Mbps link; B ships 30 msg over 10 Mbps.
+    assert bufs[0].available_at == pytest.approx(_delay(70.0, 100.0))
+    assert bufs[1].available_at == pytest.approx(_delay(30.0, 10.0))
+
+
+def test_delay_scales_with_the_amount_moved(deployed):
+    """Twice the buffered state on a link → twice the drain time."""
+    ex, a, b, c = deployed
+    ex._migrate("mid", 30.0, 0.0, sources=[(b, 30.0)])
+    ex._migrate("mid", 60.0, 0.0, sources=[(b, 60.0)])
+    small, large = ex._migrating[-2:]
+    assert large.available_at == pytest.approx(2.0 * small.available_at)
 
 
 def test_fleet_scan_fallback_sees_every_link(deployed):
@@ -87,19 +99,22 @@ def test_fleet_scan_fallback_sees_every_link(deployed):
     assert buf.available_at == pytest.approx(5.0 + _delay(100.0, 10.0))
 
 
-def test_network_pair_cap_truncates_the_scan(deployed):
-    """With the scan capped at one link only A→C (fleet order) is priced
-    — the slower B→C link is invisible and the transfer is optimistic."""
+def test_network_pair_cap_overflow_ships_at_the_slowest_priced_delay(deployed):
+    """With the cap at one, only A→C is probed; B's overflow buffer rides
+    the worst priced delay instead of getting its own (slower) probe."""
     ex, a, b, c = deployed
     ex.network_pair_cap = 1
-    ex._migrate("mid", 100.0, 0.0)
-    buf = ex._migrating[-1]
-    assert buf.available_at == pytest.approx(_delay(100.0, 100.0))
+    ex._migrate("mid", 100.0, 0.0, sources=[(a, 70.0), (b, 30.0)])
+    priced, overflow = ex._migrating[-2:]
+    assert priced.messages == 70.0
+    assert priced.available_at == pytest.approx(_delay(70.0, 100.0))
+    assert overflow.messages == 30.0  # nothing is dropped
+    assert overflow.available_at == pytest.approx(_delay(70.0, 100.0))
 
 
 def test_only_the_first_remaining_host_is_priced(chain3):
     """Two remaining hosts: the transfer is priced against hosts[0]'s
-    slowest inbound link even when the other host's links are faster."""
+    inbound link even when the other host's links are faster."""
     catalog = aws_2013_catalog()
     provider = CloudProvider(catalog)
     a = provider.provision(catalog[0], now=0.0)
@@ -124,22 +139,23 @@ def test_only_the_first_remaining_host_is_priced(chain3):
         selection={"src": "s", "mid": "m", "out": "o"},
     )
     ex.sync()
-    ex._migrate("mid", 100.0, 0.0, sources=[a])
+    ex._migrate("mid", 100.0, 0.0, sources=[(a, 100.0)])
     assert ex._migrating[-1].available_at == pytest.approx(
         _delay(100.0, 10.0)
     )
 
 
-def test_unmapped_pairs_transfer_instantly(deployed):
+def test_target_colocated_source_transfers_instantly(deployed):
     ex, a, b, c = deployed
-    ex._migrate("mid", 50.0, 3.0, sources=[c])  # only the target: no links
+    # c *is* the surviving host: its buffers never cross the network.
+    ex._migrate("mid", 50.0, 3.0, sources=[(c, 50.0)])
     assert ex._migrating[-1].available_at == 3.0
 
 
 def test_hostless_pe_retries_one_tick_later(deployed):
     ex, a, b, c = deployed
     c.release("mid")
-    ex._migrate("mid", 5.0, 10.0, sources=[a])
+    ex._migrate("mid", 5.0, 10.0, sources=[(a, 5.0)])
     buf = ex._migrating[-1]
     assert buf.messages == 5.0
     assert buf.available_at == 10.0 + ex.tick

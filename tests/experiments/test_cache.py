@@ -56,6 +56,22 @@ class TestInvalidation:
         assert cache.cache_key(quick_scenario(period=600.0), "local") != base
         assert cache.cache_key(quick_scenario(), "global") != base
 
+    def test_reliability_knobs_change_key(self):
+        # S26: every reliability knob is part of the fingerprint, so
+        # cached pre-reliability rows can never be served for runs that
+        # checkpoint, use spot capacity, or hedge.
+        base = cache.cache_key(quick_scenario(), "local")
+        for knob, value in (
+            ("checkpoint_interval", 120.0),
+            ("restore_latency", 10.0),
+            ("spot_mtbf_hours", 0.5),
+            ("spot_notice_s", 60.0),
+            ("spot_discount", 0.5),
+            ("hedge_horizon", 240.0),
+        ):
+            key = cache.cache_key(quick_scenario(**{knob: value}), "local")
+            assert key != base, f"{knob} not in fingerprint"
+
     def test_seed_change_changes_key(self):
         assert cache.cache_key(quick_scenario(seed=5), "local") != \
             cache.cache_key(quick_scenario(seed=6), "local")

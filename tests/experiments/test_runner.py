@@ -35,7 +35,7 @@ class TestSweep:
 
     def test_as_tuple_stable_shape(self):
         rows = sweep([Scenario(rate=3.0, period=300.0)], ["static-local"])
-        assert len(rows[0].as_tuple()) == 8
+        assert len(rows[0].as_tuple()) == 11
 
     def test_deterministic(self):
         make = lambda: [Scenario(rate=3.0, seed=5, period=300.0,

@@ -65,6 +65,7 @@ class TestTopLevelApi:
             "global",
             "local-nodyn",
             "global-nodyn",
+            "hedged",
         )
 
     def test_every_public_class_has_docstring(self):
