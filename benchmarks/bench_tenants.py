@@ -1,0 +1,137 @@
+"""Bench driver: multi-tenant fleet throughput → ``BENCH_tenants.json``.
+
+Times an uncontended N-tenant fleet — N independent managed dataflows
+sharing one provider — two ways and appends the ratio to the repo-root
+``BENCH_tenants.json``:
+
+- **serial**: N isolated ``run_policy`` simulations, one after another
+  (the pre-S27 way to get N tenants' results);
+- **shared kernel**: one ``TenantFleet`` advancing all N dataflows in
+  lockstep through the structure-of-arrays batch engine, one vectorized
+  tick per step.
+
+The pools are unlimited so the shared kernel owes the serial loop exact
+results: every per-tenant Θ/Ω/μ row must be bit-identical to the
+isolated run's row (asserted; recorded as ``tenant_rows_identical``).
+The headline metric is ``tenants_speedup`` — fleet wall time over the
+serial loop's — with ``tenants_per_s`` for the absolute trajectory.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_tenants.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine.tenants import TenantRow
+from repro.experiments.runner import run_fleet
+from repro.experiments.scenarios import multi_tenant_scenario, run_policy
+
+import bench_common
+
+SEED = 7
+
+
+def _scenario(quick: bool):
+    # Wavy rates + full variability keep every tenant's run genuinely
+    # dynamic: on a constant rate with no variability the serial
+    # baseline macro-steps the whole period in one jump and the
+    # comparison measures nothing.
+    return multi_tenant_scenario(
+        n_tenants=32 if quick else 256,
+        admission="free-for-all",
+        seed=SEED,
+        period=600.0 if quick else 1800.0,
+        rate_kind="wave",
+        variability="both",
+        rate_lo=2.0,
+        rate_hi=8.0,
+        capacity_tightness=None,
+    )
+
+
+def run_tenants_bench(
+    quick: bool = False,
+    output: Optional[os.PathLike] = None,
+    write: bool = True,
+) -> dict:
+    """Measure shared-kernel vs serial fleet throughput and record."""
+    mt = _scenario(quick)
+    n = mt.n_tenants
+
+    t0 = time.perf_counter()
+    serial_rows = [
+        TenantRow.from_result(
+            k, mt.tenant_rate(k), run_policy(mt.tenant_scenario(k), mt.policy)
+        )
+        for k in range(n)
+    ]
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fleet = run_fleet(mt)
+    fleet_s = time.perf_counter() - t0
+    assert fleet.mode == "soa", f"fleet ran {fleet.mode}, expected soa"
+
+    identical = [r.identity() for r in fleet.rows] == [
+        r.identity() for r in serial_rows
+    ]
+    assert identical, "shared-kernel rows diverged from isolated runs"
+
+    metrics = {
+        "tenants": float(n),
+        "serial_s": serial_s,
+        "fleet_s": fleet_s,
+        "tenants_per_s": n / fleet_s,
+        "tenants_per_s_serial": n / serial_s,
+        "tenants_speedup": serial_s / max(fleet_s, 1e-9),
+    }
+    meta = {
+        "quick": quick,
+        "seed": SEED,
+        "host_cpus": os.cpu_count() or 1,
+        "n_tenants": n,
+        "policy": mt.policy,
+        "rate_band": [mt.rate_lo, mt.rate_hi],
+        "tenant_rows_identical": identical,
+    }
+    if write:
+        path = output or bench_common.bench_path("tenants")
+        bench_common.append_entry(path, "tenants", metrics, meta)
+    return {"metrics": metrics, "meta": meta}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="32-tenant fleet (smoke test)")
+    parser.add_argument("--output", default=None,
+                        help="write to this file instead of "
+                             "BENCH_tenants.json")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print, do not record")
+    args = parser.parse_args(argv)
+    result = run_tenants_bench(
+        quick=args.quick, output=args.output, write=not args.no_write
+    )
+    m = result["metrics"]
+    print(
+        f"tenants: n={m['tenants']:.0f} serial={m['serial_s']:.2f}s "
+        f"fleet={m['fleet_s']:.2f}s "
+        f"({m['tenants_per_s']:.1f} tenants/s, "
+        f"speedup {m['tenants_speedup']:.2f}x)"
+    )
+    print(f"rows identical: {result['meta']['tenant_rows_identical']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

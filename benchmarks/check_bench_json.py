@@ -96,7 +96,13 @@ def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
     must be non-negative integers and ``cache_warm_speedup`` a positive
     finite ratio.  The batch-engine throughput pair
     (``cells_per_s_batch``/``batch_speedup``) must be positive — a zero
-    or negative value means the timer section never ran.
+    or negative value means the timer section never ran.  The
+    multi-tenant kernel's throughput trio (``tenants_per_s``,
+    ``tenants_per_s_serial``, ``tenants_speedup``) must likewise be
+    positive, ``n_tenants`` meta a positive integer, and
+    ``tenant_rows_identical`` meta strictly true — a false value means
+    the shared kernel diverged from the isolated-run oracle and the
+    recorded speedup is meaningless.
     """
     if "decision_ns" in metrics and metrics["decision_ns"] <= 0:
         _fail(path, f"{where} metric 'decision_ns' must be positive: "
@@ -108,6 +114,18 @@ def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
     if "batch_rows_identical" in meta and meta["batch_rows_identical"] is not True:
         _fail(path, f"{where} meta 'batch_rows_identical' must be true: "
                     f"{meta['batch_rows_identical']!r}")
+    for name in ("tenants_per_s", "tenants_per_s_serial", "tenants_speedup"):
+        if name in metrics and metrics[name] <= 0:
+            _fail(path, f"{where} metric {name!r} must be positive: "
+                        f"{metrics[name]!r}")
+    if "tenant_rows_identical" in meta and meta["tenant_rows_identical"] is not True:
+        _fail(path, f"{where} meta 'tenant_rows_identical' must be true: "
+                    f"{meta['tenant_rows_identical']!r}")
+    if "n_tenants" in meta:
+        value = meta["n_tenants"]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            _fail(path, f"{where} meta 'n_tenants' must be a positive "
+                        f"integer: {value!r}")
     if "macro_jump_ratio" in metrics:
         value = metrics["macro_jump_ratio"]
         if not 0.0 <= value <= 1.0:

@@ -9,6 +9,9 @@ Commands
     Race several policies on the same scenario.
 ``figures``
     Regenerate the paper's evaluation figures (Figs. 2–9).
+``tenants``
+    Run a multi-tenant fleet — many dataflows sharing one finite
+    provider — and print per-tenant Θ/Ω/μ rows plus fleet utilization.
 ``trace``
     Summarize / filter / dump a JSONL run trace (see ``repro.obs``).
 ``policies``
@@ -145,6 +148,47 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_arg(fig_p)
     add_batch_arg(fig_p)
 
+    tenants_p = sub.add_parser(
+        "tenants",
+        help="run a multi-tenant fleet on one shared provider",
+    )
+    tenants_p.add_argument(
+        "--tenants", type=int, default=16, metavar="N",
+        help="number of dataflows sharing the provider (default 16)",
+    )
+    tenants_p.add_argument(
+        "--admission", choices=("free-for-all", "fair-share"),
+        default="free-for-all",
+        help="admission policy arbitrating the shared pools",
+    )
+    tenants_p.add_argument(
+        "--policy", choices=POLICY_NAMES, default="global",
+        help="per-tenant scheduling policy (default global)",
+    )
+    tenants_p.add_argument(
+        "--period", type=float, default=900.0,
+        help="optimization period in seconds (default 900)",
+    )
+    tenants_p.add_argument(
+        "--tightness", type=float, default=0.5, metavar="T",
+        help="per-class pool size as a fraction of the tenant count "
+             "(default 0.5; negative = unlimited pools)",
+    )
+    tenants_p.add_argument(
+        "--rate-lo", type=float, default=2.0,
+        help="slowest tenant's input rate in msg/s (default 2)",
+    )
+    tenants_p.add_argument(
+        "--rate-hi", type=float, default=8.0,
+        help="fastest tenant's input rate in msg/s (default 8)",
+    )
+    tenants_p.add_argument("--seed", type=int, default=0,
+                           help="experiment seed")
+    tenants_p.add_argument(
+        "--rows", action="store_true",
+        help="print every tenant's row (default: first/last 20)",
+    )
+
     trace_p = sub.add_parser(
         "trace", help="summarize / filter / dump a JSONL run trace"
     )
@@ -158,6 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="keep only events referencing this PE")
     trace_p.add_argument("--vm", default=None,
                          help="keep only events for this VM instance id")
+    trace_p.add_argument("--tenant", type=int, default=None, metavar="K",
+                         help="keep only events from this tenant")
     trace_p.add_argument("--events", action="store_true",
                          help="print the matching events as a table")
     trace_p.add_argument("--timeline", action="store_true",
@@ -287,6 +333,56 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_fleet
+    from .experiments.scenarios import multi_tenant_scenario
+
+    tightness = args.tightness if args.tightness >= 0 else None
+    mt = multi_tenant_scenario(
+        n_tenants=args.tenants,
+        admission=args.admission,
+        policy=args.policy,
+        seed=args.seed,
+        period=args.period,
+        rate_lo=args.rate_lo,
+        rate_hi=args.rate_hi,
+        capacity_tightness=tightness,
+    )
+    fr = run_fleet(mt)
+    rows = fr.rows
+    elided = 0
+    if not args.rows and len(rows) > 40:
+        elided = len(rows) - 40
+        rows = rows[:20] + rows[-20:]
+    print(
+        f"{'tenant':>6}  {'rate':>6}  {'Ω̄':>6}  {'Θ':>8}  {'μ $':>8}  "
+        f"{'peak':>4}  {'denied':>6}  {'ok':>3}"
+    )
+    for i, r in enumerate(rows):
+        if elided and i == 20:
+            print(f"{'...':>6}  ({elided} tenants elided; --rows shows all)")
+        print(
+            f"{r.tenant:6d}  {r.rate:6.2f}  {r.omega:6.3f}  {r.theta:+8.4f}  "
+            f"{r.mu:8.2f}  {r.vms_peak:4d}  {r.denials:6d}  "
+            f"{'✓' if r.constraint_met else '✗':>3}"
+        )
+    met = sum(1 for r in fr.rows if r.constraint_met)
+    cap = fr.utilization["capacity"]
+    pools = (
+        ", ".join(f"{name}×{n}" for name, n in sorted(cap.items()))
+        if cap
+        else "unlimited"
+    )
+    print(
+        f"\n{fr.n_tenants} tenants ({args.admission}, mode={fr.mode}): "
+        f"fleet Ω̄={fr.fleet_omega:.3f} μ=${fr.fleet_mu:.2f} "
+        f"Ω̄≥Ω̂-ε {met}/{fr.n_tenants}"
+    )
+    print(f"pools: {pools}; {fr.denied_total} provisions denied "
+          f"{fr.utilization['denied_by_reason']}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         events = load_jsonl(args.file)
@@ -294,7 +390,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
     selected = filter_events(
-        events, types=args.types, pe=args.pe, vm=args.vm
+        events, types=args.types, pe=args.pe, vm=args.vm, tenant=args.tenant
     )
     if args.dump:
         for event in selected:
@@ -366,6 +462,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figures": _cmd_figures,
+        "tenants": _cmd_tenants,
         "trace": _cmd_trace,
         "policies": _cmd_policies,
         "cache": _cmd_cache,

@@ -8,7 +8,13 @@ FutureGrid-like generation plus replay).
 from .failures import FailureModel, SpotRevocationModel
 from .billing import HOUR, BillingMeter, instance_cost, total_cost
 from .network import LinkQuality, NetworkModel, migration_time
-from .provider import CloudProvider, ProvisioningError
+from .provider import (
+    CapacityError,
+    CloudProvider,
+    ProvisionDenied,
+    ProvisioningError,
+    TenantProvider,
+)
 from .resources import (
     STANDARD_CORE_SPEED,
     VMClass,
@@ -32,14 +38,17 @@ __all__ = [
     "STANDARD_CORE_SPEED",
     "BillingMeter",
     "CPUTraceConfig",
+    "CapacityError",
     "CloudProvider",
     "ConstantPerformance",
     "LinkQuality",
     "NetworkModel",
     "NetworkTraceConfig",
     "PerformanceModel",
+    "ProvisionDenied",
     "ProvisioningError",
     "SpotRevocationModel",
+    "TenantProvider",
     "TraceLibrary",
     "TraceReplayPerformance",
     "VMClass",

@@ -141,6 +141,7 @@ class BillingMeter:
                 _trace.emit(
                     "billing_hour_started",
                     t=r.started_at + (hour - 1) * HOUR,
+                    tenant_id=getattr(r, "tenant", 0),
                     instance_id=r.instance_id,
                     vm_class=r.vm_class.name,
                     hour=hour,

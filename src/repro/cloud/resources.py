@@ -180,6 +180,7 @@ class VMInstance:
         started_at: float,
         instance_id: Optional[str] = None,
         trace_key: Optional[str] = None,
+        tenant: int = 0,
     ) -> None:
         self.vm_class = vm_class
         self.started_at = float(started_at)
@@ -190,6 +191,8 @@ class VMInstance:
         self.instance_id = instance_id or f"vm-{next(self._ids)}"
         #: Key selecting which variability trace stream this VM replays.
         self.trace_key = trace_key or self.instance_id
+        #: Owning dataflow in multi-tenant fleets (0 for single-tenant).
+        self.tenant = int(tenant)
         #: Core allocations: PE name → number of cores held on this VM.
         self._allocations: dict[str, int] = {}
 

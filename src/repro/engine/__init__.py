@@ -9,22 +9,42 @@ from .messages import IntervalStats, Message
 from .monitor import Monitor
 from .permsg import PerMessageExecutor
 from .reconcile import ReconcileReport, apply_plan
+from .tenants import (
+    AdmissionPolicy,
+    FairShare,
+    FleetResult,
+    FleetSample,
+    FreeForAll,
+    TenantFleet,
+    TenantKernel,
+    TenantRow,
+    make_admission,
+)
 
 __all__ = [
+    "AdmissionPolicy",
     "BatchRunner",
     "CrashRecord",
     "FailureDriver",
     "FailureOracle",
+    "FairShare",
+    "FleetResult",
+    "FleetSample",
     "FluidExecutor",
+    "FreeForAll",
     "IntervalStats",
     "LatencySummary",
     "LatencyTracker",
     "fluid_latency_estimate",
+    "make_admission",
     "Message",
     "Monitor",
     "PerMessageExecutor",
     "ReconcileReport",
     "RunManager",
     "RunResult",
+    "TenantFleet",
+    "TenantKernel",
+    "TenantRow",
     "apply_plan",
 ]

@@ -51,12 +51,14 @@ to per-cell runs under validation.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
 from ..core.objective import EvaluationOutcome
 from ..dataflow.metrics import IntervalMetrics, MetricsTimeline
+from ..obs import collector as _obs
 from ..sim.kernel import Environment
 from ..util import perf
 from .executor import _EPS, FluidExecutor, _macro_default, _seqsum
@@ -215,15 +217,18 @@ class BatchRunner:
         self.ticks_executed = 0
         #: (key, groups, pinned arrays) from the previous _pack epoch.
         self._coef_cache: Optional[tuple] = None
+        # Last epoch's pack, reusable when no cell's fleet was rebuilt:
+        # (layout key, per-column content signatures, pack, tick).
+        self._pack_reuse: Optional[tuple] = None
 
     # -- driving --------------------------------------------------------------
 
     def run(self) -> list[RunResult]:
         """Execute every cell's full optimization period."""
-        states = [
-            self._init_cell(m, key)
-            for m, key in zip(self.managers, self._rate_keys)
-        ]
+        states = []
+        for m, key in zip(self.managers, self._rate_keys):
+            with self._cell_ctx(m):
+                states.append(self._init_cell(m, key))
         spec = self.managers[0].spec
         tick = float(self.managers[0].tick)
         n = spec.n_intervals
@@ -236,8 +241,25 @@ class BatchRunner:
             for st in states:
                 self._copy_out(pack, st)
             for st in states:
-                self._boundary(st, k, b, n)
+                with self._cell_ctx(st.manager):
+                    self._boundary(st, k, b, n)
+            self._after_boundaries(k, b)
         return [self._finish(st) for st in states]
+
+    def _cell_ctx(self, m: RunManager):
+        """Trace-attribution context for one cell's serial work (init,
+        interval boundaries).  Cells driven through a
+        :class:`~repro.cloud.provider.TenantProvider` view stamp their
+        tenant on every event emitted inside the block; plain providers
+        get a no-op context, keeping single-tenant batches unchanged."""
+        tid = getattr(m.provider, "tenant_id", None)
+        return _obs.tenant(tid) if tid is not None else nullcontext()
+
+    def _after_boundaries(self, k: int, b: float) -> None:
+        """Hook after all cells crossed interval ``k`` (ends at ``b``).
+
+        The base batch runner needs nothing here; multi-tenant kernels
+        override it to sample shared-fleet state once per interval."""
 
     def _init_cell(self, m: RunManager, rate_key: Hashable) -> _CellState:
         """Mirror RunManager.run's preamble (no kernel process is started:
@@ -279,10 +301,16 @@ class BatchRunner:
     def _pack(self, states: list[_CellState], tick: float) -> _Pack:
         """Stack per-cell state into (C, …) arrays and alias the cells'
         mutable buffers to per-cell views, so the scalar helpers
-        (_deposit, unhosted drains, _refresh_network) write through."""
-        pack = _Pack()
-        pack.states = states
-        pack.tick = tick
+        (_deposit, unhosted drains, _refresh_network) write through.
+
+        Repacking is incremental across epochs: a cell's stacked rows
+        only go stale when the executor rebuilds its fleet arrays (a
+        reconcile that changed placement) or rebinds its selection
+        arrays (an alternate switch) — both allocate fresh ndarrays, so
+        object identity is the change signal.  When the column layout is
+        unchanged, the previous epoch's pack is reused and only the
+        changed cells re-gather; with thousands of mostly-steady tenants
+        this turns the per-boundary O(cells) stacking into O(changes)."""
         cols: list[_CellState] = []
         v0: list[_CellState] = []
         for st in states:
@@ -297,6 +325,36 @@ class BatchRunner:
             else:
                 st.col = len(cols)
                 cols.append(st)
+
+        layout = tuple(
+            (id(st), st.P, st.V, st.E, st.I, st.O) for st in states
+        )
+        sigs = tuple(
+            (
+                id(st.ex._alloc),
+                id(st.ex._cost),
+                id(st.ex._selectivity),
+                id(st.ex._gain),
+            )
+            for st in cols
+        )
+        cached = self._pack_reuse
+        if (
+            cached is not None
+            and cached[0] == layout
+            and cached[3] == tick
+        ):
+            pack = cached[2]
+            changed = [
+                c for c in range(len(cols)) if sigs[c] != cached[1][c]
+            ]
+            self._refresh_pack(pack, cols, changed)
+            self._pack_reuse = (layout, sigs, pack, tick)
+            return pack
+
+        pack = _Pack()
+        pack.states = states
+        pack.tick = tick
         pack.cols = cols
         pack.v0 = v0
         C = len(cols)
@@ -368,8 +426,6 @@ class BatchRunner:
         pack.gain_simple = all(st.I == 1 for st in cols)
         pack.gain_col = np.zeros((C, Omax)) if pack.gain_simple else None
 
-        coef_members: dict[tuple[int, float], list[int]] = {}
-        pack.coef_scalar = []
         for c, st in enumerate(cols):
             ex = st.ex
             P, V, E = st.P, st.V, st.E
@@ -398,17 +454,44 @@ class BatchRunner:
             pack.acc_del[c, :st.O] = ex._acc_delivered
             if pack.gain_simple:
                 pack.gain_col[c, :st.O] = ex._gain[:, 0]
+
+        self._pack_coefs(pack, cols)
+
+        # Flattened-row gather indices: one fancy index into a
+        # ``(C·Pmax, Vmax)`` view beats a two-array advanced index.
+        row0 = (pack.cidx * Pmax)[:, None]
+        pack.input_pe_flat = row0 + pack.input_pe
+        pack.edge_dst_flat = row0 + pack.edge_dst
+        pack.edge_src_flat = row0 + pack.edge_src
+        pack.output_flat = row0 + pack.output_idx
+        pack.in_flat_ravel = pack.in_flat.ravel()
+        # Per-cell network refresh deadlines, mirrored out of the
+        # executors so the per-tick check is one scalar comparison.
+        pack.refresh_at = np.array(
+            [st.ex._next_net_refresh for st in cols]
+        )
+        pack.next_refresh = float(pack.refresh_at.min())
+        self._pack_reuse = (layout, sigs, pack, tick)
+        return pack
+
+    def _pack_coefs(self, pack: _Pack, cols: list[_CellState]) -> None:
+        """Group the cells' CPU-trace stacks for the batched gather.
+
+        The concatenated trace stacks are pure functions of the member
+        executors' gather arrays, which only change on a fleet rebuild:
+        reuse the previous epoch's groups while the same stack objects
+        (pinned alive in the cache, so ids cannot be recycled) line up
+        in the same columns."""
+        Vmax = pack.Vmax
+        coef_members: dict[tuple[int, float], list[int]] = {}
+        pack.coef_scalar = []
+        for c, st in enumerate(cols):
+            ex = st.ex
             if ex._coef_stack is not None and not ex._coef_scalar_idx:
                 key = (ex._coef_stack.shape[1], float(ex._coef_res))
                 coef_members.setdefault(key, []).append(c)
             elif ex._coef_stack is not None or ex._coef_scalar_idx:
                 pack.coef_scalar.append(c)
-
-        # The concatenated trace stacks are pure functions of the member
-        # executors' gather arrays, which only change on a fleet rebuild:
-        # reuse the previous epoch's groups while the same stack objects
-        # (pinned alive in the cache, so ids cannot be recycled) line up
-        # in the same columns.
         coef_key = (
             Vmax,
             tuple(
@@ -440,21 +523,67 @@ class BatchRunner:
             ]
             self._coef_cache = (coef_key, pack.coef_groups, pins)
 
-        # Flattened-row gather indices: one fancy index into a
-        # ``(C·Pmax, Vmax)`` view beats a two-array advanced index.
-        row0 = (pack.cidx * Pmax)[:, None]
-        pack.input_pe_flat = row0 + pack.input_pe
-        pack.edge_dst_flat = row0 + pack.edge_dst
-        pack.edge_src_flat = row0 + pack.edge_src
-        pack.output_flat = row0 + pack.output_idx
-        pack.in_flat_ravel = pack.in_flat.ravel()
-        # Per-cell network refresh deadlines, mirrored out of the
-        # executors so the per-tick check is one scalar comparison.
+    def _refresh_pack(
+        self, pack: _Pack, cols: list[_CellState], changed: list[int]
+    ) -> None:
+        """Bring last epoch's pack up to date for reuse.
+
+        The unchanged cells' backlog/egress/budget buffers are aliased
+        views into the pack, so their live state is already here; their
+        static rows (alloc, speeds, topology gathers) are still valid by
+        the identity argument in :meth:`_pack`.  Only the per-epoch
+        scalars, the freshly-reset interval accumulators, and the
+        ``changed`` cells' rows need work."""
+        pack.gate_at = max(st.backoff for st in pack.states)
+        pack.mig_watch = {st.col for st in cols if st.ex._migrating}
+        pack.unhosted_watch = {st.col for st in cols if st.ex._unhosted}
+        # roll_interval reset every executor's accumulators to zeros at
+        # the boundary we just crossed; mirror that wholesale.
+        pack.acc_ext.fill(0.0)
+        pack.acc_deliv.fill(0.0)
+        pack.acc_arr.fill(0.0)
+        pack.acc_proc.fill(0.0)
+        pack.acc_del.fill(0.0)
+        for c in changed:
+            st = cols[c]
+            ex = st.ex
+            P, V, E = st.P, st.V, st.E
+            # Snapshot the buffers before zeroing the cell's planes: a
+            # selection-only change leaves them aliased to these very
+            # planes, and fill() would wipe the live state.
+            backlog = np.array(ex._backlog)
+            egress = np.array(ex._egress)
+            budget = np.array(ex._remote_budget)
+            pack.alloc[c].fill(0.0)
+            pack.alloc[c, :P, :V] = ex._alloc
+            pack.backlog[c].fill(0.0)
+            pack.backlog[c, :P, :V] = backlog
+            ex._backlog = pack.backlog[c, :P, :V]
+            pack.egress[c].fill(0.0)
+            pack.egress[c, :E, :V] = egress
+            ex._egress = pack.egress[c, :E, :V]
+            pack.budget[c].fill(np.inf)
+            pack.budget[c, :E, :V] = budget
+            ex._remote_budget = pack.budget[c, :E, :V]
+            pack.core_speed[c].fill(0.0)
+            pack.core_speed[c, :V] = ex._core_speed
+            pack.ready_time[c].fill(np.inf)
+            pack.ready_time[c, :V] = ex._ready_time
+            pack.cost[c, :P, 0] = ex._cost
+            pack.selectivity[c, :P, 0] = ex._selectivity
+            if pack.gain_simple:
+                pack.gain_col[c, :st.O] = ex._gain[:, 0]
+        if changed:
+            self._pack_coefs(pack, cols)
         pack.refresh_at = np.array(
             [st.ex._next_net_refresh for st in cols]
         )
         pack.next_refresh = float(pack.refresh_at.min())
-        return pack
+        if perf.enabled():
+            perf.add("batch.packs")
+            perf.add("batch.pack_reuses")
+            perf.add("batch.columns", len(pack.states))
+            perf.add("batch.pack_cells_refreshed", len(changed))
 
     def _copy_out(self, pack: _Pack, st: _CellState) -> None:
         """Write a cell's stacked accumulators back into its executor

@@ -217,6 +217,9 @@ class FluidExecutor:
         self.env = env
         self.dataflow = dataflow
         self.provider = provider
+        #: Owning tenant when running against a TenantProvider view
+        #: (None defers trace attribution to the collector's ambient tenant).
+        self._tenant_id = getattr(provider, "tenant_id", None)
         self.profiles = dict(profiles)
         self.tick = float(tick)
         self.message_size_mb = float(message_size_mb)
@@ -353,7 +356,10 @@ class FluidExecutor:
             ]
             if switches:
                 _trace.emit(
-                    "alternate_switched", t=self.env.now, switches=switches
+                    "alternate_switched",
+                    t=self.env.now,
+                    tenant_id=self._tenant_id,
+                    switches=switches,
                 )
         if _validate.enabled():
             _validate.checker().note_selection_change(self)
@@ -1086,6 +1092,7 @@ class FluidExecutor:
             _trace.emit(
                 "interval_stats",
                 t=stats.end,
+                tenant_id=self._tenant_id,
                 start=stats.start,
                 end=stats.end,
                 omega=stats.omega(self.dataflow.outputs),

@@ -145,6 +145,7 @@ class FailureDriver:
                             _trace.emit(
                                 "vm_revocation_notice",
                                 t=now,
+                                tenant_id=getattr(r, "tenant", 0),
                                 instance_id=r.instance_id,
                                 vm_class=r.vm_class.name,
                                 revoke_at=t,
@@ -189,6 +190,7 @@ class FailureDriver:
             _trace.emit(
                 "vm_failed",
                 t=now,
+                tenant_id=getattr(victim, "tenant", 0),
                 instance_id=victim.instance_id,
                 vm_class=victim.vm_class.name,
                 lost_messages=lost_total,

@@ -153,12 +153,21 @@ class RunManager:
         )
 
     @staticmethod
-    def _trace_reconcile(report, now: float, interval: int) -> None:
-        """Emit an allocation_changed event for a non-empty reconciliation."""
+    def _trace_reconcile(
+        report, now: float, interval: int, tenant_id: Optional[int] = None
+    ) -> None:
+        """Emit an allocation_changed event for a non-empty reconciliation.
+
+        ``tenant_id=None`` defers to the collector's ambient tenant, so
+        single-tenant runs stay on tenant 0 and multi-tenant fleets stamp
+        the owner from either the provider view or the surrounding
+        :func:`repro.obs.collector.tenant` context.
+        """
         if _trace.enabled() and report.changed:
             _trace.emit(
                 "allocation_changed",
                 t=now,
+                tenant_id=tenant_id,
                 interval=interval,
                 provisioned=len(report.provisioned),
                 terminated=len(report.terminated),
@@ -234,8 +243,9 @@ class RunManager:
 
             executor.add_macro_boundary(_billing_edges)
 
+        tenant_id = getattr(self.provider, "tenant_id", None)
         reports = [apply_plan(self.provider, executor, plan, env.now)]
-        self._trace_reconcile(reports[0], env.now, interval=0)
+        self._trace_reconcile(reports[0], env.now, interval=0, tenant_id=tenant_id)
         executor.start()
 
         failure_driver: Optional[FailureDriver] = None
@@ -280,7 +290,9 @@ class RunManager:
                     report = apply_plan(
                         self.provider, executor, new_plan, env.now
                     )
-                    self._trace_reconcile(report, env.now, interval=k)
+                    self._trace_reconcile(
+                        report, env.now, interval=k, tenant_id=tenant_id
+                    )
                     reports.append(report)
                     if report.changed or dict(new_plan.selection) != selection:
                         adaptations += 1

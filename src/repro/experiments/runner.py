@@ -8,12 +8,20 @@ one :class:`SweepRow` per run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
-from ..engine.manager import RunResult
-from .scenarios import Scenario
+from ..cloud.provider import CloudProvider
+from ..core.policies import Policy
+from ..engine.manager import RunManager, RunResult
+from ..engine.tenants import FleetResult, TenantFleet, make_admission
+from .scenarios import (
+    MESSAGE_SIZE_MB,
+    MultiTenantScenario,
+    Scenario,
+    make_performance,
+)
 
-__all__ = ["SweepRow", "average_rows", "sweep"]
+__all__ = ["SweepRow", "average_rows", "build_fleet", "run_fleet", "sweep"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,78 @@ def sweep(
         for policy in policies:
             rows.append(cache.run_cell(scenario, policy))
     return rows
+
+
+def build_fleet(
+    mt: MultiTenantScenario,
+    policy_factory: Optional[Callable[[Scenario], Policy]] = None,
+    macrostep: Optional[bool] = None,
+) -> TenantFleet:
+    """Construct the shared provider + per-tenant managers for a fleet.
+
+    One :class:`CloudProvider` carries the whole fleet: finite per-class
+    pools from ``mt.capacity_tightness``, the admission policy from
+    ``mt.admission``, and one shared performance model.  Each tenant's
+    :class:`RunManager` mirrors :func:`~.scenarios.run_policy`'s
+    construction exactly — against a
+    :class:`~repro.cloud.provider.TenantProvider` view instead of a
+    private provider — so an uncontended fleet reproduces the isolated
+    runs bit for bit.
+    """
+    scenarios = [mt.tenant_scenario(k) for k in range(mt.n_tenants)]
+    catalog = scenarios[0].effective_catalog()
+    admission = make_admission(mt.admission, mt.tenant_weights())
+    provider = CloudProvider(
+        catalog,
+        performance=make_performance(mt.variability, seed=mt.seed),
+        capacity=mt.capacity(catalog),
+        admission=admission,
+        # The single-run runaway cap, scaled to the fleet width.
+        max_instances=max(1024, 16 * mt.n_tenants),
+    )
+    managers = []
+    for k, sc in enumerate(scenarios):
+        policy = (
+            policy_factory(sc)
+            if policy_factory is not None
+            else sc.policy(mt.policy)
+        )
+        managers.append(
+            RunManager(
+                dataflow=sc.dataflow,
+                profiles=sc.profiles(),
+                policy=policy,
+                provider=provider.tenant_view(k),
+                spec=sc.spec,
+                tick=sc.tick,
+                message_size_mb=MESSAGE_SIZE_MB,
+                failures=sc.failures(),
+                revocations=sc.revocations(),
+                checkpoint_interval=sc.checkpoint_interval,
+                restore_latency=sc.restore_latency,
+                hedge_horizon=sc.hedge_horizon,
+            )
+        )
+    return TenantFleet(
+        managers,
+        provider,
+        rates=[sc.rate for sc in scenarios],
+        admission_name=mt.admission,
+        # Tenants with equal profiles evaluate rate_at once per tick.
+        rate_keys=[(sc.rate_kind, sc.rate, sc.seed) for sc in scenarios],
+        macrostep=macrostep,
+    )
+
+
+def run_fleet(
+    mt: MultiTenantScenario,
+    policy_factory: Optional[Callable[[Scenario], Policy]] = None,
+    macrostep: Optional[bool] = None,
+) -> FleetResult:
+    """Build and run a multi-tenant fleet; returns its :class:`FleetResult`."""
+    return build_fleet(
+        mt, policy_factory=policy_factory, macrostep=macrostep
+    ).run()
 
 
 def average_rows(per_seed: Sequence[Sequence[SweepRow]]) -> list[SweepRow]:

@@ -18,6 +18,7 @@ Defines the experimental setup every figure shares:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Literal, Optional
@@ -46,7 +47,9 @@ __all__ = [
     "make_profile",
     "make_performance",
     "Scenario",
+    "MultiTenantScenario",
     "failure_storm_scenario",
+    "multi_tenant_scenario",
     "run_policy",
     "RateKind",
     "VariabilityMode",
@@ -364,6 +367,120 @@ class Scenario:
                 for c in self.catalog
             ],
         }
+
+
+@dataclass(frozen=True)
+class MultiTenantScenario:
+    """A fleet of N tenant dataflows sharing one finite cloud (S27).
+
+    Each tenant ``k`` runs the standard Fig. 1 scenario at its own mean
+    input rate, spread linearly over ``[rate_lo, rate_hi]``; all tenants
+    share the clock discipline (period, interval, tick), the variability
+    mode + seed (one performance model serves the whole fleet), and one
+    :class:`~repro.cloud.provider.CloudProvider` whose per-class pools
+    are sized by ``capacity_tightness``.  ``tenant_scenario(k)`` returns
+    the *isolated-run oracle* for tenant ``k`` — the exact single-tenant
+    :class:`Scenario` whose results the shared kernel must reproduce bit
+    for bit when capacity is not contended.
+    """
+
+    n_tenants: int = 1000
+    admission: str = "free-for-all"
+    policy: str = "global"
+    rate_lo: float = 2.0
+    rate_hi: float = 8.0
+    rate_kind: RateKind = "constant"
+    variability: VariabilityMode = "none"
+    seed: int = 7
+    period: float = 600.0
+    interval: float = 60.0
+    tick: float = 1.0
+    #: Sizes each class's shared pool as a fraction of one-instance-per-
+    #: tenant (``ceil(tightness · n_tenants)`` instances per class);
+    #: ``None`` leaves every pool unlimited (the uncontended fleet).
+    capacity_tightness: Optional[float] = 0.5
+    #: Fair-share weight per tenant (``None`` = equal weights).
+    weights: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ValueError("need at least one tenant")
+        if self.rate_lo <= 0 or self.rate_hi < self.rate_lo:
+            raise ValueError("need 0 < rate_lo <= rate_hi")
+        if self.weights is not None and len(self.weights) != self.n_tenants:
+            raise ValueError("weights must match n_tenants 1:1")
+
+    def tenant_rate(self, k: int) -> float:
+        """Tenant ``k``'s mean input rate (linear spread over the band)."""
+        if self.n_tenants == 1:
+            return self.rate_lo
+        span = self.rate_hi - self.rate_lo
+        return self.rate_lo + span * k / (self.n_tenants - 1)
+
+    def tenant_scenario(self, k: int) -> Scenario:
+        """The isolated single-tenant oracle scenario for tenant ``k``."""
+        if not 0 <= k < self.n_tenants:
+            raise ValueError(f"tenant {k} outside [0, {self.n_tenants})")
+        return Scenario(
+            rate=self.tenant_rate(k),
+            rate_kind=self.rate_kind,
+            variability=self.variability,
+            seed=self.seed,
+            period=self.period,
+            interval=self.interval,
+            tick=self.tick,
+        )
+
+    def capacity(self, catalog: list[VMClass]) -> Optional[dict[str, int]]:
+        """Shared per-class pool sizes, or ``None`` when unlimited."""
+        if self.capacity_tightness is None:
+            return None
+        per_class = max(1, math.ceil(self.capacity_tightness * self.n_tenants))
+        return {c.name: per_class for c in catalog}
+
+    def tenant_weights(self) -> dict[int, float]:
+        """Fair-share weight per tenant id."""
+        if self.weights is None:
+            return {k: 1.0 for k in range(self.n_tenants)}
+        return {k: float(w) for k, w in enumerate(self.weights)}
+
+    def fingerprint(self) -> dict:
+        """Canonical identity of the fleet configuration."""
+        return {
+            "n_tenants": self.n_tenants,
+            "admission": self.admission,
+            "policy": self.policy,
+            "rate_lo": self.rate_lo,
+            "rate_hi": self.rate_hi,
+            "rate_kind": self.rate_kind,
+            "variability": self.variability,
+            "seed": self.seed,
+            "period": self.period,
+            "interval": self.interval,
+            "tick": self.tick,
+            "capacity_tightness": self.capacity_tightness,
+            "weights": list(self.weights) if self.weights else None,
+        }
+
+
+def multi_tenant_scenario(
+    n_tenants: int = 1000,
+    admission: str = "free-for-all",
+    **overrides,
+) -> MultiTenantScenario:
+    """The S27 multi-tenant contention benchmark.
+
+    A 1000-tenant fleet of Fig. 1 dataflows at rates spread over
+    2–8 msg/s, on one shared cloud whose per-class pools hold half an
+    instance per tenant — tight enough that the high-rate tenants'
+    demand collides with the pool, so the two admission policies
+    (``free-for-all`` vs ``fair-share``) produce visibly different
+    denial patterns.  Keyword overrides pass through to
+    :class:`MultiTenantScenario`.
+    """
+    return MultiTenantScenario(
+        n_tenants=n_tenants, admission=admission, **overrides
+    )
 
 
 def failure_storm_scenario(

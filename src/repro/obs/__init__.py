@@ -25,6 +25,7 @@ Read side::
 from .collector import (
     bind_clock,
     clock_now,
+    current_tenant,
     disable,
     dump_jsonl,
     emit,
@@ -33,6 +34,8 @@ from .collector import (
     events,
     flush_jsonl,
     reset,
+    set_tenant,
+    tenant,
     tracing,
 )
 from .events import EVENT_TYPES, TraceEvent, UnknownEventTypeError
@@ -51,6 +54,7 @@ __all__ = [
     "UnknownEventTypeError",
     "bind_clock",
     "clock_now",
+    "current_tenant",
     "disable",
     "dump_jsonl",
     "emit",
@@ -64,6 +68,8 @@ __all__ = [
     "render_events",
     "render_summary",
     "reset",
+    "set_tenant",
     "summarize",
+    "tenant",
     "tracing",
 ]

@@ -43,6 +43,9 @@ __all__ = [
     "tracing",
     "bind_clock",
     "clock_now",
+    "set_tenant",
+    "current_tenant",
+    "tenant",
     "flush_jsonl",
     "dump_jsonl",
 ]
@@ -54,6 +57,11 @@ _seq: int = 0
 
 #: Callable returning the current simulation time; bound by the kernel.
 _clock: Optional[Callable[[], float]] = None
+
+#: Ambient tenant id stamped on events whose call site does not pass one.
+#: Multi-tenant fleets (S27) set this around each tenant's turn; the
+#: single-tenant default is ``0`` so existing traces are unchanged.
+_tenant: int = 0
 
 
 def enable() -> None:
@@ -90,7 +98,39 @@ def clock_now() -> float:
     return _clock() if _clock is not None else 0.0
 
 
-def emit(event_type: str, t: Optional[float] = None, **payload: Any) -> None:
+def set_tenant(tenant_id: int) -> None:
+    """Set the ambient tenant id stamped on subsequently emitted events."""
+    global _tenant
+    _tenant = int(tenant_id)
+
+
+def current_tenant() -> int:
+    """The ambient tenant id (0 outside multi-tenant fleets)."""
+    return _tenant
+
+
+@contextmanager
+def tenant(tenant_id: int) -> Iterator[None]:
+    """Attribute events emitted inside the block to ``tenant_id``.
+
+    Multi-tenant fleets wrap each tenant's slice of simulation work in
+    this so call sites that never learned about tenancy (the adaptation
+    heuristic, the invariant checker) still stamp the right owner.
+    """
+    was = _tenant
+    set_tenant(tenant_id)
+    try:
+        yield
+    finally:
+        set_tenant(was)
+
+
+def emit(
+    event_type: str,
+    t: Optional[float] = None,
+    tenant_id: Optional[int] = None,
+    **payload: Any,
+) -> None:
     """Record one event (no-op while disabled).
 
     Parameters
@@ -99,6 +139,9 @@ def emit(event_type: str, t: Optional[float] = None, **payload: Any) -> None:
         One of :data:`~repro.obs.events.EVENT_TYPES` (unknown types raise).
     t:
         Simulation time of the event; defaults to the bound kernel clock.
+    tenant_id:
+        Owning dataflow; defaults to the ambient tenant (see
+        :func:`tenant`), which is ``0`` for single-tenant runs.
     payload:
         Flat JSON-serializable details.
     """
@@ -110,6 +153,7 @@ def emit(event_type: str, t: Optional[float] = None, **payload: Any) -> None:
         t=clock_now() if t is None else float(t),
         type=event_type,
         payload=payload,
+        tenant_id=_tenant if tenant_id is None else int(tenant_id),
     )
     _events.append(event)
     _seq += 1
@@ -123,11 +167,13 @@ def events() -> tuple[TraceEvent, ...]:
 def reset() -> None:
     """Drop all recorded events and restart the sequence numbering.
 
-    The enable state and the bound clock are unchanged.
+    The enable state and the bound clock are unchanged; the ambient
+    tenant returns to the single-tenant default ``0``.
     """
-    global _seq
+    global _seq, _tenant
     _events.clear()
     _seq = 0
+    _tenant = 0
 
 
 @contextmanager

@@ -15,6 +15,12 @@ The JSONL wire format is one object per line::
 with ``seq``/``t``/``type`` reserved keys and the payload spread at the
 top level (friendly to ``jq``/pandas).  ``payload`` keys must therefore
 avoid the reserved names.
+
+Multi-tenant runs (S27) attribute every event to the dataflow that
+caused it via :attr:`TraceEvent.tenant_id`.  Single-tenant runs stay on
+the default tenant ``0`` and their wire format is byte-identical to
+pre-S27 traces: ``tenant_id`` is only written when non-zero, and absent
+keys parse back to ``0``.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ EVENT_TYPES = frozenset(
         "vm_stopped",
         "vm_failed",
         "vm_revocation_notice",
+        "vm_denied",
         # billing (cloud.billing)
         "billing_hour_started",
         # runtime decisions (core.adaptation / engine.manager / executor)
@@ -52,7 +59,7 @@ EVENT_TYPES = frozenset(
 )
 
 #: Keys the envelope owns; payloads may not shadow them.
-_RESERVED = ("seq", "t", "type")
+_RESERVED = ("seq", "t", "type", "tenant_id")
 
 
 class UnknownEventTypeError(ValueError):
@@ -74,12 +81,16 @@ class TraceEvent:
         One of :data:`EVENT_TYPES`.
     payload:
         Flat JSON-serializable details (instance ids, Ω/μ readings, …).
+    tenant_id:
+        The managed dataflow the event belongs to (S27 multi-tenant
+        fleets); single-tenant runs emit everything as tenant ``0``.
     """
 
     seq: int
     t: float
     type: str
     payload: Mapping[str, Any] = field(default_factory=dict)
+    tenant_id: int = 0
 
     def __post_init__(self) -> None:
         if self.type not in EVENT_TYPES:
@@ -92,8 +103,15 @@ class TraceEvent:
             raise ValueError(f"payload shadows reserved keys {clash}")
 
     def to_json(self) -> str:
-        """One JSONL line (stable key order: seq, t, type, then payload)."""
+        """One JSONL line (stable key order: seq, t, type, then payload).
+
+        ``tenant_id`` is written right after ``type`` but only when
+        non-zero, keeping single-tenant traces byte-identical to the
+        pre-multi-tenant wire format.
+        """
         record: dict[str, Any] = {"seq": self.seq, "t": self.t, "type": self.type}
+        if self.tenant_id:
+            record["tenant_id"] = self.tenant_id
         record.update(self.payload)
         return json.dumps(record, sort_keys=False, default=_jsonify)
 
@@ -107,23 +125,34 @@ class TraceEvent:
             type_ = record.pop("type")
         except KeyError as exc:
             raise ValueError(f"trace line missing key {exc}") from None
-        return cls(seq=int(seq), t=float(t), type=type_, payload=record)
+        tenant_id = record.pop("tenant_id", 0)
+        return cls(
+            seq=int(seq),
+            t=float(t),
+            type=type_,
+            payload=record,
+            tenant_id=int(tenant_id),
+        )
 
     def matches(
         self,
         types: Iterable[str] | None = None,
         pe: str | None = None,
         vm: str | None = None,
+        tenant: int | None = None,
     ) -> bool:
         """Filter predicate used by the CLI and the report tooling.
 
         ``pe`` matches events whose payload references the PE (``pe`` key,
         or membership in ``pes``/``switches``/``candidates`` collections);
-        ``vm`` matches the ``instance_id`` key.
+        ``vm`` matches the ``instance_id`` key; ``tenant`` matches the
+        envelope's :attr:`tenant_id`.
         """
         if types is not None and self.type not in set(types):
             return False
         if vm is not None and self.payload.get("instance_id") != vm:
+            return False
+        if tenant is not None and self.tenant_id != tenant:
             return False
         if pe is not None and not self._references_pe(pe):
             return False

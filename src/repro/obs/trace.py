@@ -46,6 +46,7 @@ def filter_events(
     types: Optional[Sequence[str]] = None,
     pe: Optional[str] = None,
     vm: Optional[str] = None,
+    tenant: Optional[int] = None,
 ) -> list[TraceEvent]:
     """Events matching every given criterion (see :meth:`TraceEvent.matches`)."""
     if types:
@@ -54,7 +55,11 @@ def filter_events(
             raise ValueError(
                 f"unknown event types {unknown}; known: {sorted(EVENT_TYPES)}"
             )
-    return [e for e in events if e.matches(types=types, pe=pe, vm=vm)]
+    return [
+        e
+        for e in events
+        if e.matches(types=types, pe=pe, vm=vm, tenant=tenant)
+    ]
 
 
 def summarize(events: Sequence[TraceEvent]) -> dict:
@@ -76,6 +81,7 @@ def summarize(events: Sequence[TraceEvent]) -> dict:
         "vms_provisioned": by_type.get("vm_provisioned", 0),
         "vms_stopped": by_type.get("vm_stopped", 0),
         "vms_failed": by_type.get("vm_failed", 0),
+        "vms_denied": by_type.get("vm_denied", 0),
         "decisions": by_type.get("adaptation_decision", 0),
         "alternate_switches": switches,
     }
@@ -94,7 +100,8 @@ def render_summary(events: Sequence[TraceEvent]) -> str:
         ),
         "",
         f"fleet: +{s['vms_provisioned']} provisioned, "
-        f"-{s['vms_stopped']} stopped, {s['vms_failed']} crashed; "
+        f"-{s['vms_stopped']} stopped, {s['vms_failed']} crashed, "
+        f"{s['vms_denied']} denied; "
         f"{s['decisions']} adaptation decisions, "
         f"{s['alternate_switches']} alternate switches",
     ]
@@ -122,6 +129,11 @@ def _describe(e: TraceEvent) -> str:
         if "lost_messages" in p:
             bits.append(f"lost={p['lost_messages']:g}")
         return " ".join(bits)
+    if e.type == "vm_denied":
+        return (
+            f"tenant={e.tenant_id} class={p.get('vm_class', '?')} "
+            f"reason={p.get('reason', '?')}"
+        )
     if e.type == "billing_hour_started":
         return f"{p.get('instance_id', '?')} hour={p.get('hour', '?')}"
     if e.type == "adaptation_decision":

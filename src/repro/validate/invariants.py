@@ -440,34 +440,93 @@ class InvariantChecker:
 
     # -- reconcile ------------------------------------------------------------
 
-    def check_reconcile(self, provider, executor, plan, report, now: float) -> None:
-        """ClusterView/provider agreement after a reconcile."""
+    def check_reconcile(
+        self,
+        provider,
+        executor,
+        plan,
+        report,
+        now: float,
+        denied_views=None,
+        expected=None,
+    ) -> None:
+        """ClusterView/provider agreement after a reconcile.
+
+        ``denied_views`` lists planned-new VMs the shared cloud refused
+        outright (no fallback class was admittable): together with the
+        report's ``fallbacks`` they must match the structured denials
+        one-for-one.  ``expected`` is the reconciler's own record of the
+        fleet it built — ``instance_id → (class, allocations)`` — which
+        equals the plan exactly when nothing was denied and reflects
+        fallback/re-home degradation when something was; the live fleet
+        must realize it either way.
+        """
         site = "engine.reconcile"
+        denied_views = list(denied_views or [])
+        expected = dict(expected or {})
+        fallbacks = list(getattr(report, "fallbacks", []))
+        if len(denied_views) + len(fallbacks) != len(report.denied):
+            self.fail(
+                site,
+                now,
+                "denied plan views + fallbacks do not match the report's "
+                "denials",
+                denied_views=len(denied_views),
+                fallbacks=len(fallbacks),
+                denials=len(report.denied),
+            )
         live = {r.instance_id: r for r in provider.active_instances()}
         planned_existing = {
             vm.instance_id: vm for vm in plan.cluster.vms if vm.instance_id
         }
-        for instance_id, view in planned_existing.items():
+        if set(expected) != set(planned_existing) | set(report.provisioned):
+            self.fail(
+                site,
+                now,
+                "reconcile expectation does not cover survivors + "
+                "provisioned VMs",
+                expected=sorted(expected),
+                survivors=sorted(planned_existing),
+                provisioned=sorted(report.provisioned),
+            )
+        for instance_id, (class_name, alloc) in expected.items():
             r = live.get(instance_id)
             if r is None:
                 self.fail(
                     site,
                     now,
-                    "planned existing VM is no longer active",
+                    "expected VM is not active after reconcile",
                     instance=instance_id,
                 )
-            want = {p: c for p, c in view.allocations.items() if c > 0}
+            if r.vm_class.name != class_name:
+                self.fail(
+                    site,
+                    now,
+                    "live VM class diverges from the reconciled class",
+                    instance=instance_id,
+                    expected=class_name,
+                    live=r.vm_class.name,
+                )
+            want = {p: c for p, c in alloc.items() if c > 0}
             have = {p: c for p, c in r.allocations.items() if c > 0}
             if want != have:
                 self.fail(
                     site,
                     now,
-                    "live allocations diverge from the applied plan",
+                    "live allocations diverge from the reconciled plan",
                     instance=instance_id,
                     planned=want,
                     live=have,
                 )
-        planned_new = [vm for vm in plan.cluster.vms if vm.instance_id is None]
+        # No degradation ⇒ the reconciled fleet must equal the plan
+        # verbatim (class multiset of the new VMs, allocations already
+        # checked above via ``expected``).
+        denied_ids = {id(vm) for vm in denied_views}
+        planned_new = [
+            vm
+            for vm in plan.cluster.vms
+            if vm.instance_id is None and id(vm) not in denied_ids
+        ]
         if len(report.provisioned) != len(planned_new):
             self.fail(
                 site,
@@ -475,37 +534,24 @@ class InvariantChecker:
                 "provisioned VM count does not match the plan's new VMs",
                 provisioned=len(report.provisioned),
                 planned_new=len(planned_new),
+                denied=len(denied_views),
             )
-
-        def _multiset(views):
-            return sorted(
-                (vm.vm_class.name, tuple(sorted(alloc.items())))
-                for vm, alloc in views
+        if not report.denied:
+            got = sorted(
+                live[i].vm_class.name
+                for i in report.provisioned
+                if i in live
             )
-
-        got_new = []
-        for instance_id in report.provisioned:
-            r = live.get(instance_id)
-            if r is None:
+            want = sorted(vm.vm_class.name for vm in planned_new)
+            if got != want:
                 self.fail(
                     site,
                     now,
-                    "freshly provisioned VM is not active",
-                    instance=instance_id,
+                    "provisioned classes diverge from the plan without any "
+                    "recorded denial",
+                    provisioned=got,
+                    planned=want,
                 )
-            got_new.append((r, {p: c for p, c in r.allocations.items() if c}))
-        want_new = [
-            (vm, {p: c for p, c in vm.allocations.items() if c})
-            for vm in planned_new
-        ]
-        if _multiset(got_new) != _multiset(want_new):
-            self.fail(
-                site,
-                now,
-                "provisioned VMs do not realize the planned new VMs",
-                provisioned=_multiset(got_new),
-                planned=_multiset(want_new),
-            )
         for instance_id in report.terminated:
             r = provider.instance(instance_id)
             if r.active or r.used_cores:

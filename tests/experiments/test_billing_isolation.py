@@ -1,0 +1,185 @@
+"""Billing isolation in shared-provider fleets (S27).
+
+Each instance bills exactly one tenant's meter, so the fleet-wide μ must
+always equal the per-tenant meters summed in tenant order — to the cent
+and, because :meth:`CloudProvider.cost_at` performs literally that sum,
+to the bit.  Crashes and spot revocations are likewise private: one
+tenant's dying VMs may not move another tenant's meter (or results) by
+even an ulp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cloud import CloudProvider, aws_2013_catalog
+from repro.engine.tenants import TenantRow
+from repro.experiments.runner import build_fleet, run_fleet
+from repro.experiments.scenarios import (
+    MultiTenantScenario,
+    multi_tenant_scenario,
+    run_policy,
+)
+
+HOUR = 3600.0
+
+
+# -- provider-level meter arithmetic ---------------------------------------------
+
+
+#: One fleet edit: (tenant, class index, terminate-something-first?).
+op_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    st.booleans(),
+)
+
+
+class TestMeterSumProperty:
+    @given(ops=st.lists(op_strategy, max_size=30))
+    @settings(deadline=None)
+    def test_fleet_cost_is_sum_of_tenant_meters(self, ops):
+        catalog = aws_2013_catalog()
+        provider = CloudProvider(catalog)
+        active = {t: [] for t in range(4)}
+        now = 0.0
+        for tenant, class_idx, terminate_first in ops:
+            now += 400.0
+            if terminate_first and active[tenant]:
+                provider.terminate(active[tenant].pop(), now)
+            vm = provider.provision(catalog[class_idx], now, tenant=tenant)
+            active[tenant].append(vm)
+        for probe in (now, now + HOUR / 2, now + 3 * HOUR):
+            fleet_mu = provider.cost_at(probe)
+            by_tenant = 0.0
+            for tenant in sorted(provider.tenant_ids()):
+                by_tenant += provider.tenant_billing(tenant).cost_at(probe)
+            assert fleet_mu == by_tenant  # same sum, same order: bit-exact
+            assert round(fleet_mu - by_tenant, 2) == 0.0
+
+    def test_meter_isolated_from_other_tenants_ops(self):
+        # Tenant 2's meter trajectory must be bit-identical whether or
+        # not tenant 1 churns instances on the same provider.
+        def tenant2_costs(with_noise):
+            provider = CloudProvider(aws_2013_catalog())
+            vm = provider.provision("m1.large", 0.0, tenant=2)
+            if with_noise:
+                for k in range(5):
+                    other = provider.provision("m1.xlarge", 10.0 * k, tenant=1)
+                    provider.fail(other, 10.0 * k + 5.0, revoked=bool(k % 2))
+            provider.terminate(vm, 1800.0)
+            meter = provider.tenant_billing(2)
+            return [meter.cost_at(p) for p in (0.0, 1800.0, 2 * HOUR)]
+
+        assert tenant2_costs(True) == tenant2_costs(False)
+
+
+class TestCrashRevocationIsolation:
+    def test_crash_bills_the_owner_only(self):
+        provider = CloudProvider(aws_2013_catalog())
+        provider.provision("m1.small", 0.0, tenant=0)
+        doomed = provider.provision("m1.xlarge", 0.0, tenant=1)
+        provider.fail(doomed, 600.0)
+        # Crashed instances still bill their started hour — to tenant 1.
+        assert provider.tenant_billing(0).cost_at(1800.0) == pytest.approx(0.06)
+        assert provider.tenant_billing(1).cost_at(1800.0) == pytest.approx(0.48)
+
+    def test_revocation_stops_the_owners_meter_only(self):
+        provider = CloudProvider(aws_2013_catalog())
+        keeper = provider.provision("m1.small", 0.0, tenant=0)
+        spot = provider.provision("m1.small", 0.0, tenant=1)
+        provider.fail(spot, 1800.0, revoked=True)
+        # The revoked VM never bills past its forced stop; the survivor
+        # keeps accruing hours as usual.
+        assert provider.tenant_billing(1).cost_at(5 * HOUR) == pytest.approx(
+            0.06
+        )
+        assert provider.tenant_billing(0).cost_at(5 * HOUR) == pytest.approx(
+            5 * 0.06
+        )
+        assert keeper.active
+
+
+# -- fleet-level μ accounting ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultyTenantScenario(MultiTenantScenario):
+    """A fleet where one tenant's VMs crash (MTBF in hours)."""
+
+    faulty_tenant: int = 1
+    faulty_mtbf_hours: float = 0.02
+
+    def tenant_scenario(self, k):
+        sc = super().tenant_scenario(k)
+        if k == self.faulty_tenant:
+            sc = replace(sc, mtbf_hours=self.faulty_mtbf_hours)
+        return sc
+
+
+class TestFleetMu:
+    def test_fleet_mu_equals_provider_cost(self):
+        mt = multi_tenant_scenario(
+            n_tenants=3, period=300.0, capacity_tightness=None
+        )
+        fleet = build_fleet(mt)
+        result = fleet.run()
+        assert result.fleet_mu == fleet.provider.cost_at(mt.period)
+        assert round(
+            result.fleet_mu - sum(r.mu for r in result.rows), 2
+        ) == 0.0
+
+    @given(
+        n_tenants=st.integers(min_value=1, max_value=3),
+        tight=st.sampled_from([None, 1.0]),
+        admission=st.sampled_from(["free-for-all", "fair-share"]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_mu_sum_property_across_fleet_shapes(
+        self, n_tenants, tight, admission
+    ):
+        mt = multi_tenant_scenario(
+            n_tenants=n_tenants,
+            admission=admission,
+            period=240.0,
+            rate_lo=2.0,
+            rate_hi=6.0,
+            capacity_tightness=tight,
+        )
+        fleet = build_fleet(mt)
+        result = fleet.run()
+        by_tenant = 0.0
+        for row in sorted(result.rows, key=lambda r: r.tenant):
+            by_tenant += row.mu
+        assert result.fleet_mu == by_tenant
+        assert round(
+            result.fleet_mu - fleet.provider.cost_at(mt.period), 2
+        ) == 0.0
+
+    def test_one_tenants_crashes_leave_others_bit_exact(self):
+        mt = FaultyTenantScenario(
+            n_tenants=3,
+            period=600.0,
+            rate_lo=2.0,
+            rate_hi=6.0,
+            capacity_tightness=None,
+        )
+        fleet = build_fleet(mt)
+        assert fleet.uses_reliability
+        result = fleet.run()
+        assert result.mode == "serial"  # crash injection is serial-only
+        assert result.rows[mt.faulty_tenant].crashes > 0
+        # Every tenant — including the crashing one — must match its
+        # isolated-run oracle bit for bit: shared pools are unlimited,
+        # so the only thing tenants share is the provider object itself.
+        for k in range(mt.n_tenants):
+            oracle = TenantRow.from_result(
+                0,
+                mt.tenant_rate(k),
+                run_policy(mt.tenant_scenario(k), mt.policy),
+            )
+            assert result.rows[k].identity() == oracle

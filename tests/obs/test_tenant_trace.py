@@ -1,0 +1,114 @@
+"""Tenant attribution on the trace stream (S27).
+
+Two contracts: every event carries the dataflow that caused it
+(explicitly, or via the ambient tenant context multi-tenant fleets wrap
+around each tenant's turn), and single-tenant traces stay *byte*
+identical to the pre-multi-tenant wire format — ``tenant_id`` is only
+written when non-zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import collector
+from repro.obs.events import TraceEvent
+from repro.obs.trace import filter_events
+
+
+class TestWireFormat:
+    def test_tenant_zero_is_byte_compatible(self):
+        e = TraceEvent(seq=3, t=7.5, type="vm_provisioned", payload={"x": 1})
+        # Exactly the pre-S27 line: no tenant_id key anywhere.
+        assert e.to_json() == '{"seq": 3, "t": 7.5, "type": "vm_provisioned", "x": 1}'
+
+    def test_nonzero_tenant_written_after_type(self):
+        e = TraceEvent(
+            seq=0, t=1.0, type="vm_provisioned", payload={"x": 1}, tenant_id=4
+        )
+        assert (
+            e.to_json()
+            == '{"seq": 0, "t": 1.0, "type": "vm_provisioned", "tenant_id": 4, "x": 1}'
+        )
+
+    def test_roundtrip_preserves_tenant(self):
+        for tenant in (0, 7):
+            e = TraceEvent(
+                seq=1,
+                t=2.0,
+                type="vm_denied",
+                payload={"vm_class": "m1.small", "reason": "capacity"},
+                tenant_id=tenant,
+            )
+            back = TraceEvent.from_json(e.to_json())
+            assert back == e
+            assert back.tenant_id == tenant
+
+    def test_legacy_line_parses_as_tenant_zero(self):
+        line = '{"seq": 0, "t": 1.0, "type": "vm_provisioned", "x": 1}'
+        assert TraceEvent.from_json(line).tenant_id == 0
+
+    def test_payload_may_not_shadow_tenant_id(self):
+        with pytest.raises(ValueError, match="reserved"):
+            TraceEvent(
+                seq=0, t=0.0, type="vm_provisioned", payload={"tenant_id": 9}
+            )
+
+
+class TestAmbientTenant:
+    def test_default_is_tenant_zero(self):
+        collector.enable()
+        collector.emit("vm_provisioned", t=0.0, instance_id="a")
+        assert collector.events()[0].tenant_id == 0
+
+    def test_context_stamps_and_restores(self):
+        collector.enable()
+        assert collector.current_tenant() == 0
+        with collector.tenant(5):
+            assert collector.current_tenant() == 5
+            collector.emit("vm_provisioned", t=0.0, instance_id="a")
+            with collector.tenant(6):
+                collector.emit("vm_provisioned", t=1.0, instance_id="b")
+            collector.emit("vm_stopped", t=2.0, instance_id="a")
+        assert collector.current_tenant() == 0
+        assert [e.tenant_id for e in collector.events()] == [5, 6, 5]
+
+    def test_explicit_tenant_overrides_ambient(self):
+        collector.enable()
+        with collector.tenant(5):
+            collector.emit("vm_provisioned", t=0.0, tenant_id=9, instance_id="a")
+        assert collector.events()[0].tenant_id == 9
+
+    def test_reset_returns_to_single_tenant_default(self):
+        collector.set_tenant(3)
+        collector.reset()
+        assert collector.current_tenant() == 0
+
+
+class TestTenantFiltering:
+    def events(self):
+        return [
+            TraceEvent(seq=0, t=0.0, type="vm_provisioned", payload={}, tenant_id=0),
+            TraceEvent(seq=1, t=1.0, type="vm_provisioned", payload={}, tenant_id=2),
+            TraceEvent(
+                seq=2,
+                t=2.0,
+                type="vm_denied",
+                payload={"vm_class": "m1.small", "reason": "capacity"},
+                tenant_id=2,
+            ),
+            TraceEvent(seq=3, t=3.0, type="vm_stopped", payload={}, tenant_id=3),
+        ]
+
+    def test_filter_by_tenant(self):
+        assert [e.seq for e in filter_events(self.events(), tenant=2)] == [1, 2]
+        assert [e.seq for e in filter_events(self.events(), tenant=0)] == [0]
+        assert filter_events(self.events(), tenant=9) == []
+
+    def test_tenant_composes_with_type_filter(self):
+        got = filter_events(self.events(), types=["vm_denied"], tenant=2)
+        assert [e.seq for e in got] == [2]
+        assert got[0].payload["reason"] == "capacity"
+
+    def test_no_tenant_filter_returns_everything(self):
+        assert len(filter_events(self.events())) == 4
