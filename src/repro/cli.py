@@ -47,6 +47,7 @@ import sys
 from typing import Optional, Sequence
 
 from . import obs
+from .cloud.billing import BILLING_MODELS
 from .core.policies import POLICY_NAMES
 from .experiments import cache as result_cache
 from .experiments.figures import ALL_FIGURES
@@ -87,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--interval", type=float, default=60.0,
                        help="decision interval in seconds (default 60)")
         p.add_argument("--seed", type=int, default=0, help="experiment seed")
+        p.add_argument("--billing", choices=BILLING_MODELS,
+                       default="on_demand_hourly",
+                       help="pricing model (default on_demand_hourly)")
 
     def jobs_count(text: str) -> int:
         try:
@@ -258,6 +262,7 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
         seed=args.seed,
         period=args.period,
         interval=args.interval,
+        billing_model=getattr(args, "billing", "on_demand_hourly"),
     )
 
 

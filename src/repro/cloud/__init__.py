@@ -6,7 +6,20 @@ FutureGrid-like generation plus replay).
 """
 
 from .failures import FailureModel, SpotRevocationModel
-from .billing import HOUR, BillingMeter, instance_cost, total_cost
+from .billing import (
+    BILLING_MODELS,
+    HOUR,
+    BillingMeter,
+    BillingModel,
+    OnDemandHourly,
+    PerSecond,
+    Reserved,
+    SpotTrace,
+    SustainedUse,
+    instance_cost,
+    make_billing_model,
+    total_cost,
+)
 from .network import LinkQuality, NetworkModel, migration_time
 from .provider import (
     CapacityError,
@@ -25,6 +38,7 @@ from .resources import (
 from .traces import (
     CPUTraceConfig,
     NetworkTraceConfig,
+    SpotPriceTrace,
     TraceLibrary,
     TraceReplayPerformance,
     load_trace_library,
@@ -33,10 +47,12 @@ from .traces import (
 from .variability import ConstantPerformance, PerformanceModel
 
 __all__ = [
+    "BILLING_MODELS",
     "HOUR",
     "FailureModel",
     "STANDARD_CORE_SPEED",
     "BillingMeter",
+    "BillingModel",
     "CPUTraceConfig",
     "CapacityError",
     "CloudProvider",
@@ -44,10 +60,16 @@ __all__ = [
     "LinkQuality",
     "NetworkModel",
     "NetworkTraceConfig",
+    "OnDemandHourly",
+    "PerSecond",
     "PerformanceModel",
     "ProvisionDenied",
     "ProvisioningError",
+    "Reserved",
+    "SpotPriceTrace",
     "SpotRevocationModel",
+    "SpotTrace",
+    "SustainedUse",
     "TenantProvider",
     "TraceLibrary",
     "TraceReplayPerformance",
@@ -56,6 +78,7 @@ __all__ = [
     "aws_2013_catalog",
     "instance_cost",
     "load_trace_library",
+    "make_billing_model",
     "spot_variants",
     "migration_time",
     "total_cost",

@@ -14,16 +14,43 @@ Spot instances (``VMClass.spot``) follow the spot-market convention
 instead: per-second metering, ``μ_i[t] = (min(t_off, t) − t_start)/3600 ·
 ξ_i``, so a revoked instance is never billed past its forced stop (the
 hour-ceiling rule would charge for time the cloud itself took away).
+
+Pricing is **strategy-pluggable** (S28): a :class:`BillingModel` maps an
+instance lifecycle to accumulated cost.  The default
+:class:`OnDemandHourly` reproduces the behaviour above bit for bit (it
+delegates to the module-level functions); the alternatives model the
+pricing regimes of Zhou et al.'s WaaS cost study —
+
+===================  ==========================================================
+model                semantics
+===================  ==========================================================
+``on_demand_hourly`` hour-ceiling list price; spot classes per-second
+``per_second``       every instance metered per second at list price
+``reserved``         upfront fee + discounted committed hours, overflow
+                     at on-demand list price
+``sustained_use``    hour-ceiling with a tiered marginal discount by
+                     position within a per-instance billing window
+``spot_trace``       price follows a deterministic per-class multiplier
+                     trace (:class:`~repro.cloud.traces.SpotPriceTrace`),
+                     sampled at hour starts (hourly classes) or
+                     integrated stepwise (per-second spot classes)
+===================  ==========================================================
+
+Every model keeps μ monotone non-decreasing in ``t`` and clamps billing
+at ``stopped_at`` (hence at ``revoked_at`` for revoked spot instances).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..obs import collector as _trace
 from ..validate import invariants as _validate
-from .resources import VMInstance
+from .resources import VMClass, VMInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (traces → rng only)
+    from .traces import SpotPriceTrace
 
 __all__ = [
     "HOUR",
@@ -32,6 +59,14 @@ __all__ = [
     "total_cost",
     "remaining_paid_seconds",
     "BillingMeter",
+    "BillingModel",
+    "OnDemandHourly",
+    "PerSecond",
+    "Reserved",
+    "SustainedUse",
+    "SpotTrace",
+    "BILLING_MODELS",
+    "make_billing_model",
 ]
 
 #: Seconds per billing hour.
@@ -85,14 +120,316 @@ def remaining_paid_seconds(instance: VMInstance, at: float) -> float:
     return hours * HOUR - elapsed
 
 
+class BillingModel:
+    """Pricing strategy: instance lifecycle → accumulated dollar cost.
+
+    Subclasses implement :meth:`instance_cost`; the base class provides
+    the shared conventions (billing starts at ``started_at``, stops at
+    ``stopped_at``) and the hooks the meter, the provider heuristics and
+    the deployment planners consume.
+    """
+
+    #: Registry name (overridden per subclass).
+    name = "billing-model"
+
+    def instance_cost(self, instance: VMInstance, at: float) -> float:
+        """Accumulated cost of one instance at time ``at``."""
+        raise NotImplementedError
+
+    def remaining_paid_seconds(self, instance: VMInstance, at: float) -> float:
+        """Seconds of already-paid time left (0 under per-second metering)."""
+        return remaining_paid_seconds(instance, at)
+
+    def continuous(self, instance: VMInstance) -> bool:
+        """True when the instance accrues cost continuously (per second)
+        rather than at hour boundaries — no hour-start events, and the
+        invariant checker exempts it from the boundary-crossing check."""
+        return instance.vm_class.spot
+
+    def lifetime_cost(self, vm_class: VMClass, duration_s: float) -> float:
+        """Planning estimate: cost of one instance of ``vm_class`` held
+        for ``duration_s`` seconds from t = 0.  Used by pricing-aware
+        deployment search (annealing) to score static plans."""
+        probe = VMInstance(
+            vm_class=vm_class, started_at=0.0, instance_id="probe"
+        )
+        probe.stopped_at = float(duration_s)
+        return self.instance_cost(probe, float(duration_s))
+
+    def params(self) -> dict:
+        """JSON-friendly knobs; the invariant checker's independent μ
+        recompute is driven off this dict, never off the model's code."""
+        return {"model": self.name}
+
+    def _elapsed(self, instance: VMInstance, at: float) -> Optional[float]:
+        """Billable elapsed seconds, or None before the instance starts."""
+        if at < instance.started_at:
+            return None
+        return min(instance.stopped_at, at) - instance.started_at
+
+
+class OnDemandHourly(BillingModel):
+    """Today's default: hour-ceiling list price, spot twins per-second.
+
+    Delegates to the module-level functions so the default path stays
+    byte-identical to the pre-pluggable meter.
+    """
+
+    name = "on_demand_hourly"
+
+    def instance_cost(self, instance: VMInstance, at: float) -> float:
+        return instance_cost(instance, at)
+
+
+class PerSecond(BillingModel):
+    """Per-second metering at list price for *every* instance.
+
+    At whole-hour lifetimes this reduces exactly to the hour-ceiling
+    model; mid-hour it bills strictly less.  There is no pre-paid window,
+    so idle VMs are never worth parking.
+    """
+
+    name = "per_second"
+
+    def instance_cost(self, instance: VMInstance, at: float) -> float:
+        elapsed = self._elapsed(instance, at)
+        if elapsed is None:
+            return 0.0
+        return (elapsed / HOUR) * instance.vm_class.hourly_price
+
+    def remaining_paid_seconds(self, instance: VMInstance, at: float) -> float:
+        return 0.0
+
+    def continuous(self, instance: VMInstance) -> bool:
+        return True
+
+
+class Reserved(BillingModel):
+    """Per-instance reservation: upfront fee + discounted committed hours.
+
+    The first ``commit_hours`` billed hours of each (non-spot) instance
+    are charged at ``price · (1 − discount)``; hours past the commitment
+    overflow at the on-demand list price.  The commitment itself costs an
+    upfront fee of ``commit_hours · price · discount · upfront_fraction``,
+    liable from the instance's first billed hour.  Spot twins keep their
+    per-second metering (reservations only cover on-demand capacity).
+
+    At ``discount = 0`` the fee vanishes and every hour bills at list
+    price: exactly :class:`OnDemandHourly`.
+    """
+
+    name = "reserved"
+
+    def __init__(
+        self,
+        commit_hours: int = 3,
+        discount: float = 0.4,
+        upfront_fraction: float = 0.5,
+    ) -> None:
+        if commit_hours < 0:
+            raise ValueError("commit_hours must be ≥ 0")
+        if not 0 <= discount < 1:
+            raise ValueError("discount must be in [0, 1)")
+        if upfront_fraction < 0:
+            raise ValueError("upfront_fraction must be ≥ 0")
+        self.commit_hours = int(commit_hours)
+        self.discount = float(discount)
+        self.upfront_fraction = float(upfront_fraction)
+
+    def instance_cost(self, instance: VMInstance, at: float) -> float:
+        elapsed = self._elapsed(instance, at)
+        if elapsed is None:
+            return 0.0
+        price = instance.vm_class.hourly_price
+        if instance.vm_class.spot:
+            return (elapsed / HOUR) * price
+        hours = billed_hours(elapsed)
+        if self.discount == 0.0:
+            # Exact OnDemandHourly reduction (same expression, same bits).
+            return hours * price
+        committed = min(hours, self.commit_hours)
+        upfront = self.commit_hours * price * self.discount * self.upfront_fraction
+        return (
+            upfront
+            + committed * price * (1.0 - self.discount)
+            + (hours - committed) * price
+        )
+
+    def params(self) -> dict:
+        return {
+            "model": self.name,
+            "commit_hours": self.commit_hours,
+            "discount": self.discount,
+            "upfront_fraction": self.upfront_fraction,
+        }
+
+
+class SustainedUse(BillingModel):
+    """Tiered marginal discount by position within a billing window.
+
+    Each (non-spot) instance meters hour-ceiling hours, but the marginal
+    price of billed hour ``i`` depends on where the hour falls inside the
+    instance's ``window_hours``-hour billing window: the first quarter of
+    the window bills at list price, the second at ``1 − discount/3``, the
+    third at ``1 − 2·discount/3`` and the last at ``1 − discount`` —
+    sustained use earns a deeper discount, GCP style.  Spot twins keep
+    per-second metering.  At ``discount = 0`` every tier collapses to
+    list price: exactly :class:`OnDemandHourly`.
+    """
+
+    name = "sustained_use"
+
+    def __init__(self, discount: float = 0.4, window_hours: int = 8) -> None:
+        if not 0 <= discount < 1:
+            raise ValueError("discount must be in [0, 1)")
+        if window_hours < 1:
+            raise ValueError("window_hours must be ≥ 1")
+        self.discount = float(discount)
+        self.window_hours = int(window_hours)
+
+    def _hour_price(self, hour_index: int, price: float) -> float:
+        """Marginal price of 1-indexed billed hour ``hour_index``."""
+        position = (hour_index - 1) % self.window_hours
+        tier = min(3, (4 * position) // self.window_hours)
+        return price * (1.0 - self.discount * tier / 3.0)
+
+    def instance_cost(self, instance: VMInstance, at: float) -> float:
+        elapsed = self._elapsed(instance, at)
+        if elapsed is None:
+            return 0.0
+        price = instance.vm_class.hourly_price
+        if instance.vm_class.spot:
+            return (elapsed / HOUR) * price
+        hours = billed_hours(elapsed)
+        if self.discount == 0.0:
+            # Exact OnDemandHourly reduction (same expression, same bits).
+            return hours * price
+        return sum(self._hour_price(i, price) for i in range(1, hours + 1))
+
+    def params(self) -> dict:
+        return {
+            "model": self.name,
+            "discount": self.discount,
+            "window_hours": self.window_hours,
+        }
+
+
+class SpotTrace(BillingModel):
+    """Price follows a deterministic per-class trace from ``cloud.traces``.
+
+    Hourly (non-spot) classes are charged each billed hour at the trace
+    price sampled at that hour's start; per-second spot classes integrate
+    the trace stepwise at its resolution.  Billing still clamps at
+    ``stopped_at``, so PR 7 revocations compose: a revoked spot instance
+    is never charged past ``revoked_at``.
+    """
+
+    name = "spot_trace"
+
+    def __init__(self, trace: "SpotPriceTrace") -> None:
+        self.trace = trace
+
+    def price_at(self, vm_class: VMClass, t: float) -> float:
+        """Traced $/hour of one class at time ``t``."""
+        return self.trace.multiplier(vm_class.name, t) * vm_class.hourly_price
+
+    def instance_cost(self, instance: VMInstance, at: float) -> float:
+        elapsed = self._elapsed(instance, at)
+        if elapsed is None:
+            return 0.0
+        start = instance.started_at
+        if instance.vm_class.spot:
+            return self._integrate(instance.vm_class, start, start + elapsed)
+        hours = billed_hours(elapsed)
+        return sum(
+            self.price_at(instance.vm_class, start + (i - 1) * HOUR)
+            for i in range(1, hours + 1)
+        )
+
+    def _integrate(self, vm_class: VMClass, start: float, end: float) -> float:
+        """Stepwise ∫ price dt / 3600 over [start, end] at trace resolution."""
+        res = self.trace.resolution_s
+        total = 0.0
+        t = start
+        while t < end - 1e-12:
+            seg_end = min(end, (math.floor(t / res) + 1.0) * res)
+            if seg_end <= t:  # guard against float stalls at boundaries
+                seg_end = min(end, t + res)
+            total += self.price_at(vm_class, t) * (seg_end - t)
+            t = seg_end
+        return total / HOUR
+
+    def params(self) -> dict:
+        return {
+            "model": self.name,
+            "seed": self.trace.seed,
+            "resolution_s": self.trace.resolution_s,
+            "floor": self.trace.floor,
+            "cap": self.trace.cap,
+        }
+
+
+#: Registry names accepted by :func:`make_billing_model` / Scenario.
+BILLING_MODELS = (
+    "on_demand_hourly",
+    "per_second",
+    "reserved",
+    "sustained_use",
+    "spot_trace",
+)
+
+
+def make_billing_model(
+    name: str,
+    *,
+    commit_hours: int = 3,
+    discount: float = 0.4,
+    upfront_fraction: float = 0.5,
+    window_hours: int = 8,
+    seed: int = 0,
+    resolution_s: float = 300.0,
+    floor: float = 0.35,
+    cap: float = 1.0,
+) -> BillingModel:
+    """Instantiate a registered billing model; extra knobs are ignored by
+    models that do not use them (one flat signature keeps Scenario wiring
+    trivial)."""
+    if name == "on_demand_hourly":
+        return OnDemandHourly()
+    if name == "per_second":
+        return PerSecond()
+    if name == "reserved":
+        return Reserved(
+            commit_hours=commit_hours,
+            discount=discount,
+            upfront_fraction=upfront_fraction,
+        )
+    if name == "sustained_use":
+        return SustainedUse(discount=discount, window_hours=window_hours)
+    if name == "spot_trace":
+        from .traces import SpotPriceTrace
+
+        return SpotTrace(
+            SpotPriceTrace(
+                seed=seed, resolution_s=resolution_s, floor=floor, cap=cap
+            )
+        )
+    raise ValueError(
+        f"unknown billing model {name!r}; known: {BILLING_MODELS}"
+    )
+
+
 class BillingMeter:
     """Tracks the fleet-wide cost over time.
 
     A thin aggregation layer so the engine and the experiment reporting
-    share one source of truth for μ(t).
+    share one source of truth for μ(t).  The optional ``model`` selects
+    the pricing strategy; the default :class:`OnDemandHourly` keeps the
+    historical behaviour bit for bit.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, model: Optional[BillingModel] = None) -> None:
+        self.model: BillingModel = model or OnDemandHourly()
         self._instances: list[VMInstance] = []
         self._registered_ids: set[str] = set()
         #: instance_id → billed hours already seen (for hour-start events).
@@ -119,7 +456,7 @@ class BillingMeter:
         """Cumulative dollar cost μ[t]."""
         if _trace.enabled():
             self._emit_hour_starts(at)
-        cost = total_cost(self._instances, at)
+        cost = sum(self.model.instance_cost(r, at) for r in self._instances)
         if _validate.enabled():
             _validate.checker().check_billing(self, at, cost)
         return cost
@@ -132,8 +469,8 @@ class BillingMeter:
         the granularity the adaptation heuristics themselves see.
         """
         for r in self._instances:
-            if at < r.started_at or r.vm_class.spot:
-                continue  # spot bills per second; there are no hour starts
+            if at < r.started_at or self.model.continuous(r):
+                continue  # per-second metering: there are no hour starts
             elapsed = min(r.stopped_at, at) - r.started_at
             hours = billed_hours(elapsed)
             seen = self._hours_seen.get(r.instance_id, 0)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Protocol, Sequence, Union
 
 from ..obs import collector as _trace
-from .billing import BillingMeter, remaining_paid_seconds
+from .billing import BillingMeter, BillingModel, OnDemandHourly
 from .network import LinkQuality, NetworkModel
 from .resources import VMClass, VMInstance
 from .variability import ConstantPerformance, PerformanceModel
@@ -141,6 +141,7 @@ class CloudProvider:
         max_instances: int = 1024,
         capacity: Optional[Mapping[str, int]] = None,
         admission: Optional[AdmissionReviewer] = None,
+        billing_model: Optional[BillingModel] = None,
     ) -> None:
         if not catalog:
             raise ValueError("catalog must not be empty")
@@ -169,8 +170,11 @@ class CloudProvider:
         self.admission = admission
         # Per-tenant structures.  Tenant 0 is the single-tenant default:
         # its meter *is* ``self.billing`` and its instance ids carry no
-        # tenant prefix, so existing runs are byte-identical.
-        self.billing = BillingMeter()
+        # tenant prefix, so existing runs are byte-identical.  One pricing
+        # model (default: on-demand hourly) is shared by every tenant
+        # meter — the cloud has one price list.
+        self.billing_model: BillingModel = billing_model or OnDemandHourly()
+        self.billing = BillingMeter(model=self.billing_model)
         self._meters: dict[int, BillingMeter] = {0: self.billing}
         self._counters: dict[int, "itertools.count[int]"] = {
             0: itertools.count()
@@ -272,7 +276,9 @@ class CloudProvider:
         """The per-tenant billing meter (created on first use)."""
         meter = self._meters.get(tenant)
         if meter is None:
-            meter = self._meters[tenant] = BillingMeter()
+            meter = self._meters[tenant] = BillingMeter(
+                model=self.billing_model
+            )
         return meter
 
     def tenant_view(self, tenant: int) -> "TenantProvider":
@@ -529,8 +535,9 @@ class CloudProvider:
         return total
 
     def paid_seconds_remaining(self, instance: VMInstance, now: float) -> float:
-        """Seconds left in the instance's already-billed hour."""
-        return remaining_paid_seconds(instance, now)
+        """Seconds left in the instance's already-billed hour (0 under
+        per-second pricing, where stopping saves money immediately)."""
+        return self.billing_model.remaining_paid_seconds(instance, now)
 
 
 class TenantProvider:

@@ -33,6 +33,7 @@ from ..sim.rng import RandomStreams
 __all__ = [
     "CPUTraceConfig",
     "NetworkTraceConfig",
+    "SpotPriceTrace",
     "TraceLibrary",
     "TraceReplayPerformance",
     "load_trace_library",
@@ -453,6 +454,65 @@ class TraceReplayPerformance:
         if eq is not None:
             mat[eq] = float("inf")
         return mat
+
+
+class SpotPriceTrace:
+    """A deterministic per-VM-class price-multiplier trace (spot market).
+
+    The ``spot_trace`` billing model charges each instance at ``multiplier
+    × list price``, sampling this trace at hour starts (hourly classes) or
+    per resolution step (per-second spot classes).  Real spot-price
+    histories are not shipped with the repo, so — like the CPU/network
+    series above — the trace is synthetic: a slow AR(1) walk squashed
+    through ``tanh`` into ``(floor, cap)``, one independent series per VM
+    class name, fully deterministic given the seed.
+
+    With the default ``cap = 1.0`` the multiplier stays strictly below
+    the list price, so spot-trace cost never exceeds on-demand cost for
+    the same lifecycle (a property test pins this).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        resolution_s: float = 300.0,
+        duration_s: float = 4 * _DAY,
+        floor: float = 0.35,
+        cap: float = 1.0,
+    ) -> None:
+        if resolution_s <= 0 or duration_s <= 0:
+            raise ValueError("duration and resolution must be positive")
+        if not 0 < floor <= cap:
+            raise ValueError("need 0 < floor <= cap")
+        self.seed = seed
+        self.resolution_s = float(resolution_s)
+        self.duration_s = float(duration_s)
+        self.floor = float(floor)
+        self.cap = float(cap)
+        self._streams = RandomStreams(seed)
+        self._series: dict[str, np.ndarray] = {}
+
+    @property
+    def n_samples(self) -> int:
+        return max(2, int(round(self.duration_s / self.resolution_s)))
+
+    def series_for(self, class_name: str) -> np.ndarray:
+        """The memoized multiplier series for one VM class name."""
+        series = self._series.get(class_name)
+        if series is None:
+            rng = self._streams.spawn("spot-price", class_name).get("series")
+            walk = _ar1(rng, self.n_samples, 0.97, 0.25)
+            mid = (self.floor + self.cap) / 2.0
+            amp = (self.cap - self.floor) / 2.0
+            series = mid + amp * np.tanh(walk)
+            self._series[class_name] = series
+        return series
+
+    def multiplier(self, class_name: str, t: float) -> float:
+        """Price multiplier for a class at time ``t`` (step, wrap-around)."""
+        series = self.series_for(class_name)
+        idx = int(t / self.resolution_s) % series.shape[0]
+        return float(series[idx])
 
 
 def trace_statistics(series: np.ndarray) -> dict[str, float]:

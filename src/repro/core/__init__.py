@@ -6,6 +6,7 @@ named policy registry used by the evaluation.
 """
 
 from .adaptation import AdaptationConfig, HedgedAdaptation, RuntimeAdaptation
+from .anneal import AnnealConfig, AnnealingDeployment
 from .binpack import (
     Bin,
     BinClass,
@@ -31,6 +32,8 @@ from .state import ClusterView, DeploymentPlan, Snapshot, VMView
 __all__ = [
     "POLICY_NAMES",
     "AdaptationConfig",
+    "AnnealConfig",
+    "AnnealingDeployment",
     "Bin",
     "BinClass",
     "BruteForceConfig",

@@ -15,6 +15,7 @@ name                   meaning
 ``local-nodyn``        local, alternates pinned to maximum value
 ``global-nodyn``       global, alternates pinned to maximum value
 ``hedged``             global + reliability hedging against predicted crashes
+``anneal``             seeded anytime simulated-annealing static deployment
 =====================  ==========================================================
 """
 
@@ -23,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
+from ..cloud.billing import BillingModel
 from ..cloud.resources import VMClass
 from ..dataflow.graph import DynamicDataflow
 from .adaptation import AdaptationConfig, HedgedAdaptation, RuntimeAdaptation
+from .anneal import AnnealConfig, AnnealingDeployment
 from .bruteforce import BruteForceConfig, BruteForceDeployment
 from .deployment import DeploymentConfig, InitialDeployment
 from .objective import ObjectiveSpec
@@ -42,6 +45,7 @@ POLICY_NAMES = (
     "local-nodyn",
     "global-nodyn",
     "hedged",
+    "anneal",
 )
 
 
@@ -86,6 +90,7 @@ def make_policy(
     catalog: list[VMClass],
     spec: ObjectiveSpec,
     adaptation_overrides: Optional[AdaptationConfig] = None,
+    billing: Optional[BillingModel] = None,
 ) -> Policy:
     """Instantiate a named policy bound to a dataflow and catalog.
 
@@ -99,6 +104,9 @@ def make_policy(
     adaptation_overrides:
         Optional replacement adaptation config; its strategy/dynamism
         fields are still forced to match the policy name.
+    billing:
+        Optional pricing model; only the ``anneal`` policy consumes it
+        (its search prices plans under the scenario's billing regime).
     """
     if name not in POLICY_NAMES:
         raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
@@ -111,6 +119,19 @@ def make_policy(
                 omega_min=spec.omega_min,
                 sigma=spec.sigma,
                 period_hours=spec.period / 3600.0,
+            ),
+        )
+        return Policy(name=name, deployer=deployer, adapter=None)
+
+    if name == "anneal":
+        deployer = AnnealingDeployment(
+            dataflow,
+            catalog,
+            AnnealConfig(
+                omega_min=spec.omega_min,
+                sigma=spec.sigma,
+                period_hours=spec.period / 3600.0,
+                billing=billing,
             ),
         )
         return Policy(name=name, deployer=deployer, adapter=None)

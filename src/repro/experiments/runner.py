@@ -44,6 +44,8 @@ class SweepRow:
     crashes: int = 0
     lost_messages: float = 0.0
     mean_recovery_s: Optional[float] = None
+    #: Pricing model column (S28); the default keeps pre-S28 rows valid.
+    billing_model: str = "on_demand_hourly"
 
     @classmethod
     def from_result(cls, scenario: Scenario, result: RunResult) -> "SweepRow":
@@ -64,6 +66,7 @@ class SweepRow:
             crashes=len(result.crashes),
             lost_messages=sum(c.lost_messages for c in result.crashes),
             mean_recovery_s=result.mean_recovery_s,
+            billing_model=scenario.billing_model,
         )
 
     def as_tuple(self) -> tuple:
@@ -148,6 +151,9 @@ def build_fleet(
         admission=admission,
         # The single-run runaway cap, scaled to the fleet width.
         max_instances=max(1024, 16 * mt.n_tenants),
+        # One price list for the whole fleet; every per-tenant meter
+        # created by tenant_billing() shares this model.
+        billing_model=scenarios[0].billing(),
     )
     managers = []
     for k, sc in enumerate(scenarios):
@@ -241,6 +247,7 @@ def average_rows(per_seed: Sequence[Sequence[SweepRow]]) -> list[SweepRow]:
                 mean_recovery_s=(
                     sum(recoveries) / len(recoveries) if recoveries else None
                 ),
+                billing_model=first.billing_model,
             )
         )
     return out

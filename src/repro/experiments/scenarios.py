@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Literal, Optional
 
+from ..cloud.billing import BILLING_MODELS, BillingModel, make_billing_model
 from ..cloud.failures import FailureModel, SpotRevocationModel
 from ..cloud.provider import CloudProvider
 from ..cloud.resources import VMClass, aws_2013_catalog, spot_variants
@@ -249,10 +250,31 @@ class Scenario:
     spot_discount: float = 0.7
     #: Failure-oracle look-ahead in seconds (None = 2 × interval).
     hedge_horizon: Optional[float] = None
+    #: Pricing model (S28): one of ``cloud.billing.BILLING_MODELS``.
+    billing_model: str = "on_demand_hourly"
+    #: ``reserved``: committed instance-hours per instance.
+    billing_commit_hours: int = 3
+    #: ``reserved`` / ``sustained_use``: discount fraction in [0, 1).
+    billing_discount: float = 0.4
+    #: ``reserved``: upfront fee as a fraction of the committed savings.
+    billing_upfront_fraction: float = 0.5
+    #: ``sustained_use``: billing-window length in hours.
+    billing_window_hours: int = 8
+    #: ``spot_trace``: price-trace step in seconds.
+    billing_trace_resolution_s: float = 300.0
+    #: ``spot_trace``: multiplier band (cap ≤ 1 keeps the traced price
+    #: at or below the list price).
+    billing_trace_floor: float = 0.35
+    billing_trace_cap: float = 1.0
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ValueError("rate must be positive")
+        if self.billing_model not in BILLING_MODELS:
+            raise ValueError(
+                f"unknown billing model {self.billing_model!r}; "
+                f"known: {BILLING_MODELS}"
+            )
         # "data" variability forces a non-constant rate profile.
         if self.variability in ("data", "both") and self.rate_kind == "constant":
             self.rate_kind = "wave"
@@ -285,16 +307,35 @@ class Scenario:
             + list(self.catalog)
         )
 
+    def billing(self) -> BillingModel:
+        """The pricing model all of this scenario's meters share."""
+        return make_billing_model(
+            self.billing_model,
+            commit_hours=self.billing_commit_hours,
+            discount=self.billing_discount,
+            upfront_fraction=self.billing_upfront_fraction,
+            window_hours=self.billing_window_hours,
+            seed=self.seed,
+            resolution_s=self.billing_trace_resolution_s,
+            floor=self.billing_trace_floor,
+            cap=self.billing_trace_cap,
+        )
+
     def provider(self) -> CloudProvider:
         return CloudProvider(
             self.effective_catalog(),
             performance=make_performance(self.variability, seed=self.seed),
             startup_delay=self.startup_delay,
+            billing_model=self.billing(),
         )
 
     def policy(self, name: str) -> Policy:
         return make_policy(
-            name, self.dataflow, self.effective_catalog(), self.spec
+            name,
+            self.dataflow,
+            self.effective_catalog(),
+            self.spec,
+            billing=self.billing(),
         )
 
     def failures(self) -> Optional[FailureModel]:
@@ -348,6 +389,14 @@ class Scenario:
             "spot_notice_s": self.spot_notice_s,
             "spot_discount": self.spot_discount,
             "hedge_horizon": self.hedge_horizon,
+            "billing_model": self.billing_model,
+            "billing_commit_hours": self.billing_commit_hours,
+            "billing_discount": self.billing_discount,
+            "billing_upfront_fraction": self.billing_upfront_fraction,
+            "billing_window_hours": self.billing_window_hours,
+            "billing_trace_resolution_s": self.billing_trace_resolution_s,
+            "billing_trace_floor": self.billing_trace_floor,
+            "billing_trace_cap": self.billing_trace_cap,
             "dataflow": [
                 {
                     "pe": p.name,
@@ -401,10 +450,19 @@ class MultiTenantScenario:
     capacity_tightness: Optional[float] = 0.5
     #: Fair-share weight per tenant (``None`` = equal weights).
     weights: Optional[tuple[float, ...]] = None
+    #: Pricing model shared by every tenant meter (the cloud has one
+    #: price list); forwarded to each tenant's oracle scenario so the
+    #: shared-vs-isolated bit-identity contract covers pricing too.
+    billing_model: str = "on_demand_hourly"
 
     def __post_init__(self) -> None:
         if self.n_tenants < 1:
             raise ValueError("need at least one tenant")
+        if self.billing_model not in BILLING_MODELS:
+            raise ValueError(
+                f"unknown billing model {self.billing_model!r}; "
+                f"known: {BILLING_MODELS}"
+            )
         if self.rate_lo <= 0 or self.rate_hi < self.rate_lo:
             raise ValueError("need 0 < rate_lo <= rate_hi")
         if self.weights is not None and len(self.weights) != self.n_tenants:
@@ -429,6 +487,7 @@ class MultiTenantScenario:
             period=self.period,
             interval=self.interval,
             tick=self.tick,
+            billing_model=self.billing_model,
         )
 
     def capacity(self, catalog: list[VMClass]) -> Optional[dict[str, int]]:
@@ -460,6 +519,7 @@ class MultiTenantScenario:
             "tick": self.tick,
             "capacity_tightness": self.capacity_tightness,
             "weights": list(self.weights) if self.weights else None,
+            "billing_model": self.billing_model,
         }
 
 

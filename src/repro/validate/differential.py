@@ -15,6 +15,12 @@ disagreement is bounded:
   static Θ must never exceed the optimum (up to float noise) and must
   stay within ``THETA_GAP_BOUND`` of it — the recorded quality gap of
   the greedy packing.
+* **annealing vs. brute force** (S28) — the seeded anytime
+  simulated-annealing baseline (:mod:`repro.core.anneal`) against the
+  same exhaustive optimum.  Because both share the demand model and
+  packing test by construction, the annealed Θ must never exceed the
+  optimum and must close to within ``ANNEAL_GAP_BOUND`` of it under the
+  default budget.
 
 Tolerances are part of the repo's documented verification contract (see
 README § Verification); tightening them requires re-running
@@ -29,6 +35,7 @@ from typing import Callable, Mapping, Optional
 from ..cloud.provider import CloudProvider
 from ..cloud.variability import ConstantPerformance
 from ..cloud.resources import aws_2013_catalog
+from ..core.anneal import AnnealConfig, AnnealingDeployment
 from ..core.bruteforce import BruteForceConfig, BruteForceDeployment
 from ..core.deployment import DeploymentConfig, InitialDeployment
 from ..dataflow.graph import DynamicDataflow
@@ -44,15 +51,20 @@ __all__ = [
     "OMEGA_ABS_TOL",
     "FULL_CAPACITY_TOL",
     "THETA_GAP_BOUND",
+    "ANNEAL_GAP_BOUND",
     "EngineCase",
     "EngineDiff",
     "HeuristicCase",
     "HeuristicDiff",
+    "AnnealCase",
+    "AnnealDiff",
     "chain3_dataflow",
     "engine_cases",
     "run_engine_case",
     "heuristic_cases",
     "run_heuristic_case",
+    "anneal_cases",
+    "run_anneal_case",
 ]
 
 #: Simulated seconds per engine-differential window.
@@ -66,6 +78,10 @@ FULL_CAPACITY_TOL = 0.05
 
 #: Θ* − Θ_heuristic bound for the greedy heuristics on tiny graphs.
 THETA_GAP_BOUND = 0.15
+
+#: Θ* − Θ_anneal bound for annealing with a generous budget on graphs
+#: the brute force can solve (measured ≤ 0.001; pinned with headroom).
+ANNEAL_GAP_BOUND = 0.02
 
 
 def chain3_dataflow() -> DynamicDataflow:
@@ -324,4 +340,123 @@ def run_heuristic_case(case: HeuristicCase) -> HeuristicDiff:
         )
     return HeuristicDiff(
         case.name, theta_opt, theta_heur, THETA_GAP_BOUND, tuple(failures)
+    )
+
+
+# -- annealing vs. brute force -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnnealCase:
+    """One tiny static-deployment problem: annealing vs. exhaustive."""
+
+    name: str
+    dataflow_factory: Callable[[], DynamicDataflow]
+    rates: Mapping[str, float]
+    omega_min: float = 0.7
+    max_evals: int = 3000
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class AnnealDiff:
+    """Θ of the annealed plan vs. the brute-force optimum."""
+
+    case: str
+    theta_optimal: float
+    theta_anneal: float
+    gap_bound: float
+    failures: tuple[str, ...]
+
+    @property
+    def gap(self) -> float:
+        return self.theta_optimal - self.theta_anneal
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        line = (
+            f"[{status}] anneal:{self.case}: Θ*={self.theta_optimal:.4f} "
+            f"Θ_a={self.theta_anneal:.4f} gap={self.gap:.4f} "
+            f"≤ {self.gap_bound}"
+        )
+        for f in self.failures:
+            line += f"\n    {f}"
+        return line
+
+
+def anneal_cases() -> list[AnnealCase]:
+    """The annealing-vs-bruteforce differential suite."""
+    cases = []
+    for df_name, factory, input_pe in (
+        ("fig1", fig1_dataflow, "E1"),
+        ("chain3", chain3_dataflow, "src"),
+    ):
+        for rate in (2.0, 4.0):
+            cases.append(
+                AnnealCase(
+                    f"{df_name}@{rate:g}",
+                    factory,
+                    {input_pe: rate},
+                )
+            )
+    return cases
+
+
+def run_anneal_case(case: AnnealCase) -> AnnealDiff:
+    """Solve one problem exhaustively and by annealing; bound the gap.
+
+    Because :class:`AnnealingDeployment` delegates its demand model and
+    packing feasibility test to the brute force, any plan annealing
+    returns is one the exhaustive search scored — so ``theta_anneal``
+    exceeding ``theta_optimal`` means one of the two searches is broken,
+    never float noise.
+    """
+    df = case.dataflow_factory()
+    catalog = aws_2013_catalog()
+    rate = sum(case.rates.values())
+    spec = standard_spec(rate, df, period=3600.0)
+    period_hours = 1.0
+
+    optimal = BruteForceDeployment(
+        df,
+        catalog,
+        BruteForceConfig(
+            omega_min=case.omega_min,
+            sigma=spec.sigma,
+            period_hours=period_hours,
+        ),
+    ).plan(dict(case.rates))
+    annealer = AnnealingDeployment(
+        df,
+        catalog,
+        AnnealConfig(
+            omega_min=case.omega_min,
+            sigma=spec.sigma,
+            period_hours=period_hours,
+            max_evals=case.max_evals,
+            seed=case.seed,
+        ),
+    )
+    annealed = annealer.plan(dict(case.rates))
+
+    theta_opt = _static_theta(df, catalog, optimal, spec.sigma, period_hours)
+    theta_ann = _static_theta(df, catalog, annealed, spec.sigma, period_hours)
+
+    failures = []
+    if theta_ann > theta_opt + 1e-9:
+        failures.append(
+            f"annealed Θ={theta_ann:.6f} exceeds brute-force optimum "
+            f"{theta_opt:.6f} — the shared packing contract is broken"
+        )
+    if theta_opt - theta_ann > ANNEAL_GAP_BOUND:
+        failures.append(
+            f"annealing gap {theta_opt - theta_ann:.4f} exceeds the "
+            f"recorded bound {ANNEAL_GAP_BOUND}"
+        )
+    return AnnealDiff(
+        case.name, theta_opt, theta_ann, ANNEAL_GAP_BOUND, tuple(failures)
     )

@@ -157,7 +157,7 @@ class _ExecutorLedger:
 class _MeterLedger:
     """Per-billing-meter state."""
 
-    __slots__ = ("last_at", "last_cost", "hours")
+    __slots__ = ("last_at", "last_cost", "hours", "costs")
 
     def __init__(self) -> None:
         self.last_at = -math.inf
@@ -165,6 +165,70 @@ class _MeterLedger:
         #: instance_id → billed hours at the previous query (fractional
         #: for per-second spot instances).
         self.hours: dict[str, float] = {}
+        #: instance_id → recomputed per-instance cost at the previous
+        #: query (the per-model generalization of the boundary check).
+        self.costs: dict[str, float] = {}
+
+
+def _expected_instance_cost(
+    model_name: str,
+    params: Mapping[str, Any],
+    meter,
+    r,
+    elapsed: float,
+    hours: float,
+    per_second: bool,
+) -> float:
+    """Independent per-instance μ mirror for one pricing model.
+
+    Driven off the model's ``params()`` dict and the instance's lifecycle
+    only — never the model's ``instance_cost`` code.  The one exception
+    is ``spot_trace``, whose multiplier *series* is input data (like the
+    catalog's price list): it is sampled through ``meter.model.price_at``
+    while the charging arithmetic stays mirrored here.
+    """
+    price = r.vm_class.hourly_price
+    if model_name == "spot_trace":
+        price_at = meter.model.price_at
+        start = r.started_at
+        if per_second:
+            res = float(params["resolution_s"])
+            end = start + elapsed
+            total = 0.0
+            t = start
+            while t < end - 1e-12:
+                seg_end = min(end, (math.floor(t / res) + 1.0) * res)
+                if seg_end <= t:
+                    seg_end = min(end, t + res)
+                total += price_at(r.vm_class, t) * (seg_end - t)
+                t = seg_end
+            return total / _HOUR
+        return sum(
+            price_at(r.vm_class, start + (i - 1) * _HOUR)
+            for i in range(1, int(hours) + 1)
+        )
+    if per_second:
+        return hours * price
+    if model_name == "reserved":
+        commit = int(params["commit_hours"])
+        discount = float(params["discount"])
+        upfront_fraction = float(params["upfront_fraction"])
+        committed = min(int(hours), commit)
+        return (
+            commit * price * discount * upfront_fraction
+            + committed * price * (1.0 - discount)
+            + (hours - committed) * price
+        )
+    if model_name == "sustained_use":
+        discount = float(params["discount"])
+        window = int(params["window_hours"])
+        total = 0.0
+        for i in range(1, int(hours) + 1):
+            tier = min(3, (4 * ((i - 1) % window)) // window)
+            total += price * (1.0 - discount * tier / 3.0)
+        return total
+    # on_demand_hourly (and the conservative default for unknown names).
+    return hours * price
 
 
 class _AdapterLedger:
@@ -584,7 +648,16 @@ class InvariantChecker:
     # -- billing --------------------------------------------------------------
 
     def check_billing(self, meter, at: float, cost: float) -> None:
-        """Recompute μ[t] from scratch and check its evolution."""
+        """Recompute μ[t] from scratch and check its evolution.
+
+        The recompute is generalized per pricing model (S28): the model's
+        :meth:`~repro.cloud.billing.BillingModel.params` dict — never its
+        code — drives an independent mirror of the charging arithmetic.
+        The hour-boundary check applies to hour-granular instances only;
+        per-second instances (spot twins, and everything under the
+        ``per_second`` model) accrue continuously and are covered by the
+        monotonicity and μ checks instead.
+        """
         site = "cloud.billing"
         state = self._meters.get(meter)
         if state is None:
@@ -603,8 +676,16 @@ class InvariantChecker:
                 )
             unique[r.instance_id] = r
 
+        model = getattr(meter, "model", None)
+        params = (
+            model.params() if model is not None else {"model": "on_demand_hourly"}
+        )
+        model_name = params.get("model", "on_demand_hourly")
+
         expected = 0.0
         hours_now: dict[str, float] = {}
+        costs_now: dict[str, float] = {}
+        continuous_now: dict[str, bool] = {}
         for r in unique.values():
             if at < r.started_at:
                 continue
@@ -620,20 +701,27 @@ class InvariantChecker:
                     revoked_at=revoked_at,
                 )
             elapsed = billed_until - r.started_at
-            if r.vm_class.spot:
-                # Spot bills per second: fractional "hours", no ceiling.
+            per_second = r.vm_class.spot or model_name == "per_second"
+            if per_second:
+                # Per-second metering: fractional "hours", no ceiling.
                 hours = elapsed / _HOUR
             else:
                 hours = max(1, math.ceil(elapsed / _HOUR - 1e-9))
+            inst_cost = _expected_instance_cost(
+                model_name, params, meter, r, elapsed, hours, per_second
+            )
             hours_now[r.instance_id] = hours
-            expected += hours * r.vm_class.hourly_price
+            costs_now[r.instance_id] = inst_cost
+            continuous_now[r.instance_id] = per_second
+            expected += inst_cost
         if abs(cost - expected) > 1e-9 * max(1.0, expected) + 1e-9:
             self.fail(
                 f"{site}.mu",
                 at,
-                "μ[t] diverges from the independent hour-ceiling recompute",
+                "μ[t] diverges from the independent per-model recompute",
                 mu=cost,
                 expected=expected,
+                model=model_name,
             )
 
         if at >= state.last_at:
@@ -648,14 +736,21 @@ class InvariantChecker:
                 )
             # Charges may only appear when some instance enters a new
             # billed hour (including a new instance's first hour) or a
-            # spot instance accrues per-second usage.
+            # per-second instance accrues usage.  A cost change on an
+            # hour-granular instance *between* its hour boundaries is a
+            # cooked price or rewritten history.
             charged = cost - state.last_cost
             delta = 0.0
-            for instance_id, hours in hours_now.items():
-                prev = state.hours.get(instance_id, 0)
-                if hours > prev:
-                    price = unique[instance_id].vm_class.hourly_price
-                    delta += (hours - prev) * price
+            for instance_id, inst_cost in costs_now.items():
+                prev_hours = state.hours.get(instance_id)
+                prev_cost = state.costs.get(instance_id, 0.0)
+                if prev_hours is None:
+                    delta += inst_cost  # first sight: first hour / accrual
+                elif (
+                    continuous_now[instance_id]
+                    or hours_now[instance_id] > prev_hours
+                ):
+                    delta += inst_cost - prev_cost
             if abs(charged - delta) > 1e-6 * max(1.0, cost):
                 self.fail(
                     f"{site}.hour-boundary",
@@ -668,6 +763,7 @@ class InvariantChecker:
             state.last_at = at
             state.last_cost = cost
             state.hours.update(hours_now)
+            state.costs.update(costs_now)
 
     # -- adaptation ------------------------------------------------------------
 

@@ -4,8 +4,8 @@ Pillars (see the sibling modules for what each asserts):
 
 1. **invariants** — full checked runs of the built-in scenarios with the
    :class:`~repro.validate.invariants.InvariantChecker` enabled,
-2. **differential** — fluid vs. per-message engines and heuristics vs.
-   brute force,
+2. **differential** — fluid vs. per-message engines, heuristics vs.
+   brute force, and annealing vs. brute force,
 3. **metamorphic** — scenario transforms with predicted metric effects.
 
 Two levels: ``quick`` (one scenario, the cheap differential cases, the
@@ -36,8 +36,10 @@ def scenarios() -> dict[str, Scenario]:
     Small but shaped to exercise every subsystem the checker watches:
     steady state, workload waves (alternate switching), infrastructure
     variability (trace replay), VM crashes (loss accounting, forced
-    reconciliation), and the S26 failure storm (spot revocations,
-    checkpoints, hedging).
+    reconciliation), the S26 failure storm (spot revocations,
+    checkpoints, hedging), and the S28 pricing scenario (spot-trace
+    billing composed with revocations, watched by the generalized
+    per-model billing invariants).
     """
     return {
         "baseline": Scenario(rate=5.0, period=7200.0, seed=1),
@@ -51,6 +53,13 @@ def scenarios() -> dict[str, Scenario]:
             rate=15.0, period=10800.0, seed=6, mtbf_hours=2.0
         ),
         "failure-storm": failure_storm_scenario(period=3600.0),
+        "pricing": Scenario(
+            rate=8.0,
+            period=7200.0,
+            seed=5,
+            billing_model="spot_trace",
+            spot_mtbf_hours=1.0,
+        ),
     }
 
 
@@ -169,6 +178,7 @@ def run(
     report.sections.append(diff)
     engine_cases = differential.engine_cases()
     heuristic_cases = differential.heuristic_cases()
+    anneal_cases = differential.anneal_cases()
     if level == "quick":
         engine_cases = [
             c
@@ -180,12 +190,17 @@ def run(
             for c in heuristic_cases
             if c.name in ("fig1@2-local", "chain3@2-local")
         ]
+        anneal_cases = [c for c in anneal_cases if c.name == "fig1@2"]
     for ecase in engine_cases:
         result = differential.run_engine_case(ecase)
         diff.record(result.render(), result.passed)
         emit(result.render())
     for hcase in heuristic_cases:
         result = differential.run_heuristic_case(hcase)
+        diff.record(result.render(), result.passed)
+        emit(result.render())
+    for acase in anneal_cases:
+        result = differential.run_anneal_case(acase)
         diff.record(result.render(), result.passed)
         emit(result.render())
 

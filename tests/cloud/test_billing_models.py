@@ -1,0 +1,185 @@
+"""Property-based tests for the pluggable pricing models (S28).
+
+The pack pins the contracts every :class:`~repro.cloud.billing.BillingModel`
+must keep:
+
+* μ is monotone non-decreasing in ``t`` for every model and lifecycle,
+* the meter total equals the per-instance sum bit for bit,
+* degenerate knob settings reduce to :class:`OnDemandHourly` exactly
+  (reserved/sustained at discount 0; per-second at whole-hour lifetimes),
+* a spot-price trace capped at the list price never charges more than
+  on-demand would.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cloud import VMClass, VMInstance
+from repro.cloud.billing import (
+    BILLING_MODELS,
+    HOUR,
+    BillingMeter,
+    OnDemandHourly,
+    PerSecond,
+    Reserved,
+    SpotTrace,
+    SustainedUse,
+    make_billing_model,
+)
+from repro.cloud.traces import SpotPriceTrace
+
+
+def _models():
+    """One instance of every registered model (default knobs, seed 0)."""
+    return [make_billing_model(name) for name in BILLING_MODELS]
+
+
+@st.composite
+def lifecycles(draw, n_max=4):
+    """A small fleet of instance lifecycles, mixing hourly and spot twins."""
+    n = draw(st.integers(min_value=1, max_value=n_max))
+    out = []
+    for i in range(n):
+        spot = draw(st.booleans())
+        price = draw(st.floats(min_value=0.01, max_value=2.0))
+        started = draw(st.floats(min_value=0.0, max_value=4 * HOUR))
+        klass = VMClass(
+            name=f"c{i}" + ("-spot" if spot else ""),
+            cores=1,
+            core_speed=1.0,
+            hourly_price=price,
+            spot=spot,
+        )
+        vm = VMInstance(klass, started_at=started, instance_id=f"vm-{i}")
+        if draw(st.booleans()):
+            lifetime = draw(st.floats(min_value=0.0, max_value=6 * HOUR))
+            vm.stopped_at = started + lifetime
+        out.append(vm)
+    return out
+
+
+@given(
+    lifecycles(),
+    st.floats(min_value=0.0, max_value=12 * HOUR),
+    st.floats(min_value=0.0, max_value=6 * HOUR),
+)
+@settings(max_examples=60, deadline=None)
+def test_cost_at_monotone_for_every_model(vms, t1, dt):
+    """μ[t] never decreases as time advances, under any pricing model."""
+    for model in _models():
+        meter = BillingMeter(model=model)
+        for vm in vms:
+            meter.register(vm)
+        assert meter.cost_at(t1 + dt) >= meter.cost_at(t1), model.name
+
+
+@given(lifecycles(), st.floats(min_value=0.0, max_value=12 * HOUR))
+@settings(max_examples=60, deadline=None)
+def test_meter_total_is_per_instance_sum_bit_exactly(vms, at):
+    """The meter total is exactly Σ model.instance_cost — same float."""
+    for model in _models():
+        meter = BillingMeter(model=model)
+        for vm in vms:
+            meter.register(vm)
+        total = meter.cost_at(at)
+        assert total == sum(model.instance_cost(vm, at) for vm in vms), (
+            model.name
+        )
+
+
+@given(lifecycles(), st.floats(min_value=0.0, max_value=12 * HOUR))
+@settings(max_examples=60, deadline=None)
+def test_zero_discount_models_reduce_to_on_demand(vms, at):
+    """Reserved/sustained with discount 0 are OnDemandHourly, bit for bit."""
+    base = OnDemandHourly()
+    for model in (
+        Reserved(commit_hours=3, discount=0.0),
+        SustainedUse(discount=0.0, window_hours=8),
+    ):
+        for vm in vms:
+            assert model.instance_cost(vm, at) == base.instance_cost(vm, at), (
+                model.name
+            )
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.01, max_value=2.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_per_second_matches_hourly_at_whole_hours(hours, price):
+    """At whole-hour lifetimes, per-second billing equals hour-ceiling."""
+    klass = VMClass(name="t", cores=1, core_speed=1.0, hourly_price=price)
+    vm = VMInstance(klass, started_at=0.0)
+    vm.stopped_at = hours * HOUR
+    at = hours * HOUR
+    assert PerSecond().instance_cost(vm, at) == pytest.approx(
+        OnDemandHourly().instance_cost(vm, at), rel=1e-12
+    )
+
+
+@given(
+    lifecycles(),
+    st.floats(min_value=0.0, max_value=12 * HOUR),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_capped_spot_trace_never_exceeds_on_demand(vms, at, seed):
+    """A trace with cap ≤ 1 keeps the traced price below list price, so
+    spot-trace billing can never exceed the on-demand charge."""
+    model = SpotTrace(SpotPriceTrace(seed=seed, cap=1.0))
+    base = OnDemandHourly()
+    for vm in vms:
+        assert (
+            model.instance_cost(vm, at) <= base.instance_cost(vm, at) + 1e-9
+        )
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_spot_price_trace_deterministic_and_banded(seed):
+    trace_a = SpotPriceTrace(seed=seed)
+    trace_b = SpotPriceTrace(seed=seed)
+    for t in (0.0, 1800.0, 7200.0, 100_000.0):
+        m = trace_a.multiplier("m1.large", t)
+        assert m == trace_b.multiplier("m1.large", t)
+        assert trace_a.floor < m < trace_a.cap
+
+
+def test_reserved_overflow_bills_at_list_price():
+    """Hours past the commitment cost exactly the on-demand marginal."""
+    model = Reserved(commit_hours=2, discount=0.5, upfront_fraction=0.0)
+    klass = VMClass(name="t", cores=1, core_speed=1.0, hourly_price=1.0)
+    vm = VMInstance(klass, started_at=0.0)
+    within = model.instance_cost(vm, 2 * HOUR)  # 2 committed hours at 0.5
+    overflow = model.instance_cost(vm, 2 * HOUR + 1)  # +1 hour at list
+    assert within == pytest.approx(1.0)
+    assert overflow - within == pytest.approx(1.0)
+
+
+def test_sustained_use_discount_deepens_within_window():
+    """Marginal hour prices step down through the window's quarters."""
+    model = SustainedUse(discount=0.6, window_hours=8)
+    marginals = [model._hour_price(i, 1.0) for i in range(1, 9)]
+    assert marginals == sorted(marginals, reverse=True)
+    assert marginals[0] == pytest.approx(1.0)
+    assert marginals[-1] == pytest.approx(0.4)
+
+
+def test_lifetime_cost_matches_probe_instance():
+    """The planning estimate equals metering a real instance from t=0."""
+    klass = VMClass(name="t", cores=1, core_speed=1.0, hourly_price=0.24)
+    for model in _models():
+        vm = VMInstance(klass, started_at=0.0, instance_id="x")
+        vm.stopped_at = 5400.0
+        assert model.lifetime_cost(klass, 5400.0) == model.instance_cost(
+            vm, 5400.0
+        ), model.name
+
+
+def test_make_billing_model_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_billing_model("free-lunch")

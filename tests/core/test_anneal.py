@@ -1,0 +1,153 @@
+"""Tests for the anytime simulated-annealing deployment search (S28)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.billing import Reserved, SpotTrace
+from repro.cloud.resources import aws_2013_catalog
+from repro.cloud.traces import SpotPriceTrace
+from repro.core.anneal import AnnealConfig, AnnealingDeployment
+from repro.core.deployment import DeploymentConfig, InitialDeployment
+from repro.experiments.scenarios import fig1_dataflow, standard_spec
+from repro.validate.differential import (
+    ANNEAL_GAP_BOUND,
+    anneal_cases,
+    run_anneal_case,
+)
+
+
+def _annealer(max_evals=800, seed=0, billing=None, time_budget_s=None):
+    df = fig1_dataflow()
+    spec = standard_spec(4.0, df, period=3600.0)
+    return df, AnnealingDeployment(
+        df,
+        aws_2013_catalog(),
+        AnnealConfig(
+            omega_min=0.7,
+            sigma=spec.sigma,
+            period_hours=1.0,
+            max_evals=max_evals,
+            seed=seed,
+            billing=billing,
+            time_budget_s=time_budget_s,
+        ),
+    )
+
+
+class TestDifferential:
+    """Annealing vs. brute force on exhaustively solvable graphs."""
+
+    @pytest.mark.parametrize("case", anneal_cases(), ids=lambda c: c.name)
+    def test_within_gap_and_never_above_optimum(self, case):
+        diff = run_anneal_case(case)
+        assert diff.passed, diff.render()
+        assert diff.theta_anneal <= diff.theta_optimal + 1e-9
+        assert diff.gap <= ANNEAL_GAP_BOUND
+
+
+class TestDeterminism:
+    def test_fixed_seed_and_budget_bit_identical_plan(self):
+        """Same seed + eval budget (no wall clock) → the same plan, bit
+        for bit, across fresh searcher instances."""
+        _, a = _annealer(max_evals=800, seed=0)
+        _, b = _annealer(max_evals=800, seed=0)
+        plan_a = a.plan({"E1": 4.0})
+        plan_b = b.plan({"E1": 4.0})
+        assert plan_a.selection == plan_b.selection
+        assert [
+            (v.vm_class.name, dict(v.allocations)) for v in plan_a.cluster.vms
+        ] == [
+            (v.vm_class.name, dict(v.allocations)) for v in plan_b.cluster.vms
+        ]
+        assert a.best_theta == b.best_theta
+
+    def test_golden_plan_fig1(self):
+        """The recorded golden plan for fig1@4, seed 0, 800 evals."""
+        _, ann = _annealer(max_evals=800, seed=0)
+        plan = ann.plan({"E1": 4.0})
+        assert dict(sorted(plan.selection.items())) == {
+            "E1": "e1",
+            "E2": "e2.1",
+            "E3": "e3.1",
+            "E4": "e4",
+        }
+        assert sorted(v.vm_class.name for v in plan.cluster.vms) == [
+            "m1.large",
+            "m1.large",
+            "m1.large",
+            "m1.medium",
+            "m1.xlarge",
+        ]
+        assert ann.best_theta == 0.9814375
+        assert ann.evaluations == 800
+
+
+class TestAnytime:
+    def test_zero_budget_returns_greedy_seed_plan(self):
+        df, ann = _annealer(max_evals=0)
+        seed_plan = InitialDeployment(
+            df,
+            aws_2013_catalog(),
+            DeploymentConfig(strategy="global", omega_min=0.7),
+        ).plan({"E1": 4.0})
+        plan = ann.plan({"E1": 4.0})
+        assert plan.selection == seed_plan.selection
+        assert [v.vm_class.name for v in plan.cluster.vms] == [
+            v.vm_class.name for v in seed_plan.cluster.vms
+        ]
+        assert ann.evaluations == 0
+
+    def test_eval_budget_is_respected(self):
+        _, ann = _annealer(max_evals=100)
+        ann.plan({"E1": 4.0})
+        assert ann.evaluations <= 100
+
+    def test_zero_time_budget_still_returns_a_plan(self):
+        """A spent wall clock leaves the (repaired) seed plan standing."""
+        _, ann = _annealer(max_evals=500, time_budget_s=0.0)
+        plan = ann.plan({"E1": 4.0})
+        assert plan.cluster.vms
+
+
+class TestBillingAware:
+    def test_billing_model_changes_plan_cost_metric(self):
+        """A discounted pricing model lowers the energy's cost term, so
+        the searcher reports a Θ at least as high as at list price."""
+        _, listp = _annealer(max_evals=400, seed=0)
+        _, disc = _annealer(
+            max_evals=400,
+            seed=0,
+            billing=Reserved(commit_hours=8, discount=0.6, upfront_fraction=0.0),
+        )
+        listp.plan({"E1": 4.0})
+        disc.plan({"E1": 4.0})
+        assert disc.best_theta >= listp.best_theta
+
+    def test_spot_trace_billing_accepted(self):
+        _, ann = _annealer(
+            max_evals=50, billing=SpotTrace(SpotPriceTrace(seed=3))
+        )
+        plan = ann.plan({"E1": 4.0})
+        assert plan.cluster.vms
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"omega_min": 0.0},
+            {"sigma": -1.0},
+            {"period_hours": 0.0},
+            {"max_evals": -1},
+            {"initial_temp": 0.0},
+            {"final_temp": -0.5},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnealConfig(**kwargs)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            AnnealingDeployment(fig1_dataflow(), [], AnnealConfig())

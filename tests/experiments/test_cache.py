@@ -72,6 +72,42 @@ class TestInvalidation:
             key = cache.cache_key(quick_scenario(**{knob: value}), "local")
             assert key != base, f"{knob} not in fingerprint"
 
+    def test_pricing_knobs_change_key(self):
+        # S28: every pricing knob is part of the fingerprint, so cached
+        # on-demand rows can never be served for runs billed under a
+        # different model (or the same model with different parameters).
+        base = cache.cache_key(quick_scenario(), "local")
+        for knob, value in (
+            ("billing_model", "per_second"),
+            ("billing_model", "reserved"),
+            ("billing_model", "sustained_use"),
+            ("billing_model", "spot_trace"),
+            ("billing_commit_hours", 6),
+            ("billing_discount", 0.2),
+            ("billing_upfront_fraction", 0.25),
+            ("billing_window_hours", 4),
+            ("billing_trace_resolution_s", 600.0),
+            ("billing_trace_floor", 0.5),
+            ("billing_trace_cap", 0.9),
+        ):
+            key = cache.cache_key(quick_scenario(**{knob: value}), "local")
+            assert key != base, f"{knob} not in fingerprint"
+
+    def test_unchanged_pricing_defaults_keep_warm_rows(self):
+        """Spelling out the default pricing knobs is the same scenario:
+        warm sweeps stay bit-identical."""
+        cold = cache.run_cell(quick_scenario(), "local")
+        warm = cache.run_cell(
+            quick_scenario(
+                billing_model="on_demand_hourly",
+                billing_commit_hours=3,
+                billing_discount=0.4,
+            ),
+            "local",
+        )
+        assert warm == cold
+        assert cache.stats()["entries"] == 1
+
     def test_seed_change_changes_key(self):
         assert cache.cache_key(quick_scenario(seed=5), "local") != \
             cache.cache_key(quick_scenario(seed=6), "local")

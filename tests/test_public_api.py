@@ -66,6 +66,7 @@ class TestTopLevelApi:
             "local-nodyn",
             "global-nodyn",
             "hedged",
+            "anneal",
         )
 
     def test_every_public_class_has_docstring(self):

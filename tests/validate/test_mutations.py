@@ -135,6 +135,86 @@ def test_midhour_price_change_charges_off_boundary():
     assert exc.details["boundary_charges"] == 0.0
 
 
+def test_midwindow_price_rewrite_caught_under_sustained_use():
+    """The boundary check generalizes per model (S28): rewriting the
+    price mid-window re-charges already-billed discounted hours without
+    any instance crossing an hour boundary."""
+    from repro.cloud.billing import SustainedUse
+
+    catalog = aws_2013_catalog()
+    provider = CloudProvider(
+        catalog, billing_model=SustainedUse(discount=0.4, window_hours=8)
+    )
+    vm = provider.provision(catalog[0], now=0.0)
+    with invariants.checking():
+        provider.cost_at(3600.0 + 60.0)  # 2 billed hours, tiered prices
+        vm.vm_class = dataclasses.replace(
+            vm.vm_class, hourly_price=2.0 * vm.vm_class.hourly_price
+        )
+        with pytest.raises(invariants.InvariantViolation) as exc_info:
+            provider.cost_at(3600.0 + 120.0)  # same 2 hours, higher μ
+    exc = exc_info.value
+    assert exc.site == "cloud.billing.hour-boundary"
+    assert exc.details["boundary_charges"] == 0.0
+
+
+def test_reserved_upfront_double_count_diverges_from_mirror():
+    """A cooked reserved model that charges the commitment's upfront fee
+    twice diverges from the checker's params()-driven μ mirror."""
+    from repro.cloud.billing import Reserved
+
+    class DoubleUpfrontReserved(Reserved):
+        # The mutation: the upfront fee is added on top of the already
+        # upfront-inclusive parent cost.  params() still claims a single
+        # fee, so the independent recompute disagrees.
+        def instance_cost(self, instance, at):
+            cost = super().instance_cost(instance, at)
+            if cost > 0.0 and not instance.vm_class.spot:
+                cost += (
+                    self.commit_hours
+                    * instance.vm_class.hourly_price
+                    * self.discount
+                    * self.upfront_fraction
+                )
+            return cost
+
+    catalog = aws_2013_catalog()
+    provider = CloudProvider(
+        catalog,
+        billing_model=DoubleUpfrontReserved(
+            commit_hours=3, discount=0.4, upfront_fraction=0.5
+        ),
+    )
+    provider.provision(catalog[0], now=0.0)
+    with invariants.checking():
+        with pytest.raises(invariants.InvariantViolation) as exc_info:
+            provider.cost_at(1800.0)
+    exc = exc_info.value
+    assert exc.site == "cloud.billing.mu"
+    assert exc.details["model"] == "reserved"
+
+
+def test_spot_charge_past_revocation_caught():
+    """Unclamping a revoked spot instance's stop time bills time the
+    cloud itself took away."""
+    from repro.cloud import spot_variants
+
+    catalog = aws_2013_catalog()
+    spot_class = spot_variants(catalog, 0.7)[0]
+    provider = CloudProvider(catalog + [spot_class])
+    vm = provider.provision(spot_class, now=0.0)
+    with invariants.checking():
+        provider.fail(vm, 1800.0, revoked=True)
+        provider.cost_at(1900.0)  # clamped at the forced stop: fine
+        vm.stopped_at = 7200.0    # the mutation: billing runs past it
+        with pytest.raises(invariants.InvariantViolation) as exc_info:
+            provider.cost_at(7300.0)
+    exc = exc_info.value
+    assert exc.site == "cloud.billing.revocation"
+    assert exc.details["instance"] == vm.instance_id
+    assert exc.details["revoked_at"] == 1800.0
+
+
 def test_allocation_leaked_onto_failed_vm():
     df = fig1_dataflow()
     env, provider, ex, _ = _deployed(df, {"E1": 4.0})
