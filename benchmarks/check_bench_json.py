@@ -102,7 +102,11 @@ def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
     positive, ``n_tenants`` meta a positive integer, and
     ``tenant_rows_identical`` meta strictly true — a false value means
     the shared kernel diverged from the isolated-run oracle and the
-    recorded speedup is meaningless.
+    recorded speedup is meaningless.  The serve load test's throughput
+    and latency fields (``warm_rps``, ``warm_p50_ms``, ``cold_rps``)
+    must be positive, and ``delta_hit_ratio`` a true ratio in [0, 1] —
+    a ratio below 1 on a billing-only workload means delta requests
+    fell back to re-simulation.
     """
     if "decision_ns" in metrics and metrics["decision_ns"] <= 0:
         _fail(path, f"{where} metric 'decision_ns' must be positive: "
@@ -130,6 +134,22 @@ def _validate_known_fields(path, where: str, metrics: dict, meta: dict) -> None:
         value = metrics["macro_jump_ratio"]
         if not 0.0 <= value <= 1.0:
             _fail(path, f"{where} metric 'macro_jump_ratio' must lie in "
+                        f"[0, 1]: {value!r}")
+    for name in (
+        "warm_rps",
+        "warm_p50_ms",
+        "warm_p95_ms",
+        "warm_p50_wall_ms",
+        "cold_rps",
+        "mixed_rps",
+    ):
+        if name in metrics and metrics[name] <= 0:
+            _fail(path, f"{where} metric {name!r} must be positive: "
+                        f"{metrics[name]!r}")
+    if "delta_hit_ratio" in metrics:
+        value = metrics["delta_hit_ratio"]
+        if not 0.0 <= value <= 1.0:
+            _fail(path, f"{where} metric 'delta_hit_ratio' must lie in "
                         f"[0, 1]: {value!r}")
     for name in ("cache_hits", "cache_misses", "cache_entries"):
         if name in meta:

@@ -17,7 +17,14 @@ Commands
 ``policies``
     List the available scheduling policies.
 ``cache``
-    Inspect (``stats``) or empty (``clear``) the sweep result cache.
+    Inspect (``stats``, with age/size/hit-latency columns and
+    ``--top N`` hottest entries) or empty (``clear``) the sweep result
+    cache.
+``serve``
+    Boot the always-on what-if daemon (``repro.serve``): local HTTP
+    API answering scenario submissions from the warm serving tier
+    (in-memory LRU → disk cache → delta-keyed index) or a bounded cold
+    worker pool, with live trace streaming on ``/events``.
 ``verify``
     Run the verification suite (runtime invariants, differential and
     metamorphic harnesses — see ``repro.validate``).
@@ -37,6 +44,23 @@ engine: pass ``--batch`` on ``compare``/``figures`` (or set
 with one vectorized tick per step.  Rows stay bit-identical to the
 serial sweep; batching takes precedence over ``--jobs`` when both are
 given.
+
+Service-mode knobs (``repro serve``; flags take precedence):
+
+``REPRO_SERVE_WORKERS``
+    Cold-run worker threads (default: min(4, cpus-1)).
+``REPRO_SERVE_QUEUE``
+    Bounded submission queue depth; a full queue is answered with
+    ``429`` + ``Retry-After`` (default 32).
+``REPRO_SERVE_RECYCLE``
+    Cells a worker executes before being gracefully recycled
+    (default 256).
+``REPRO_SERVE_LRU``
+    In-memory serving LRU capacity in entries (default 512).
+``REPRO_SERVE_TIMEOUT_S``
+    Per-request wait bound on cold cells (default 600).
+``REPRO_FP_TTL_S``
+    Seconds between code-fingerprint freshness re-stats (default 2).
 """
 
 from __future__ import annotations
@@ -223,6 +247,33 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the sweep result cache"
     )
     cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="with stats: also list the N hottest entries "
+             "(hits, age, size, mean hit latency)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the always-on what-if HTTP daemon"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="bind port (default 8642; 0 = ephemeral)")
+    serve_p.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="cold-run worker threads "
+                              "(default: REPRO_SERVE_WORKERS)")
+    serve_p.add_argument("--queue", type=int, default=None, metavar="N",
+                         help="bounded cold queue depth; overflow is 429 "
+                              "(default: REPRO_SERVE_QUEUE)")
+    serve_p.add_argument("--recycle", type=int, default=None, metavar="N",
+                         help="cells per worker before graceful recycling "
+                              "(default: REPRO_SERVE_RECYCLE)")
+    serve_p.add_argument("--lru", type=int, default=None, metavar="N",
+                         help="serving-LRU capacity in entries "
+                              "(default: REPRO_SERVE_LRU)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
 
     verify_p = sub.add_parser(
         "verify", help="run the verification suite (repro.validate)"
@@ -435,6 +486,55 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"size:       {info['bytes'] / 1024:.1f} KiB "
         f"(cap {info['max_bytes'] / (1024 * 1024):.0f} MiB)"
     )
+    print(f"delta keys: {info['delta_keys']}")
+    hit_ms = (
+        f"{info['mean_hit_ms']:.3f} ms"
+        if info["mean_hit_ms"] is not None
+        else "n/a"
+    )
+    print(f"hits:       {info['hits']} (mean latency {hit_ms})")
+    if args.top > 0:
+        rows = result_cache.top_entries(args.top)
+        if not rows:
+            print("\n(no entries)")
+            return 0
+        print(
+            f"\n{'key':>12}  {'policy':>18}  {'hits':>5}  {'age':>8}  "
+            f"{'size':>9}  {'hit ms':>7}"
+        )
+        for r in rows:
+            ms = f"{r['mean_hit_ms']:7.3f}" if r["mean_hit_ms"] else "      -"
+            print(
+                f"{r['key'][:12]:>12}  {r['policy']:>18}  {r['hits']:5d}  "
+                f"{r['age_s']:7.0f}s  {r['size'] / 1024:8.1f}K  {ms}"
+            )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue,
+        recycle_after=args.recycle,
+        lru_capacity=args.lru,
+        verbose=args.verbose,
+    )
+    pool = daemon.pool.stats()
+    print(
+        f"repro serve: listening on {daemon.url} "
+        f"({pool['workers']} workers, queue {pool['queue_depth']}, "
+        f"recycle after {pool['recycle_after']} cells)",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\nrepro serve: stopping", flush=True)
+        daemon.stop()
     return 0
 
 
@@ -471,6 +571,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "policies": _cmd_policies,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "verify": _cmd_verify,
     }[args.command]
     try:

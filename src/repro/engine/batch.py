@@ -62,7 +62,7 @@ from ..obs import collector as _obs
 from ..sim.kernel import Environment
 from ..util import perf
 from .executor import _EPS, FluidExecutor, _macro_default, _seqsum
-from .manager import RunManager, RunResult
+from .manager import RunManager, RunResult, vm_ledger
 from .monitor import Monitor
 from .reconcile import apply_plan
 
@@ -937,4 +937,5 @@ class BatchRunner:
             final_selection=st.selection,
             reports=st.reports,
             crashes=[],
+            vm_ledger=vm_ledger(m.provider),
         )

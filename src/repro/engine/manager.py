@@ -29,7 +29,7 @@ from .failures import CrashRecord, FailureDriver, FailureOracle
 from .monitor import Monitor
 from .reconcile import ReconcileReport, apply_plan
 
-__all__ = ["RunManager", "RunResult"]
+__all__ = ["RunManager", "RunResult", "vm_ledger"]
 
 
 @dataclass
@@ -55,6 +55,12 @@ class RunResult:
     #: from the crash to the end of the first interval whose throughput
     #: clears Ω̂ again, or ``None`` if the run never recovers.
     recovery_times: list[Optional[float]] = field(default_factory=list)
+    #: Billing-replayable VM lifecycle ledger, one row per instance in
+    #: meter-registration order: ``[class_name, hourly_price, spot,
+    #: started_at, stopped_at-or-None]`` (``None`` = still active at the
+    #: end of the run).  Lets the result cache recompute μ under a
+    #: different billing model without re-simulating (S29 delta index).
+    vm_ledger: list = field(default_factory=list)
 
     @property
     def total_cost(self) -> float:
@@ -72,6 +78,28 @@ class RunResult:
 
     def summary(self) -> str:
         return f"[{self.policy_name}] {self.outcome}"
+
+
+def vm_ledger(provider: CloudProvider) -> list[list]:
+    """Extract the billing-replayable VM ledger from a finished run.
+
+    Rows follow the billing meter's registration order so that replaying
+    ``sum(model.instance_cost(row, T))`` reproduces ``cost_at(T)``
+    bit-for-bit (same floats, same summation order).
+    """
+    meter = getattr(provider, "billing", None)
+    if meter is None:
+        return []
+    return [
+        [
+            r.vm_class.name,
+            r.vm_class.hourly_price,
+            bool(r.vm_class.spot),
+            r.started_at,
+            None if r.stopped_at == float("inf") else r.stopped_at,
+        ]
+        for r in meter.instances
+    ]
 
 
 class RunManager:
@@ -313,6 +341,7 @@ class RunManager:
             reports=reports,
             crashes=crashes,
             recovery_times=self._recovery_times(crashes, timeline),
+            vm_ledger=vm_ledger(self.provider),
         )
 
     def _recovery_times(

@@ -154,7 +154,13 @@ def sweep(
                 perf.add("cache.misses")
                 key = cache.cache_key(scenario, policy)
                 _trace_cache(False, key, policy)
-                cache.store(key, policy, row)
+                cache.store(
+                    key,
+                    policy,
+                    row,
+                    fingerprint=scenario.fingerprint(),
+                    ledger=result.vm_ledger,
+                )
     perf.add("batch.groups", len(groups))
 
     assert all(r is not None for r in rows)

@@ -23,6 +23,7 @@ Read side::
 """
 
 from .collector import (
+    add_sink,
     bind_clock,
     clock_now,
     current_tenant,
@@ -33,6 +34,7 @@ from .collector import (
     enabled,
     events,
     flush_jsonl,
+    remove_sink,
     reset,
     set_tenant,
     tenant,
@@ -52,6 +54,7 @@ __all__ = [
     "EVENT_TYPES",
     "TraceEvent",
     "UnknownEventTypeError",
+    "add_sink",
     "bind_clock",
     "clock_now",
     "current_tenant",
@@ -67,6 +70,7 @@ __all__ = [
     "render_adaptation_timeline",
     "render_events",
     "render_summary",
+    "remove_sink",
     "reset",
     "set_tenant",
     "summarize",

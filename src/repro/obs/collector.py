@@ -48,6 +48,8 @@ __all__ = [
     "tenant",
     "flush_jsonl",
     "dump_jsonl",
+    "add_sink",
+    "remove_sink",
 ]
 
 _enabled: bool = os.environ.get("REPRO_TRACE", "") not in ("", "0", "false")
@@ -62,6 +64,12 @@ _clock: Optional[Callable[[], float]] = None
 #: Multi-tenant fleets (S27) set this around each tenant's turn; the
 #: single-tenant default is ``0`` so existing traces are unchanged.
 _tenant: int = 0
+
+#: Live subscribers (S29 serve daemon streaming): each registered
+#: callable receives every event as it is emitted, in addition to the
+#: in-memory buffer.  Sink errors are swallowed — a slow or dead
+#: streaming client must never take the simulation down.
+_sinks: list[Callable[[TraceEvent], None]] = []
 
 
 def enable() -> None:
@@ -157,6 +165,29 @@ def emit(
     )
     _events.append(event)
     _seq += 1
+    for sink in tuple(_sinks):
+        try:
+            sink(event)
+        except Exception:
+            pass
+
+
+def add_sink(sink: Callable[[TraceEvent], None]) -> None:
+    """Subscribe ``sink`` to every event emitted from now on.
+
+    Used by the serve daemon to stream the trace to connected clients
+    while a run is in flight.  The sink is called synchronously on the
+    emitting thread, so it should only enqueue, never block."""
+    if sink not in _sinks:
+        _sinks.append(sink)
+
+
+def remove_sink(sink: Callable[[TraceEvent], None]) -> None:
+    """Unsubscribe a sink registered with :func:`add_sink` (idempotent)."""
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
 
 
 def events() -> tuple[TraceEvent, ...]:

@@ -1,0 +1,125 @@
+"""Stdlib client for the serve daemon (urllib only — no new deps).
+
+Used by the CLI, the load-test script, and the test suite.  The client
+is deliberately thin: JSON in, JSON out, with backpressure surfaced as
+:class:`ServerBusy` (carrying the server's ``Retry-After`` hint) so
+callers choose their own retry discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["ServeClient", "ServerBusy", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response that is not backpressure."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class ServerBusy(ServerError):
+    """429: the worker queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, detail: str, retry_after_s: float) -> None:
+        super().__init__(429, detail)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Talk to one serve daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 630.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 — detail is best-effort
+                pass
+            if exc.code == 429:
+                retry = float(exc.headers.get("Retry-After", 1) or 1)
+                raise ServerBusy(detail, retry) from None
+            raise ServerError(exc.code, detail or str(exc)) from None
+
+    # -- API ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def run(
+        self,
+        scenario: dict,
+        policies: Sequence[str] = ("static-local",),
+        retries: int = 0,
+    ) -> dict:
+        """Submit one scenario; returns the full response payload.
+
+        ``retries`` > 0 sleeps out ``Retry-After`` on 429 and resubmits —
+        the loop a well-behaved client runs under backpressure.
+        """
+        body = {"scenario": scenario, "policies": list(policies)}
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/run", body)
+            except ServerBusy as busy:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(busy.retry_after_s)
+
+    def stream_events(
+        self,
+        max_events: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[dict]:
+        """Yield live trace events from ``/events`` as dicts.
+
+        The server closes the stream after ``max_events`` events or
+        ``timeout_s`` seconds (whichever is given first); chunked
+        transfer decoding is handled by :mod:`http.client`.
+        """
+        params = []
+        if max_events is not None:
+            params.append(f"max={int(max_events)}")
+        if timeout_s is not None:
+            params.append(f"timeout_s={float(timeout_s)}")
+        path = "/events" + ("?" + "&".join(params) if params else "")
+        req = urllib.request.Request(self.base_url + path)
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")

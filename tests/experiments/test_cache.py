@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import threading
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import HealthCheck, given, settings
 
 from repro.experiments import Scenario, sweep
 from repro.experiments import cache
 from repro.experiments.runner import SweepRow
+from repro.experiments.scenarios import run_policy
 from repro.util import perf
 
 
@@ -229,3 +233,333 @@ class TestMaintenance:
         assert set(entry["row"]) == {
             f.name for f in dataclasses.fields(SweepRow)
         }
+
+
+def _dummy_row(**overrides) -> SweepRow:
+    base = dict(
+        policy="static-local",
+        rate=1.0,
+        rate_kind="wave",
+        variability="none",
+        seed=1,
+        omega=1.0,
+        gamma=1.0,
+        cost=1.0,
+        theta=1.0,
+        constraint_met=True,
+        vms_peak=1,
+        adaptations=0,
+    )
+    base.update(overrides)
+    return SweepRow(**base)
+
+
+class TestConcurrency:
+    """S29: the serve daemon stores and reads from many threads at once."""
+
+    def test_two_writers_racing_one_key(self):
+        key = "ab" * 32
+        rows = [_dummy_row(cost=1.0), _dummy_row(cost=2.0)]
+        barrier = threading.Barrier(2)
+        failures: list[BaseException] = []
+
+        def write(row):
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    cache.store(key, "static-local", row)
+            except BaseException as exc:  # noqa: BLE001 — collected
+                failures.append(exc)
+
+        threads = [threading.Thread(target=write, args=(r,)) for r in rows]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        # One complete winner, never a torn entry or a leaked temp file.
+        assert cache.lookup(key) in rows
+        assert cache.stats()["entries"] == 1
+        assert not list(cache.cache_dir().glob("*.tmp"))
+
+    def test_racing_run_cell_same_cell_single_simulation_winner(self):
+        scenario = quick_scenario()
+        results: list[SweepRow] = []
+        failures: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def run():
+            try:
+                barrier.wait()
+                results.append(cache.run_cell(quick_scenario(), "static-local"))
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert len(results) == 4
+        assert all(r == results[0] for r in results)
+        assert cache.lookup(cache.cache_key(scenario, "static-local")) \
+            == results[0]
+
+    def test_reader_during_eviction_sees_row_or_clean_miss(self, monkeypatch):
+        # A ~1 KiB cap evicts on almost every store; a concurrent reader
+        # must only ever observe a complete row or a miss — never a torn
+        # entry, never an exception.
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.001")
+        key = "cd" * 32
+        row = _dummy_row()
+        cache.store(key, "static-local", row)
+        stop = threading.Event()
+        observed: list = []
+        failures: list[BaseException] = []
+
+        def read():
+            try:
+                while not stop.is_set():
+                    observed.append(cache.lookup(key))
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        try:
+            for i in range(30):
+                cache.store(f"{i:02x}" * 32, "static-local", _dummy_row())
+        finally:
+            stop.set()
+            reader.join()
+        assert not failures
+        assert observed, "reader never got a turn"
+        assert all(r is None or r == row for r in observed)
+
+
+class TestDeltaServing:
+    """S29: billing-only what-ifs answered without re-simulation."""
+
+    def _seed(self, policy="static-local", **overrides):
+        scenario = quick_scenario(**overrides)
+        row = cache.run_cell(scenario, policy)
+        return scenario, row
+
+    def test_inert_knob_serves_base_row_verbatim(self):
+        # billing_discount is only read by reserved/sustained_use; under
+        # the default on_demand_hourly model the runs are bit-identical.
+        self._seed()
+        with perf.collecting():
+            got = cache.serve_lookup(
+                quick_scenario(billing_discount=0.25), "static-local"
+            )
+            counters = perf.snapshot()["counters"]
+        assert got is not None
+        row, tier = got
+        assert tier == "delta"
+        assert counters["cache.delta_hits"] == 1
+        cold = SweepRow.from_result(
+            quick_scenario(billing_discount=0.25),
+            run_policy(quick_scenario(billing_discount=0.25), "static-local"),
+        )
+        assert row == cold
+
+    @pytest.mark.parametrize("model", ["reserved", "per_second",
+                                       "sustained_use"])
+    @pytest.mark.parametrize("policy", ["static-local", "static-global"])
+    def test_billing_replay_bit_identical_to_cold(self, model, policy):
+        self._seed(policy=policy)
+        variant = quick_scenario(billing_model=model)
+        got = cache.serve_lookup(variant, policy)
+        assert got is not None, f"{model}/{policy} missed the delta index"
+        row, tier = got
+        assert tier == "delta"
+        cold = SweepRow.from_result(variant, run_policy(variant, policy))
+        assert row == cold  # dataclass eq → bit-identical floats
+        assert row.billing_model == model
+
+    def test_spot_trace_knob_replay_bit_identical(self):
+        base = quick_scenario(billing_model="spot_trace")
+        cache.run_cell(base, "static-local")
+        variant = quick_scenario(
+            billing_model="spot_trace", billing_trace_floor=0.5
+        )
+        got = cache.serve_lookup(variant, "static-local")
+        assert got is not None
+        cold = SweepRow.from_result(
+            variant, run_policy(variant, "static-local")
+        )
+        assert got[0] == cold
+
+    def test_hedge_horizon_inert_without_failure_model(self):
+        _, row = self._seed()
+        got = cache.serve_lookup(
+            quick_scenario(hedge_horizon=240.0), "static-local"
+        )
+        assert got is not None
+        assert got[0] == row  # served verbatim: no failure oracle exists
+
+    def test_adaptive_policy_never_served_from_delta(self):
+        self._seed(policy="local")
+        # Adaptive policies observe μ, so a billing change may alter the
+        # trajectory: the delta path must refuse and force a cold run.
+        assert cache.serve_lookup(
+            quick_scenario(billing_model="reserved"), "local"
+        ) is None
+
+    def test_two_field_difference_never_served(self):
+        self._seed()
+        assert cache.serve_lookup(
+            quick_scenario(billing_model="reserved", billing_discount=0.1),
+            "static-local",
+        ) is None
+
+    def test_delta_hit_materializes_full_entry(self):
+        self._seed()
+        variant = quick_scenario(billing_model="per_second")
+        row, tier = cache.serve_lookup(variant, "static-local")
+        assert tier == "delta"
+        # The derived row is now a first-class entry: the next request is
+        # a plain disk hit, and the entry can itself serve future deltas.
+        key = cache.cache_key(variant, "static-local")
+        assert cache.lookup(key) == row
+        row2, tier2 = cache.serve_lookup(variant, "static-local")
+        assert tier2 == "disk"
+        assert row2 == row
+
+
+class TestFingerprintMemo:
+    def test_second_call_within_ttl_skips_restat(self, monkeypatch):
+        monkeypatch.setattr(cache, "_code_fp", None)
+        monkeypatch.setattr(cache, "_code_fp_stat", None)
+        monkeypatch.setattr(cache, "_code_fp_checked", float("-inf"))
+        with perf.collecting():
+            first = cache.code_fingerprint()
+            second = cache.code_fingerprint()
+            counters = perf.snapshot()["counters"]
+        assert first == second
+        assert counters["cache.fingerprint_rehash"] == 1
+        assert counters["cache.fingerprint_ns"] > 0
+
+    def test_past_ttl_restat_without_change_skips_rehash(self, monkeypatch):
+        fp = cache.code_fingerprint()
+        # Expire the TTL without touching any source file: the re-stat
+        # sees an identical snapshot and must not re-read ~60 files.
+        monkeypatch.setattr(cache, "_code_fp_checked", float("-inf"))
+        with perf.collecting():
+            assert cache.code_fingerprint() == fp
+            counters = perf.snapshot()["counters"]
+        assert counters.get("cache.fingerprint_rehash", 0) == 0
+
+    def test_stat_snapshot_change_forces_rehash(self, monkeypatch):
+        fp = cache.code_fingerprint()
+        monkeypatch.setattr(cache, "_code_fp_checked", float("-inf"))
+        monkeypatch.setattr(cache, "_code_fp_stat", ("stale",))
+        with perf.collecting():
+            # Bytes are unchanged, so the digest comes back identical —
+            # an mtime-only touch rehashes but never invalidates.
+            assert cache.code_fingerprint() == fp
+            counters = perf.snapshot()["counters"]
+        assert counters["cache.fingerprint_rehash"] == 1
+
+
+class TestManifest:
+    def test_deleted_manifest_is_rebuilt_with_delta_index(self):
+        for rate in (2.0, 3.0):
+            cache.run_cell(quick_scenario(rate=rate), "static-local")
+        manifest_path = cache.cache_dir() / "manifest.json"
+        manifest_path.unlink()
+        with perf.collecting():
+            st_ = cache.stats()
+            counters = perf.snapshot()["counters"]
+        assert counters["cache.manifest_rebuilds"] == 1
+        assert st_["entries"] == 2
+        # Masked keys are recovered from the entries themselves, so
+        # delta serving survives the rebuild.
+        assert st_["delta_keys"] == 2 * len(cache.DELTA_FIELDS)
+        got = cache.serve_lookup(
+            quick_scenario(rate=2.0, billing_model="reserved"),
+            "static-local",
+        )
+        assert got is not None and got[1] == "delta"
+
+    def test_corrupt_manifest_is_rebuilt(self):
+        cache.run_cell(quick_scenario(), "static-local")
+        manifest_path = cache.cache_dir() / "manifest.json"
+        manifest_path.write_text("{ not json")
+        assert cache.stats()["entries"] == 1
+        # The rebuilt manifest is persisted by the next store.
+        cache.run_cell(quick_scenario(rate=4.0), "static-local")
+        rebuilt = json.loads(manifest_path.read_text())
+        assert len(rebuilt["entries"]) == 2
+
+    def test_eviction_prunes_delta_index(self, monkeypatch):
+        cache.run_cell(quick_scenario(rate=2.0), "static-local")
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.001")
+        cache.run_cell(quick_scenario(rate=3.0), "static-local")
+        st_ = cache.stats()
+        assert st_["entries"] == 1
+        # Only the surviving entry's masked keys remain.
+        assert st_["delta_keys"] == len(cache.DELTA_FIELDS)
+
+
+class TestServeTier:
+    @pytest.fixture(autouse=True)
+    def _lru(self):
+        cache.enable_serve_tier(8)
+        yield
+        cache.disable_serve_tier()
+
+    def test_tiers_in_order_lru_last(self):
+        scenario = quick_scenario()
+        assert cache.serve_lookup(scenario, "static-local") is None
+        cold = cache.run_cell(scenario, "static-local")  # miss → fills LRU
+        row, tier = cache.serve_lookup(quick_scenario(), "static-local")
+        assert tier == "lru" and row == cold
+        cache._serve_lru.clear()
+        row, tier = cache.serve_lookup(quick_scenario(), "static-local")
+        assert tier == "disk" and row == cold
+        # The disk hit refilled the LRU.
+        row, tier = cache.serve_lookup(quick_scenario(), "static-local")
+        assert tier == "lru"
+
+    def test_lru_capacity_bounded(self):
+        cache.enable_serve_tier(2)
+        for rate in (2.0, 3.0, 4.0):
+            cache.run_cell(quick_scenario(rate=rate), "static-local")
+        assert len(cache._serve_lru) == 2
+        assert cache.stats()["lru_entries"] == 2
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.too_slow,
+        ],
+    )
+    @given(
+        rate=st.sampled_from([2.0, 2.5, 3.0, 4.0]),
+        seed=st.integers(min_value=0, max_value=3),
+        policy=st.sampled_from(["static-local", "static-global"]),
+    )
+    def test_lru_disk_cold_bit_identity(self, rate, seed, policy):
+        """Property: every serving tier returns the cold row bit-for-bit."""
+        scenario = quick_scenario(rate=rate, seed=seed)
+        try:
+            cache.enable_serve_tier(8)
+            ref = SweepRow.from_result(scenario, run_policy(scenario, policy))
+            mine = cache.run_cell(quick_scenario(rate=rate, seed=seed), policy)
+            assert mine == ref  # cold path through the cache
+            lru_row, lru_tier = cache.serve_lookup(
+                quick_scenario(rate=rate, seed=seed), policy
+            )
+            assert lru_tier == "lru" and lru_row == ref
+            cache._serve_lru.clear()
+            disk_row, disk_tier = cache.serve_lookup(
+                quick_scenario(rate=rate, seed=seed), policy
+            )
+            assert disk_tier == "disk" and disk_row == ref
+        finally:
+            cache.disable_serve_tier()

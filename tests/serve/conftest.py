@@ -1,0 +1,24 @@
+"""Fixtures for the serve-daemon suite.
+
+The CI service job runs this suite under ``REPRO_VALIDATE=1``; validated
+cells bypass the cache by design, which would turn every warm-path
+assertion cold.  These tests pin the *serving* contract, so validation
+is switched off locally (the invariant checker has its own suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cache
+from repro.util import perf
+from repro.validate import invariants as _validate
+
+
+@pytest.fixture(autouse=True)
+def _serving_mode(monkeypatch):
+    monkeypatch.setattr(cache, "_enabled", True)
+    monkeypatch.setattr(_validate, "_enabled", False)
+    perf.reset()
+    yield
+    perf.reset()

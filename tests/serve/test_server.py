@@ -1,0 +1,294 @@
+"""End-to-end daemon tests over real HTTP (serve.server + serve.client).
+
+The isolation class is the tentpole contract: concurrent interleaved
+clients must receive rows bit-identical to isolated serial runs — zero
+cross-request leaks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.runner import SweepRow
+from repro.experiments.scenarios import Scenario, run_policy
+from repro.obs import collector as _trace
+from repro.serve import ServeClient, ServeDaemon, ServerBusy, ServerError
+
+SCENARIO = {"rate": 3.0, "seed": 5, "period": 300.0, "variability": "both"}
+
+
+@pytest.fixture
+def daemon():
+    d = ServeDaemon(workers=2, queue_depth=8, lru_capacity=16).start()
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServeClient(daemon.url)
+
+
+def oracle_row(scenario_kwargs: dict, policy: str) -> dict:
+    """The isolated serial run this cell must reproduce bit-for-bit.
+
+    The wire form round-trips floats via ``repr``, so JSON-parsed
+    responses compare exactly against this dict.
+    """
+    scenario = Scenario(**scenario_kwargs)
+    row = SweepRow.from_result(scenario, run_policy(scenario, policy))
+    return dataclasses.asdict(row)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        body = client.health()
+        assert body["ok"] is True
+        assert body["uptime_s"] >= 0
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert set(stats) >= {"uptime_s", "requests", "pool", "cache"}
+        assert stats["pool"]["workers"] == 2
+        assert stats["cache"]["lru_capacity"] == 16
+
+    def test_unknown_paths_404(self, daemon, client):
+        with pytest.raises(ServerError) as exc_info:
+            client._request("GET", "/nope")
+        assert exc_info.value.status == 404
+        with pytest.raises(ServerError) as exc_info:
+            client._request("POST", "/nope", {})
+        assert exc_info.value.status == 404
+
+    def test_unknown_scenario_field_400(self, daemon, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.run({"ratee": 3.0})
+        assert exc_info.value.status == 400
+        assert "unknown scenario fields" in exc_info.value.detail
+        assert client.stats()["requests"]["bad_requests"] == 1
+
+    def test_invalid_json_body_400(self, daemon):
+        req = urllib.request.Request(
+            daemon.url + "/run",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc_info.value.code == 400
+
+
+class TestRunEndpoint:
+    def test_cold_then_warm_same_row_and_key(self, client):
+        first = client.run(SCENARIO)
+        second = client.run(SCENARIO)
+        (r1,), (r2,) = first["results"], second["results"]
+        assert r1["tier"] == "cold"
+        assert r2["tier"] in ("lru", "disk")
+        assert r1["row"] == r2["row"]
+        assert r1["key"] == r2["key"]
+        assert len(r1["key"]) == 64 and int(r1["key"], 16) >= 0
+
+    def test_row_is_bit_identical_to_isolated_run(self, client):
+        resp = client.run(SCENARIO, ["static-local"])
+        assert resp["results"][0]["row"] == oracle_row(
+            SCENARIO, "static-local"
+        )
+
+    def test_multi_policy_request_preserves_order(self, client):
+        resp = client.run(SCENARIO, ["local", "static-local"])
+        assert [r["policy"] for r in resp["results"]] == [
+            "local",
+            "static-local",
+        ]
+        for r in resp["results"]:
+            assert r["row"]["policy"] == r["policy"]
+
+    def test_warm_and_cold_policies_mix_in_one_request(self, client):
+        client.run(SCENARIO, ["static-local"])
+        resp = client.run(SCENARIO, ["static-local", "local"])
+        tiers = {r["policy"]: r["tier"] for r in resp["results"]}
+        assert tiers["static-local"] in ("lru", "disk")
+        assert tiers["local"] == "cold"
+
+    def test_delta_request_served_without_simulation(self, client):
+        client.run(SCENARIO, ["static-local"])
+        variant = dict(SCENARIO, billing_model="reserved")
+        resp = client.run(variant, ["static-local"])
+        (r,) = resp["results"]
+        assert r["tier"] == "delta"
+        # Bit-identical to a from-scratch simulation of the variant.
+        assert r["row"] == oracle_row(variant, "static-local")
+        assert client.stats()["requests"]["delta_rows"] == 1
+
+    def test_distinct_scenarios_distinct_keys(self, client):
+        k1 = client.run(SCENARIO)["results"][0]["key"]
+        k2 = client.run(dict(SCENARIO, rate=4.0))["results"][0]["key"]
+        assert k1 != k2
+
+
+def _saturate(pool, gate) -> list:
+    """Deterministically fill the pool: one blocker per worker (waiting
+    until each is picked up), then one per queue slot."""
+    import time as _time
+
+    blockers = []
+    for _ in range(pool.workers):
+        blockers.append(pool.submit(gate.wait))
+        deadline = _time.monotonic() + 5
+        while pool.pending() and _time.monotonic() < deadline:
+            _time.sleep(0.005)
+    for _ in range(pool.queue_depth):
+        blockers.append(pool.submit(gate.wait))
+    return blockers
+
+
+class TestBackpressure:
+    def test_429_with_retry_after_when_saturated(self, daemon, client):
+        gate = threading.Event()
+        blockers = _saturate(daemon.pool, gate)
+        try:
+            with pytest.raises(ServerBusy) as exc_info:
+                client.run(SCENARIO)
+            assert exc_info.value.status == 429
+            assert exc_info.value.retry_after_s >= 1
+            assert client.stats()["requests"]["rejected"] == 1
+        finally:
+            gate.set()
+            for job in blockers:
+                job.result(timeout=5)
+
+    def test_client_retry_rides_out_backpressure(self, daemon, client):
+        gate = threading.Event()
+        blockers = _saturate(daemon.pool, gate)
+        threading.Timer(0.3, gate.set).start()
+        try:
+            resp = client.run(SCENARIO, retries=10)
+            assert resp["results"][0]["row"] == oracle_row(
+                SCENARIO, "static-local"
+            )
+        finally:
+            gate.set()
+            for job in blockers:
+                job.result(timeout=5)
+
+    def test_warm_requests_served_even_when_pool_full(self, daemon, client):
+        client.run(SCENARIO)  # warm the cell first
+        gate = threading.Event()
+        blockers = _saturate(daemon.pool, gate)
+        try:
+            # The warm path never touches the pool: no 429.
+            resp = client.run(SCENARIO)
+            assert resp["results"][0]["tier"] in ("lru", "disk")
+        finally:
+            gate.set()
+            for job in blockers:
+                job.result(timeout=5)
+
+
+class TestStreaming:
+    def test_live_trace_events_reach_streamer(self, daemon, client):
+        was_tracing = _trace.enabled()
+        events: list[dict] = []
+        ready = threading.Event()
+
+        def stream():
+            streamer = ServeClient(daemon.url)
+            it = streamer.stream_events(max_events=3, timeout_s=20)
+            ready.set()
+            events.extend(it)
+
+        t = threading.Thread(target=stream)
+        t.start()
+        ready.wait(5)
+        # Wait until the subscription is actually attached server-side.
+        for _ in range(200):
+            if daemon.broadcast.streamers() > 0:
+                break
+            threading.Event().wait(0.01)
+        client.run(dict(SCENARIO, seed=11))
+        t.join(20)
+        assert not t.is_alive()
+        assert len(events) == 3
+        kinds = {e["type"] for e in events}
+        assert kinds & {"cache_miss", "vm_provisioned", "run_started"}
+        assert all("seq" in e and "t" in e for e in events)
+        # Tracing was force-enabled for the stream, then restored.
+        assert daemon.broadcast.streamers() == 0
+        assert _trace.enabled() == was_tracing
+
+    def test_stream_timeout_closes_with_no_events(self, daemon):
+        streamer = ServeClient(daemon.url)
+        assert list(streamer.stream_events(timeout_s=0.3)) == []
+
+
+class TestIsolation:
+    """Zero cross-request leaks: concurrent interleaved clients receive
+    exactly what isolated serial runs produce, bit for bit."""
+
+    CELLS = [
+        (dict(SCENARIO, rate=rate, seed=seed), policy)
+        for rate in (2.0, 3.0)
+        for seed in (5, 6)
+        for policy in ("static-local", "local")
+    ]
+
+    def test_concurrent_interleaved_clients_match_serial_oracle(self, daemon):
+        oracle = {
+            json.dumps((kw, p), sort_keys=True): oracle_row(kw, p)
+            for kw, p in self.CELLS
+        }
+        failures: list[str] = []
+
+        def drive(worker_id: int):
+            local = ServeClient(daemon.url)
+            # Each client interleaves the cells in a different order and
+            # hits every cell twice (cold-ish pass, then warm pass).
+            cells = self.CELLS[worker_id:] + self.CELLS[:worker_id]
+            for kw, policy in cells * 2:
+                try:
+                    resp = local.run(kw, [policy], retries=20)
+                except ServerBusy:
+                    failures.append("backpressure never drained")
+                    return
+                got = resp["results"][0]["row"]
+                want = oracle[json.dumps((kw, policy), sort_keys=True)]
+                if got != want:
+                    failures.append(
+                        f"leak in {policy}@rate={kw['rate']},seed="
+                        f"{kw['seed']}: {got} != {want}"
+                    )
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(600)
+        assert not failures, failures[:3]
+        stats = ServeClient(daemon.url).stats()
+        assert "errors" not in stats["requests"]
+        # Clients racing the same cold cell may each simulate it (the
+        # cache dedupes storage, not in-flight work), but each client
+        # warms up by its second pass: no client simulates a cell twice.
+        assert stats["requests"]["cold_rows"] <= 4 * len(self.CELLS)
+        assert stats["requests"]["warm_rows"] > 0
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_daemon(self):
+        daemon = ServeDaemon(workers=1, queue_depth=4).start()
+        client = ServeClient(daemon.url, timeout=10)
+        assert client.shutdown()["stopping"] is True
+        daemon._stopped.wait(10)
+        assert daemon._stopped.is_set()
+        with pytest.raises((urllib.error.URLError, ServerError, OSError)):
+            client.health()

@@ -31,6 +31,7 @@ class TestTopLevelApi:
             "repro.engine",
             "repro.core",
             "repro.experiments",
+            "repro.serve",
             "repro.util",
             "repro.cli",
         ],
@@ -49,6 +50,7 @@ class TestTopLevelApi:
             "repro.engine",
             "repro.core",
             "repro.experiments",
+            "repro.serve",
         ],
     )
     def test_subpackage_all_resolves(self, module):
